@@ -1,0 +1,120 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These do not correspond to a single paper table; they quantify the knobs
+the paper fixes (leaf size 16, tolerance 0.1, z-score normalization, ULV
+solver, H-matrix sampling) so a downstream user can see what each one buys.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments import (run_ablation_kd_split, run_ablation_leafsize,
+                               run_ablation_normalization, run_ablation_sampling,
+                               run_ablation_solvers, run_ablation_tolerance)
+
+
+def test_ablation_sampling(benchmark):
+    """Dense vs H-matrix accelerated sampling for the HSS construction."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_sampling(dataset="gas", n_train=scaled(2048), seed=0),
+        rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+    rows = {row["strategy"]: row for row in result.rows}
+    benchmark.extra_info["dense_sampling_s"] = rows["dense sampling"]["sampling_s"]
+    benchmark.extra_info["hmatrix_sampling_s"] = rows["hmatrix sampling"]["sampling_s"]
+    # The H-matrix sampler must accelerate the sampling phase itself (the
+    # paper's headline engineering win) without changing the HSS memory.
+    assert rows["hmatrix sampling"]["sampling_s"] <= rows["dense sampling"]["sampling_s"]
+    assert abs(rows["hmatrix sampling"]["memory_mb"] -
+               rows["dense sampling"]["memory_mb"]) < \
+        0.5 * rows["dense sampling"]["memory_mb"] + 1e-9
+
+
+def test_ablation_leafsize(benchmark):
+    """HSS leaf size sweep (the paper fixes 16)."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_leafsize(dataset="gas", n_train=scaled(1024),
+                                      leaf_sizes=(8, 16, 32, 64, 128), seed=0),
+        rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+    for row in result.rows:
+        benchmark.extra_info[f"leaf{row['leaf_size']}_memory_mb"] = row["memory_mb"]
+    accs = [row["accuracy_percent"] for row in result.rows]
+    # Leaf size is a memory/efficiency trade-off and must not affect accuracy.
+    assert max(accs) - min(accs) < 6.0
+
+
+def test_ablation_tolerance(benchmark):
+    """Compression tolerance sweep (the paper uses 0.1 for classification)."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_tolerance(dataset="pen", n_train=scaled(1024),
+                                       tolerances=(0.5, 0.1, 0.01, 1e-4), seed=0),
+        rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+    rows = {row["rel_tol"]: row for row in result.rows}
+    benchmark.extra_info["memory_at_0.1"] = rows[0.1]["memory_mb"]
+    benchmark.extra_info["memory_at_1e-4"] = rows[1e-4]["memory_mb"]
+    # Tighter tolerance costs memory ...
+    assert rows[1e-4]["memory_mb"] >= rows[0.1]["memory_mb"]
+    # ... but the paper's 0.1 already delivers the full classification
+    # accuracy (within a small margin of the tightest setting).
+    assert abs(rows[0.1]["accuracy_percent"] - rows[1e-4]["accuracy_percent"]) < 5.0
+
+
+def test_ablation_solvers(benchmark):
+    """ULV (HSS) vs dense Cholesky vs CG for the training system."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_solvers(dataset="letter", n_train=scaled(1024),
+                                     solvers=("dense", "hss", "cg"), seed=0),
+        rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+    rows = {row["solver"]: row for row in result.rows}
+    for solver, row in rows.items():
+        benchmark.extra_info[f"{solver}_accuracy"] = row["accuracy_percent"]
+        benchmark.extra_info[f"{solver}_train_s"] = row["train_s"]
+    # All solvers must reach the same accuracy (the paper's premise: an
+    # approximate solver is enough for the sign decision).
+    accs = [row["accuracy_percent"] for row in result.rows]
+    assert max(accs) - min(accs) < 5.0
+    # The compressed representation uses far less memory than the dense one.
+    assert rows["hss"]["memory_mb"] < rows["dense"]["memory_mb"]
+
+
+def test_ablation_kd_split(benchmark):
+    """Mean vs median splitting in the k-d tree ordering (Section 4.3)."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_kd_split(dataset="covtype", n_train=scaled(1024),
+                                      seed=0),
+        rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+    rows = {row["split"]: row for row in result.rows}
+    benchmark.extra_info["mean_split_memory_mb"] = rows["mean split"]["memory_mb"]
+    benchmark.extra_info["median_split_memory_mb"] = rows["median split"]["memory_mb"]
+    # The median split always yields a balanced tree; the mean split may not.
+    assert rows["median split"]["max_leaf"] <= 16
+    # Both variants produce a working compression of comparable memory.
+    ratio = rows["mean split"]["memory_mb"] / rows["median split"]["memory_mb"]
+    assert 0.3 < ratio < 3.0
+
+
+def test_ablation_normalization(benchmark):
+    """z-score vs max-abs vs no normalization (Section 5.2)."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_normalization(dataset="gas", n_train=scaled(1024),
+                                           seed=0),
+        rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+    accs = {row["normalization"]: row["accuracy_percent"] for row in result.rows}
+    for name, acc in accs.items():
+        benchmark.extra_info[f"{name}_accuracy"] = acc
+    # The paper's protocol (z-score) must be at least as good as the
+    # alternatives it rejects.
+    assert accs["zscore"] >= accs["maxabs"] - 2.0
+    assert accs["zscore"] >= accs["none"] - 2.0

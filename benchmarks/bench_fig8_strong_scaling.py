@@ -1,0 +1,51 @@
+"""Benchmark regenerating Figure 8: strong scaling of the ULV factorization.
+
+Paper reference (Figure 8): the factorization time of the four large
+datasets scales nearly linearly from 32 cores until communication and the
+serialised top tree levels flatten the curve towards 1,024 cores; datasets
+with larger feature dimension (larger HSS ranks) sit higher even with fewer
+points (MNIST above SUSY).
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments import run_fig8_strong_scaling
+
+CORE_COUNTS = (32, 64, 128, 256, 512, 1024)
+
+
+def test_fig8_strong_scaling(benchmark):
+    n_train = scaled(2048)
+
+    def run():
+        return run_fig8_strong_scaling(datasets=("mnist", "covtype", "hepmass",
+                                                 "susy"),
+                                       n_train=n_train, core_counts=CORE_COUNTS,
+                                       seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+
+    for curve in result.curves:
+        times = curve.factorization_times()
+        benchmark.extra_info[f"{curve.dataset}_speedup_1024"] = round(
+            times[32] / times[1024], 2)
+        benchmark.extra_info[f"{curve.dataset}_max_rank"] = curve.max_rank
+
+    curves = {c.dataset: c for c in result.curves}
+    for curve in result.curves:
+        times = curve.factorization_times()
+        # (a) factorization accelerates with the core count,
+        assert times[1024] <= times[32]
+        # (b) but the speed-up is sub-linear at 1,024 cores (the curve
+        #     flattens as in the paper).
+        assert times[32] / times[1024] < 32.0
+        efficiency = [pt.parallel_efficiency for pt in curve.points]
+        assert efficiency[-1] <= efficiency[0] + 1e-9
+    # (c) the dataset with the largest dimension / ranks (MNIST-like) is the
+    #     most expensive one at 32 cores, as in Figure 8.
+    t32 = {name: c.factorization_times()[32] for name, c in curves.items()}
+    assert t32["mnist"] >= max(t32["susy"], t32["hepmass"]) * 0.9

@@ -1,0 +1,48 @@
+"""Benchmark regenerating Table 1: effective ranks of the GAS1K off-diagonal block.
+
+Paper reference (Table 1): effective rank (singular values > 0.01) of the
+500 x 500 block is tiny for extreme h, peaks at h ~ 1, and the two-means
+ordering reduces it by a large factor (338 -> 78 at h = 1).
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments import run_table1_effective_rank
+
+PAPER_RANKS = {
+    "natural": {0.01: 1, 0.1: 23, 1.0: 338, 10.0: 129, 100.0: 14},
+    "two_means": {0.01: 1, 0.1: 1, 1.0: 78, 10.0: 76, 100.0: 12},
+}
+
+
+def test_table1_effective_rank(benchmark):
+    n = scaled(1000)
+
+    def run():
+        return run_table1_effective_rank(
+            n=n, h_values=(0.01, 0.1, 1.0, 10.0, 100.0), seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+    print(f"paper reference ranks (N/P): {PAPER_RANKS['natural']}")
+    print(f"paper reference ranks (2MN): {PAPER_RANKS['two_means']}")
+
+    for ordering in ("natural", "two_means"):
+        for h, rank in result.ranks[ordering].items():
+            benchmark.extra_info[f"rank_{ordering}_h{h}"] = rank
+    benchmark.extra_info["improvement_at_h1"] = result.improvement(1.0)
+
+    # Shape claims of Table 1:
+    natural, clustered = result.ranks["natural"], result.ranks["two_means"]
+    # (a) rank is tiny at the extremes of h,
+    assert natural[0.01] <= 3
+    # (b) rank peaks at intermediate h,
+    assert natural[1.0] >= natural[0.01]
+    assert natural[1.0] >= natural[100.0]
+    # (c) the two-means ordering never increases the rank and reduces it at
+    #     intermediate h.
+    for h in (0.1, 1.0, 10.0):
+        assert clustered[h] <= natural[h]

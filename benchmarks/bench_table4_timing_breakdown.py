@@ -1,0 +1,66 @@
+"""Benchmark regenerating Table 4: per-phase timing breakdown at 32 / 512 cores.
+
+Paper reference (Table 4): for SUSY and COVTYPE, the HSS construction is
+dominated by the sampling phase, the auxiliary H construction is cheap in
+comparison, factorization and solve are orders of magnitude cheaper than
+construction, and everything except the prototype H code speeds up from 32
+to 512 cores.
+
+Here the serial phases are measured on our implementation at a reduced N
+and the 32/512-core columns come from the calibrated distributed cost
+model (see DESIGN.md for the substitution).
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments import run_table4_timing_breakdown
+
+#: Paper Table 4 (seconds): dataset -> {phase: (32 cores, 512 cores)}
+PAPER_TABLE4 = {
+    "susy": {"h_construction": (173.7, 18.3), "hss_construction": (3344.4, 726.7),
+             "sampling": (2993.5, 662.1), "hss_other": (350.9, 64.6),
+             "factorization": (14.2, 3.3), "solve": (0.5, 0.3)},
+    "covtype": {"h_construction": (36.5, 32.2), "hss_construction": (432.3, 239.7),
+                "sampling": (305.2, 178.4), "hss_other": (127.1, 61.3),
+                "factorization": (26.5, 4.6), "solve": (0.5, 0.4)},
+}
+
+
+def test_table4_timing_breakdown(benchmark):
+    n_train = scaled(2048)
+
+    def run():
+        return run_table4_timing_breakdown(datasets=("susy", "covtype"),
+                                           n_train=n_train,
+                                           core_counts=(32, 512), seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.table().render())
+    print("paper reference (seconds at 4.5M / 0.5M points):")
+    for name, phases in PAPER_TABLE4.items():
+        print(f"  {name.upper()}: {phases}")
+
+    for entry in result.entries:
+        for phase, seconds in entry.measured_seconds.items():
+            benchmark.extra_info[f"{entry.dataset}_{phase}_serial_s"] = round(seconds, 4)
+
+    # Shape claims of Table 4:
+    for entry in result.entries:
+        t32 = entry.modelled[32]
+        t512 = entry.modelled[512]
+        # (a) sampling dominates the HSS construction,
+        assert t32.sampling > t32.hss_other
+        # (b) the H construction is cheaper than the sampling it accelerates,
+        assert t32.h_construction < t32.sampling + t32.hss_other
+        # (c) factorization and solve are much cheaper than construction,
+        assert t32.factorization < t32.hss_construction
+        assert t32.solve < t32.factorization * 10
+        # (d) the scalable phases speed up from 32 to 512 cores.
+        assert t512.sampling <= t32.sampling
+        assert t512.factorization <= t32.factorization
+        # Measured serial times show the same construction-dominates shape.
+        assert entry.measured_seconds["hss_construction"] > \
+            entry.measured_seconds["factorization"]

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+problem size (pure-Python execution), prints the resulting table in the
+paper's layout and attaches the headline numbers to the pytest-benchmark
+record via ``benchmark.extra_info`` so they end up in the JSON output.
+
+The problem sizes scale with the ``REPRO_BENCH_SCALE`` environment variable
+(default 1.0): e.g. ``REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only``
+runs every experiment at 4x the default size for a closer approach to the
+paper's setting.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Problem-size multiplier taken from ``REPRO_BENCH_SCALE`` (default 1)."""
+    try:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        scale = 1.0
+    return max(scale, 0.1)
+
+
+def scaled(n: int) -> int:
+    """Scale a default problem size, keeping it at least 64."""
+    return max(64, int(round(n * bench_scale())))
+
+
+@pytest.fixture()
+def scale() -> float:
+    return bench_scale()

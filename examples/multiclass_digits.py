@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Multi-class classification with one-vs-all kernel ridge regression.
+
+The paper's Section 2 describes the one-vs-all extension of Algorithm 1:
+one binary classifier per class, sharing the same kernel matrix — and
+therefore, with the HSS solver, sharing a single compression and ULV
+factorization across all classes (only the right-hand side changes).
+
+This example classifies a PEN-like handwritten-digit dataset into its ten
+digit classes and prints the per-class accuracy and the confusion matrix.
+
+Run it with:  python examples/multiclass_digits.py [n_train]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.datasets import clustered_manifold, standardize
+from repro.krr import OneVsAllClassifier, confusion_matrix
+
+
+def make_digits(n: int, seed: int = 0):
+    """A PEN-like dataset keeping the full 10-class label (not one-vs-all)."""
+    X, ids = clustered_manifold(n, 16, n_clusters=20, intrinsic_dim=4,
+                                separation=3.5, noise=0.3, seed=seed)
+    return X, ids % 10
+
+
+def main(n_train: int = 2048, n_test: int = 512) -> None:
+    X, y = make_digits(n_train + n_test, seed=0)
+    X_train, X_test = standardize(X[:n_train], X[n_train:])
+    y_train, y_test = y[:n_train], y[n_train:]
+    print(f"PEN-like digits: {n_train} train / {n_test} test, "
+          f"{len(np.unique(y))} classes\n")
+
+    clf = OneVsAllClassifier(h=1.0, lam=1.0, solver="hss",
+                             clustering="two_means", seed=0)
+    clf.fit(X_train, y_train)
+    predictions = clf.predict(X_test)
+    accuracy = float(np.mean(predictions == y_test))
+    print(f"Overall accuracy: {100 * accuracy:.1f}%")
+    print(f"Shared HSS compression: {clf.report.hss_memory_mb:.2f} MB, "
+          f"max rank {clf.report.max_rank}, one factorization for "
+          f"{clf.classes_.size} classes\n")
+
+    matrix, labels = confusion_matrix(y_test, predictions)
+    header = "true\\pred " + " ".join(f"{int(c):4d}" for c in labels)
+    print(header)
+    for i, label in enumerate(labels):
+        row = " ".join(f"{matrix[i, j]:4d}" for j in range(labels.size))
+        print(f"{int(label):9d} {row}")
+
+    per_class = {int(c): float(np.mean(predictions[y_test == c] == c))
+                 for c in labels if np.any(y_test == c)}
+    worst = min(per_class, key=per_class.get)
+    print(f"\nWorst class: {worst} at {100 * per_class[worst]:.1f}% "
+          "(the paper notes one-vs-all accuracy varies by target class)")
+
+
+if __name__ == "__main__":
+    main(n_train=int(sys.argv[1]) if len(sys.argv) > 1 else 2048)

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in pyproject.toml; this file exists so
+that ``pip install -e .`` also works in fully offline environments where the
+``wheel`` package (required by PEP-660 editable builds with older
+setuptools) is unavailable and pip falls back to the legacy
+``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

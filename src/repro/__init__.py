@@ -1,0 +1,74 @@
+"""repro — hierarchical matrix formats and clustering for kernel ridge regression.
+
+A from-scratch Python reproduction of
+
+    E. Rebrova, G. Chávez, Y. Liu, P. Ghysels, X. S. Li,
+    "A Study of Clustering Techniques and Hierarchical Matrix Formats for
+    Kernel Ridge Regression", 2018 (arXiv:1803.10274).
+
+The library provides:
+
+* clustering-based reorderings of a dataset (natural, recursive two-means,
+  k-d tree, PCA tree, ball tree, agglomerative) producing the cluster tree
+  that drives hierarchical matrix partitions — :mod:`repro.clustering`;
+* HSS matrices with randomized (partially matrix-free) construction and a
+  ULV factorization / solver — :mod:`repro.hss`;
+* H matrices (strong admissibility, ACA) used as a fast sampling engine —
+  :mod:`repro.hmatrix`;
+* kernel ridge regression classification (binary and one-vs-all) on top of
+  interchangeable dense / HSS / CG solvers — :mod:`repro.krr`;
+* hyper-parameter tuning (grid search and an OpenTuner-style black-box
+  tuner) — :mod:`repro.tuning`;
+* synthetic stand-ins for the paper's UCI / MNIST datasets —
+  :mod:`repro.datasets`;
+* a distributed-memory performance model reproducing the paper's strong
+  scaling study — :mod:`repro.parallel`;
+* the experiment harness regenerating every table and figure —
+  :mod:`repro.experiments`.
+
+Quickstart
+----------
+>>> from repro.datasets import load_dataset
+>>> from repro.krr import KernelRidgeClassifier
+>>> data = load_dataset("gas", n_train=512, n_test=128, seed=0)
+>>> clf = KernelRidgeClassifier(h=data.h, lam=data.lam, solver="hss",
+...                             clustering="two_means")
+>>> acc = clf.fit(data.X_train, data.y_train).score(data.X_test, data.y_test)
+"""
+
+from . import clustering, datasets, hmatrix, hss, kernels, krr, lowrank, utils
+from .config import (ClusteringOptions, HMatrixOptions, HSSOptions, KRROptions)
+from .clustering import ClusterTree, cluster
+from .hss import HSSMatrix, ULVFactorization, build_hss_from_dense, build_hss_randomized
+from .hmatrix import HMatrix, HMatrixSampler, build_hmatrix
+from .kernels import GaussianKernel, KernelOperator, get_kernel
+from .krr import (KernelRidgeClassifier, KernelRidgeRegressor, KRRPipeline,
+                  OneVsAllClassifier)
+from .datasets import load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusteringOptions",
+    "HMatrixOptions",
+    "HSSOptions",
+    "KRROptions",
+    "ClusterTree",
+    "cluster",
+    "HSSMatrix",
+    "ULVFactorization",
+    "build_hss_from_dense",
+    "build_hss_randomized",
+    "HMatrix",
+    "HMatrixSampler",
+    "build_hmatrix",
+    "GaussianKernel",
+    "KernelOperator",
+    "get_kernel",
+    "KernelRidgeClassifier",
+    "KernelRidgeRegressor",
+    "KRRPipeline",
+    "OneVsAllClassifier",
+    "load_dataset",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Dataset clustering / reordering (the paper's preprocessing step).
+
+Reordering the input data corresponds to applying a permutation
+symmetrically to the rows and columns of the kernel matrix (Section 4.2).
+Every method in this package produces a :class:`ClusterTree`: a binary tree
+of contiguous index ranges in the permuted ordering, which both defines the
+permutation and becomes the HSS / H-matrix partition tree.
+
+Implemented orderings (Section 4.3):
+
+* ``natural`` (NP) — no reordering, index sets split in equal halves,
+* ``two_means`` (2MN) — recursive 2-means with distance-proportional seeding,
+* ``kd`` (KD) — split along the coordinate of maximum spread at the mean,
+  falling back to the median for very unbalanced splits,
+* ``pca`` (PCA) — split at the mean of the projection onto the first
+  principal component,
+* ``ball`` — ball-tree style split (two farthest-point seeds), the ordering
+  used by prior work the paper compares against,
+* ``agglomerative`` — bottom-up average-linkage reference (quadratic; the
+  paper found such methods non-competitive).
+"""
+
+from .tree import ClusterNode, ClusterTree, tree_from_splitter
+from .natural import natural_tree, NaturalSplitter
+from .two_means import TwoMeansSplitter, two_means_split
+from .kd_tree import KDTreeSplitter
+from .pca_tree import PCATreeSplitter
+from .ball_tree import BallTreeSplitter
+from .agglomerative import agglomerative_tree
+from .api import ClusteringResult, cluster, available_methods
+from .quality import (
+    cluster_separation_ratio,
+    tree_balance,
+    average_leaf_size,
+)
+
+__all__ = [
+    "ClusterNode",
+    "ClusterTree",
+    "tree_from_splitter",
+    "natural_tree",
+    "NaturalSplitter",
+    "TwoMeansSplitter",
+    "two_means_split",
+    "KDTreeSplitter",
+    "PCATreeSplitter",
+    "BallTreeSplitter",
+    "agglomerative_tree",
+    "ClusteringResult",
+    "cluster",
+    "available_methods",
+    "cluster_separation_ratio",
+    "tree_balance",
+    "average_leaf_size",
+]

@@ -1,0 +1,137 @@
+"""Front-end for the preprocessing step (Step 0 of Algorithm 1).
+
+:func:`cluster` maps a method name to the corresponding tree builder and
+returns a :class:`ClusteringResult` bundling the permutation, the cluster
+tree and the reordered data, ready to be handed to the HSS / H-matrix
+builders and to the KRR pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import ClusteringOptions
+from ..utils.random import as_generator
+from ..utils.validation import check_array_2d
+from .agglomerative import agglomerative_tree
+from .ball_tree import ball_tree
+from .kd_tree import kd_tree
+from .natural import natural_tree
+from .pca_tree import pca_tree
+from .tree import ClusterTree
+from .two_means import two_means_tree
+
+#: Canonical method names and the aliases used in the paper's tables.
+_ALIASES: Dict[str, str] = {
+    "natural": "natural",
+    "np": "natural",
+    "none": "natural",
+    "two_means": "two_means",
+    "2mn": "two_means",
+    "2-means": "two_means",
+    "kmeans2": "two_means",
+    "kd": "kd",
+    "kd_tree": "kd",
+    "kdtree": "kd",
+    "pca": "pca",
+    "pca_tree": "pca",
+    "ball": "ball",
+    "ball_tree": "ball",
+    "agglomerative": "agglomerative",
+    "average_linkage": "agglomerative",
+}
+
+
+def available_methods() -> list:
+    """Canonical names of the implemented orderings."""
+    return ["natural", "two_means", "kd", "pca", "ball", "agglomerative"]
+
+
+@dataclass
+class ClusteringResult:
+    """Output of the preprocessing step.
+
+    Attributes
+    ----------
+    method:
+        Canonical name of the ordering that produced this result.
+    tree:
+        The :class:`ClusterTree` (permutation + hierarchical partition).
+    X:
+        The *reordered* data matrix (``X_original[tree.perm]``).
+    """
+
+    method: str
+    tree: ClusterTree
+    X: np.ndarray
+
+    @property
+    def perm(self) -> np.ndarray:
+        """Permutation array (new position -> original index)."""
+        return self.tree.perm
+
+    def permute_labels(self, y: np.ndarray) -> np.ndarray:
+        """Reorder a label vector consistently with the data."""
+        return self.tree.permute_vector(y)
+
+
+def cluster(
+    X: np.ndarray,
+    method: str = "two_means",
+    leaf_size: int = 16,
+    seed=None,
+    options: Optional[ClusteringOptions] = None,
+) -> ClusteringResult:
+    """Reorder a dataset with the requested clustering method.
+
+    Parameters
+    ----------
+    X:
+        Data points ``(n, d)`` in original order.
+    method:
+        One of :func:`available_methods` (paper aliases such as ``"2MN"``,
+        ``"NP"``, ``"KD"``, ``"PCA"`` are accepted, case-insensitively).
+    leaf_size:
+        Maximum leaf size of the resulting tree (ignored if ``options`` is
+        given).
+    seed:
+        Seed for the random splitters (two-means, ball tree).
+    options:
+        Full :class:`repro.config.ClusteringOptions`; overrides ``method``,
+        ``leaf_size`` and ``seed``.
+
+    Returns
+    -------
+    ClusteringResult
+    """
+    X = check_array_2d(X, "X")
+    if options is not None:
+        method = options.method
+        leaf_size = options.leaf_size
+        seed = options.seed
+    key = _ALIASES.get(str(method).strip().lower())
+    if key is None:
+        raise ValueError(
+            f"unknown clustering method {method!r}; available: {available_methods()}")
+
+    rng = as_generator(seed)
+    if key == "natural":
+        tree = natural_tree(X, leaf_size=leaf_size)
+    elif key == "two_means":
+        max_iter = options.max_iter if options is not None else 20
+        tree = two_means_tree(X, leaf_size=leaf_size, max_iter=max_iter, seed=rng)
+    elif key == "kd":
+        threshold = options.balance_threshold if options is not None else 100.0
+        tree = kd_tree(X, leaf_size=leaf_size, balance_threshold=threshold, seed=rng)
+    elif key == "pca":
+        tree = pca_tree(X, leaf_size=leaf_size, seed=rng)
+    elif key == "ball":
+        tree = ball_tree(X, leaf_size=leaf_size, seed=rng)
+    elif key == "agglomerative":
+        tree = agglomerative_tree(X, leaf_size=leaf_size)
+    else:  # pragma: no cover - _ALIASES and the branch list are in sync
+        raise AssertionError(f"unhandled method {key}")
+    return ClusteringResult(method=key, tree=tree, X=tree.apply_permutation(X))

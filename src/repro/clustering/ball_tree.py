@@ -1,0 +1,46 @@
+"""Ball-tree style ordering.
+
+Previous work on kernel-matrix approximation (ASKIT / INV-ASKIT and the
+k-nearest-neighbour kernels the paper cites) reorders the points with ball
+trees.  We include a classic two-farthest-seeds ball-tree split as an
+additional comparison point: pick a random point, find the farthest point
+``a`` from it, find the farthest point ``b`` from ``a``, then assign every
+point to the closer of ``a`` and ``b``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.random import as_generator
+from ..utils.validation import check_array_2d
+from .tree import ClusterTree, tree_from_splitter
+
+
+class BallTreeSplitter:
+    """Two-farthest-points splitter (classic ball-tree construction rule)."""
+
+    def __call__(self, points: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        m = points.shape[0]
+        if m < 2:
+            return np.ones(m, dtype=bool)
+        start = int(rng.integers(m))
+        d = np.einsum("ij,ij->i", points - points[start], points - points[start])
+        a = int(np.argmax(d))
+        da = np.einsum("ij,ij->i", points - points[a], points - points[a])
+        b = int(np.argmax(da))
+        db = np.einsum("ij,ij->i", points - points[b], points - points[b])
+        mask = da <= db
+        if mask.all() or not mask.any():
+            order = np.argsort(da, kind="stable")
+            mask = np.zeros(m, dtype=bool)
+            mask[order[: m // 2]] = True
+        return mask
+
+
+def ball_tree(X: np.ndarray, leaf_size: int = 16, seed=None) -> ClusterTree:
+    """Build the ball-tree ordering of the dataset."""
+    X = check_array_2d(X, "X")
+    return tree_from_splitter(X, BallTreeSplitter(), leaf_size=leaf_size,
+                              rng=as_generator(seed))

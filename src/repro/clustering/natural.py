@@ -1,0 +1,44 @@
+"""Natural ordering (NP): the no-preprocessing baseline.
+
+"The input is not reordered, no information about mutual distances is used
+to permute the matrix.  The HSS tree is a complete binary tree, constructed
+by recursively splitting index sets in two equal (+-1) parts."
+(Section 4.3 of the paper.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_array_2d
+from .tree import ClusterTree, tree_from_splitter
+
+
+class NaturalSplitter:
+    """Splitter that ignores the geometry and halves the index range."""
+
+    def __call__(self, points: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        size = points.shape[0]
+        mask = np.zeros(size, dtype=bool)
+        mask[: size // 2] = True
+        return mask
+
+
+def natural_tree(X: np.ndarray, leaf_size: int = 16) -> ClusterTree:
+    """Build the natural-ordering cluster tree (identity permutation).
+
+    Parameters
+    ----------
+    X:
+        Data points; only the number of rows matters.
+    leaf_size:
+        Maximum leaf (diagonal block) size.
+    """
+    X = check_array_2d(X, "X")
+    tree = tree_from_splitter(X, NaturalSplitter(), leaf_size=leaf_size,
+                              rng=np.random.default_rng(0))
+    # The natural ordering never permutes anything; assert the invariant to
+    # document it (equal halving preserves index order by construction).
+    assert np.array_equal(tree.perm, np.arange(X.shape[0])), \
+        "natural ordering must produce the identity permutation"
+    return tree

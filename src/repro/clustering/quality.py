@@ -1,0 +1,78 @@
+"""Clustering quality diagnostics.
+
+The paper deliberately does *not* use standard clustering quality metrics:
+"Rather than the standard dissimilarity metrics measuring clustering
+quality, the following performance metrics are used in this work: Memory,
+Accuracy, Time, Maximum rank" (Section 4.2).  Those are produced by the HSS
+and KRR modules.  The functions here provide the complementary *geometric*
+view (inter- vs intra-cluster distances, tree balance), which is useful for
+understanding *why* a given ordering compresses well and is exercised by the
+ablation studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..kernels.distance import pairwise_sq_dists
+from ..utils.validation import check_array_2d
+from .tree import ClusterTree
+
+
+def cluster_separation_ratio(X: np.ndarray, tree: ClusterTree,
+                             node: Optional[int] = None) -> float:
+    """Ratio of inter-cluster to intra-cluster mean distance at a split.
+
+    For the children ``(c1, c2)`` of ``node`` (default: the root), computes
+
+        mean_{i in c1, j in c2} ||x_i - x_j||  /
+        mean of (mean pairwise distance within c1, within c2)
+
+    Larger is better: well separated clusters mean low off-diagonal rank.
+    Returns ``inf`` when a child is a singleton (no intra distance).
+    """
+    X = check_array_2d(X, "X")
+    node = tree.root if node is None else int(node)
+    nd = tree.node(node)
+    if nd.is_leaf:
+        raise ValueError("node must be an internal node with two children")
+    Xp = tree.apply_permutation(X)
+    left = Xp[tree.node(nd.left).start:tree.node(nd.left).stop]
+    right = Xp[tree.node(nd.right).start:tree.node(nd.right).stop]
+    inter = float(np.sqrt(pairwise_sq_dists(left, right)).mean())
+    intras = []
+    for side in (left, right):
+        if side.shape[0] > 1:
+            d = np.sqrt(pairwise_sq_dists(side))
+            intras.append(float(d[np.triu_indices_from(d, k=1)].mean()))
+    if not intras:
+        return float("inf")
+    intra = float(np.mean(intras))
+    if intra == 0.0:
+        return float("inf")
+    return inter / intra
+
+
+def tree_balance(tree: ClusterTree) -> float:
+    """Balance factor of the tree: max over internal nodes of max(|c1|,|c2|)/size.
+
+    A perfectly balanced binary tree gives 0.5; values near 1.0 indicate the
+    pathological unbalanced splits the k-d tree median fallback protects
+    against.
+    """
+    worst = 0.5
+    for nd in tree.nodes:
+        if nd.is_leaf or nd.size == 0:
+            continue
+        left = tree.node(nd.left).size
+        right = tree.node(nd.right).size
+        worst = max(worst, max(left, right) / nd.size)
+    return float(worst)
+
+
+def average_leaf_size(tree: ClusterTree) -> float:
+    """Mean leaf (diagonal block) size of the tree."""
+    sizes = tree.leaf_sizes()
+    return float(sizes.mean()) if sizes.size else 0.0

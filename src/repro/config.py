@@ -1,0 +1,207 @@
+"""Global configuration objects shared across the library.
+
+The defaults mirror the settings used throughout the paper:
+
+* HSS leaf size of 16 (Section 4.3: "chosen to be 16 for HSS"),
+* compression tolerance of 0.1 (Section 5.2: "With STRUMPACK tolerance set
+  to be at most 0.1, the prediction accuracy does not seem to depend on the
+  preprocessing methods"),
+* Gaussian kernel with bandwidth ``h`` and ridge parameter ``lambda``
+  chosen per dataset (Table 2 / Table 3).
+
+Configuration objects are plain frozen dataclasses so they can be hashed,
+compared and safely shared between threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class HSSOptions:
+    """Options controlling HSS compression and factorization.
+
+    Parameters
+    ----------
+    leaf_size:
+        Maximum size of a diagonal (leaf) block.  The paper uses 16; larger
+        leaves reduce tree depth (and Python overhead) at the cost of larger
+        dense diagonal blocks.
+    rel_tol:
+        Relative tolerance used by the low-rank compression of off-diagonal
+        (Hankel) blocks.  This is the analogue of STRUMPACK's
+        ``--hss_rel_tol``.
+    abs_tol:
+        Absolute tolerance floor used by the compression.
+    max_rank:
+        Hard cap on the rank of any off-diagonal block.  ``None`` means no
+        cap (ranks are still bounded by the block size).
+    initial_samples:
+        Number of random vectors used at the start of the adaptive
+        randomized construction (STRUMPACK's ``--hss_d0``).
+    sample_increment:
+        Minimum number of random vectors added whenever the adaptive
+        construction detects that the current sample does not capture the
+        range (STRUMPACK's ``--hss_dd``); the sample at least doubles at
+        every enlargement so high-rank problems converge in O(log n) rounds.
+    max_adaptive_rounds:
+        Safety bound on the number of sampling enlargement rounds.  The
+        default of 12 allows the geometric growth to reach the full matrix
+        dimension for any practical problem size.
+    oversampling:
+        Extra samples beyond the detected rank kept to make the range
+        estimate robust.
+    symmetric:
+        If ``True`` the builder assumes ``A == A.T`` and reuses the row
+        compression for the columns, halving the work.  Kernel matrices are
+        symmetric so this defaults to ``True``.
+    """
+
+    leaf_size: int = 16
+    rel_tol: float = 1e-1
+    abs_tol: float = 1e-8
+    max_rank: Optional[int] = None
+    initial_samples: int = 32
+    sample_increment: int = 16
+    max_adaptive_rounds: int = 12
+    oversampling: int = 8
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        if self.leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {self.leaf_size}")
+        if self.rel_tol <= 0:
+            raise ValueError(f"rel_tol must be positive, got {self.rel_tol}")
+        if self.abs_tol < 0:
+            raise ValueError(f"abs_tol must be non-negative, got {self.abs_tol}")
+        if self.initial_samples < 1:
+            raise ValueError("initial_samples must be >= 1")
+        if self.sample_increment < 1:
+            raise ValueError("sample_increment must be >= 1")
+        if self.max_rank is not None and self.max_rank < 1:
+            raise ValueError("max_rank must be >= 1 or None")
+
+    def with_(self, **kwargs) -> "HSSOptions":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class HMatrixOptions:
+    """Options controlling the H-matrix (strong admissibility) compression.
+
+    Parameters
+    ----------
+    leaf_size:
+        Maximum size of an inadmissible dense block.
+    admissibility_eta:
+        Admissibility parameter ``eta``.  With the ``"box"`` criterion a
+        block ``(s, t)`` is admissible when
+        ``min(diam(s), diam(t)) <= eta * dist(s, t)``; with the default
+        ``"centroid"`` criterion when the centroid distance exceeds
+        ``eta * (radius_s + radius_t)``.
+    admissibility:
+        ``"centroid"`` (default, suited to high-dimensional kernel data) or
+        ``"box"`` (textbook strong admissibility on bounding boxes).
+    rel_tol:
+        Relative stopping tolerance of the ACA compression of admissible
+        blocks.
+    max_rank:
+        Hard cap on the ACA rank of an admissible block.
+    """
+
+    leaf_size: int = 64
+    admissibility_eta: float = 1.0
+    admissibility: str = "centroid"
+    rel_tol: float = 1e-2
+    max_rank: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        if self.admissibility_eta <= 0:
+            raise ValueError("admissibility_eta must be positive")
+        if self.admissibility not in ("centroid", "box"):
+            raise ValueError("admissibility must be 'centroid' or 'box'")
+        if self.rel_tol <= 0:
+            raise ValueError("rel_tol must be positive")
+
+    def with_(self, **kwargs) -> "HMatrixOptions":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ClusteringOptions:
+    """Options controlling the preprocessing / reordering step.
+
+    Parameters
+    ----------
+    method:
+        One of ``"natural"``, ``"two_means"``, ``"kd"``, ``"pca"``,
+        ``"ball"``, ``"agglomerative"`` (see :mod:`repro.clustering`).
+    leaf_size:
+        Recursion stops when clusters reach this size; this becomes the HSS
+        leaf size when the resulting tree drives the HSS partition.
+    max_iter:
+        Maximum number of Lloyd iterations for the two-means splitter.
+    balance_threshold:
+        K-d tree mean-splitting falls back to the median when one side is
+        more than ``balance_threshold`` times larger than the other
+        (the paper uses 100).
+    seed:
+        Seed for the random choices (two-means initialisation).
+    """
+
+    method: str = "two_means"
+    leaf_size: int = 16
+    max_iter: int = 20
+    balance_threshold: float = 100.0
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        if self.balance_threshold < 1:
+            raise ValueError("balance_threshold must be >= 1")
+
+
+@dataclass(frozen=True)
+class KRROptions:
+    """Options for kernel ridge regression classification (Algorithm 1).
+
+    Parameters
+    ----------
+    h:
+        Gaussian kernel bandwidth.
+    lam:
+        Ridge regularization parameter ``lambda``.
+    solver:
+        ``"dense"`` (exact Cholesky), ``"hss"`` (compressed ULV solve) or
+        ``"cg"`` (conjugate gradient on the exact kernel).
+    kernel:
+        Kernel name understood by :func:`repro.kernels.get_kernel`.
+    """
+
+    h: float = 1.0
+    lam: float = 1.0
+    solver: str = "hss"
+    kernel: str = "gaussian"
+
+    def __post_init__(self) -> None:
+        if self.h <= 0:
+            raise ValueError("h must be positive")
+        if self.lam < 0:
+            raise ValueError("lam must be non-negative")
+        if self.solver not in ("dense", "hss", "cg"):
+            raise ValueError(f"unknown solver {self.solver!r}")
+
+
+DEFAULT_HSS_OPTIONS = HSSOptions()
+DEFAULT_HMATRIX_OPTIONS = HMatrixOptions()
+DEFAULT_CLUSTERING_OPTIONS = ClusteringOptions()
+DEFAULT_KRR_OPTIONS = KRROptions()

@@ -1,0 +1,56 @@
+"""Synthetic datasets standing in for the paper's UCI / MNIST data.
+
+The paper evaluates on SUSY, HEPMASS, COVTYPE, GAS, LETTER, PEN (UCI) and
+MNIST8M.  Those files cannot be downloaded in this offline environment, so
+this package generates synthetic datasets with the same dimensionalities,
+class structure (binary or one-vs-all) and normalization (zero mean / unit
+standard deviation per column, as in Section 5.2).  The generators produce
+clustered, low-intrinsic-dimension point clouds — the geometric property
+that the paper's phenomena (off-diagonal rank decay, clustering benefit,
+dimension-dependent rank growth) actually depend on.
+
+See DESIGN.md for the substitution rationale.
+"""
+
+from .synthetic import (
+    gaussian_mixture,
+    clustered_manifold,
+    two_spirals,
+    concentric_spheres,
+)
+from .normalize import standardize, minmax_scale, Standardizer
+from .splits import train_test_split, train_val_test_split
+from .uci_like import (
+    susy_like,
+    hepmass_like,
+    covtype_like,
+    gas_like,
+    letter_like,
+    pen_like,
+    mnist_like,
+    DATASET_DIMENSIONS,
+)
+from .registry import load_dataset, dataset_names, DatasetBundle
+
+__all__ = [
+    "gaussian_mixture",
+    "clustered_manifold",
+    "two_spirals",
+    "concentric_spheres",
+    "standardize",
+    "minmax_scale",
+    "Standardizer",
+    "train_test_split",
+    "train_val_test_split",
+    "susy_like",
+    "hepmass_like",
+    "covtype_like",
+    "gas_like",
+    "letter_like",
+    "pen_like",
+    "mnist_like",
+    "DATASET_DIMENSIONS",
+    "load_dataset",
+    "dataset_names",
+    "DatasetBundle",
+]

@@ -1,0 +1,66 @@
+"""Train / validation / test splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..utils.random import as_generator
+
+
+def train_test_split(X: np.ndarray, y: np.ndarray, test_fraction: float = 0.1,
+                     seed=None) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random split into train and test subsets.
+
+    Returns ``(X_train, y_train, X_test, y_test)``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y must have the same number of rows")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = as_generator(seed)
+    n = X.shape[0]
+    n_test = max(1, int(round(test_fraction * n)))
+    if n_test >= n:
+        raise ValueError("test_fraction leaves no training data")
+    order = rng.permutation(n)
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]
+
+
+def train_val_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    val_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+    seed=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random split into train, validation and test subsets.
+
+    The validation set plays the role of the paper's hyper-parameter
+    selection set ("with the parameters h and lambda chosen based on the
+    validation set", Section 4.2); the test set is only used for the final
+    accuracy.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y must have the same number of rows")
+    if val_fraction <= 0 or test_fraction <= 0 or val_fraction + test_fraction >= 1.0:
+        raise ValueError("fractions must be positive and sum to less than 1")
+    rng = as_generator(seed)
+    n = X.shape[0]
+    n_val = max(1, int(round(val_fraction * n)))
+    n_test = max(1, int(round(test_fraction * n)))
+    order = rng.permutation(n)
+    val_idx = order[:n_val]
+    test_idx = order[n_val:n_val + n_test]
+    train_idx = order[n_val + n_test:]
+    if train_idx.size == 0:
+        raise ValueError("split leaves no training data")
+    return (X[train_idx], y[train_idx], X[val_idx], y[val_idx],
+            X[test_idx], y[test_idx])

@@ -1,0 +1,165 @@
+"""Generic synthetic point-cloud generators.
+
+These primitives create point clouds with controllable cluster structure,
+intrinsic dimension and class separation.  The UCI-like generators in
+:mod:`repro.datasets.uci_like` are thin parameterisations of
+:func:`clustered_manifold`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..utils.random import as_generator
+
+
+def gaussian_mixture(
+    n: int,
+    d: int,
+    n_components: int = 2,
+    separation: float = 3.0,
+    noise: float = 1.0,
+    weights: Optional[np.ndarray] = None,
+    seed=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample a Gaussian mixture with ±1 labels split across components.
+
+    Parameters
+    ----------
+    n:
+        Number of samples.
+    d:
+        Ambient dimension.
+    n_components:
+        Number of mixture components; even components are labelled ``+1``,
+        odd components ``-1``.
+    separation:
+        Distance scale between component means.
+    noise:
+        Within-component standard deviation.
+    weights:
+        Component weights (uniform by default).
+    seed:
+        Seed or generator.
+
+    Returns
+    -------
+    (X, y):
+        ``X`` of shape ``(n, d)`` and ``y`` of ±1 labels.
+    """
+    if n < 1 or d < 1 or n_components < 1:
+        raise ValueError("n, d and n_components must be positive")
+    rng = as_generator(seed)
+    if weights is None:
+        weights = np.full(n_components, 1.0 / n_components)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n_components,) or np.any(weights < 0):
+            raise ValueError("weights must be non-negative with one entry per component")
+        weights = weights / weights.sum()
+    means = rng.standard_normal((n_components, d)) * separation
+    assignments = rng.choice(n_components, size=n, p=weights)
+    X = means[assignments] + noise * rng.standard_normal((n, d))
+    y = np.where(assignments % 2 == 0, 1.0, -1.0)
+    return X, y
+
+
+def clustered_manifold(
+    n: int,
+    d: int,
+    n_clusters: int = 8,
+    intrinsic_dim: int = 3,
+    separation: float = 4.0,
+    noise: float = 0.3,
+    nonlinear: bool = True,
+    seed=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Clustered points on a low-dimensional manifold embedded in ``R^d``.
+
+    Each cluster lives near an ``intrinsic_dim``-dimensional affine patch
+    (optionally bent by a smooth nonlinearity) around a random centre; this
+    mimics the structure of real feature data, whose kernel matrices have
+    strongly decaying off-diagonal singular values once the points are
+    grouped by cluster — the property the paper's preprocessing exploits.
+
+    Returns
+    -------
+    (X, cluster_ids):
+        The points and the integer cluster id of every point.
+    """
+    if n < 1 or d < 1:
+        raise ValueError("n and d must be positive")
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be positive")
+    intrinsic_dim = max(1, min(int(intrinsic_dim), d))
+    rng = as_generator(seed)
+
+    centers = rng.standard_normal((n_clusters, d)) * separation
+    # Random per-cluster embedding of the intrinsic coordinates.
+    bases = rng.standard_normal((n_clusters, d, intrinsic_dim))
+    counts = np.bincount(rng.integers(n_clusters, size=n), minlength=n_clusters)
+
+    points = np.empty((n, d))
+    ids = np.empty(n, dtype=np.intp)
+    offset = 0
+    for c in range(n_clusters):
+        m = int(counts[c])
+        if m == 0:
+            continue
+        latent = rng.standard_normal((m, intrinsic_dim))
+        embedded = latent @ bases[c].T
+        if nonlinear:
+            embedded = embedded + 0.25 * np.tanh(embedded)
+        block = centers[c] + embedded + noise * rng.standard_normal((m, d))
+        points[offset:offset + m] = block
+        ids[offset:offset + m] = c
+        offset += m
+    # Shuffle so the "natural" ordering carries no cluster information —
+    # matching the realistic situation the paper's NP baseline faces.
+    shuffle = rng.permutation(n)
+    return points[shuffle], ids[shuffle]
+
+
+def two_spirals(n: int, noise: float = 0.1, turns: float = 2.0,
+                seed=None) -> Tuple[np.ndarray, np.ndarray]:
+    """Classic two-spirals binary dataset in 2-D (hard for linear models)."""
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    rng = as_generator(seed)
+    half = n // 2
+    counts = (half, n - half)
+    xs, ys = [], []
+    for label, m in zip((1.0, -1.0), counts):
+        t = rng.uniform(0.25, 1.0, size=m) * turns * 2.0 * np.pi
+        sign = 1.0 if label > 0 else -1.0
+        x = np.column_stack([sign * t * np.cos(t), sign * t * np.sin(t)]) / (2 * np.pi)
+        x += noise * rng.standard_normal((m, 2))
+        xs.append(x)
+        ys.append(np.full(m, label))
+    X = np.vstack(xs)
+    y = np.concatenate(ys)
+    shuffle = rng.permutation(n)
+    return X[shuffle], y[shuffle]
+
+
+def concentric_spheres(n: int, d: int = 3, radii: Tuple[float, float] = (1.0, 2.5),
+                       noise: float = 0.1, seed=None) -> Tuple[np.ndarray, np.ndarray]:
+    """Two concentric noisy spheres in ``R^d`` with ±1 labels."""
+    if n < 2 or d < 1:
+        raise ValueError("n must be >= 2 and d >= 1")
+    rng = as_generator(seed)
+    half = n // 2
+    counts = (half, n - half)
+    xs, ys = [], []
+    for label, radius, m in zip((1.0, -1.0), radii, counts):
+        direction = rng.standard_normal((m, d))
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        x = radius * direction + noise * rng.standard_normal((m, d))
+        xs.append(x)
+        ys.append(np.full(m, label))
+    X = np.vstack(xs)
+    y = np.concatenate(ys)
+    shuffle = rng.permutation(n)
+    return X[shuffle], y[shuffle]

@@ -1,0 +1,161 @@
+"""Synthetic stand-ins for the paper's datasets.
+
+Each generator matches the corresponding real dataset in
+
+* feature dimension (SUSY 8, LETTER 16, PEN 16, HEPMASS 27, COVTYPE 54,
+  GAS 128, MNIST 784 — Table 2),
+* task structure: binary labels for the physics datasets, one-vs-all
+  against a designated class for the multi-class ones (the paper predicts
+  digit 5 for MNIST/PEN, letter A for LETTER, cover type 3 for COVTYPE and
+  gas 5 for GAS — Section 5.1),
+* difficulty ballpark: the class overlap is tuned so a well-tuned Gaussian
+  KRR reaches accuracies in the same band as the paper's Table 2
+  (high 90s% for the easy multi-class sets, ~80% for SUSY, ~90% for
+  HEPMASS).
+
+The data itself is synthetic (clustered low-intrinsic-dimension Gaussian
+manifolds); see DESIGN.md for why this preserves the paper's phenomena.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..utils.random import as_generator
+from .synthetic import clustered_manifold
+
+#: Feature dimensions of the original datasets (Table 2 of the paper).
+DATASET_DIMENSIONS = {
+    "susy": 8,
+    "letter": 16,
+    "pen": 16,
+    "hepmass": 27,
+    "covtype": 54,
+    "gas": 128,
+    "mnist": 784,
+}
+
+
+def _one_vs_all_from_clusters(cluster_ids: np.ndarray, n_classes: int,
+                              target_class: int) -> np.ndarray:
+    """Map cluster ids to class ids, then to ±1 one-vs-all labels."""
+    class_ids = cluster_ids % n_classes
+    return np.where(class_ids == target_class, 1.0, -1.0)
+
+
+def _binary_overlapping(
+    n: int,
+    d: int,
+    intrinsic_dim: int,
+    overlap: float,
+    label_noise: float,
+    seed,
+    n_clusters_per_class: int = 4,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Binary dataset made of two groups of clusters with controlled overlap.
+
+    ``overlap`` in [0, 1) mixes a fraction of points toward the global mean
+    (mild geometric class overlap), while ``label_noise`` flips that
+    fraction of the labels outright.  Label noise creates irreducible
+    classification error — the reason SUSY tops out near 80% in the paper —
+    *without* destroying the geometric cluster structure that makes the
+    kernel matrix hierarchically compressible.
+    """
+    rng = as_generator(seed)
+    X, ids = clustered_manifold(
+        n, d, n_clusters=2 * n_clusters_per_class,
+        intrinsic_dim=intrinsic_dim,
+        separation=3.0, noise=0.4, seed=rng)
+    y = np.where(ids % 2 == 0, 1.0, -1.0)
+    if overlap > 0:
+        # Pull a small fraction of the points toward the global mean so the
+        # class-conditional distributions genuinely touch.
+        n_mix = int(overlap * n)
+        mix_idx = rng.choice(n, size=n_mix, replace=False)
+        centre = X.mean(axis=0)
+        pull = rng.uniform(0.4, 0.8, size=(n_mix, 1))
+        X[mix_idx] = centre + (X[mix_idx] - centre) * (1.0 - pull) \
+            + 0.3 * rng.standard_normal((n_mix, d))
+    if label_noise > 0:
+        n_flip = int(label_noise * n)
+        flip_idx = rng.choice(n, size=n_flip, replace=False)
+        y[flip_idx] = -y[flip_idx]
+    return X, y
+
+
+def susy_like(n: int, seed=None) -> Tuple[np.ndarray, np.ndarray]:
+    """SUSY-like dataset: 8 features, binary, substantial class overlap.
+
+    The real SUSY task (distinguishing supersymmetric signal from
+    background in simulated collider events) tops out around 80% accuracy;
+    the combination of geometric overlap and label noise here is chosen to
+    land in the same band while keeping the clustered geometry that makes
+    the kernel matrix compressible.
+    """
+    return _binary_overlapping(n, DATASET_DIMENSIONS["susy"], intrinsic_dim=4,
+                               overlap=0.10, label_noise=0.13, seed=seed)
+
+
+def hepmass_like(n: int, seed=None) -> Tuple[np.ndarray, np.ndarray]:
+    """HEPMASS-like dataset: 27 features, binary, moderate overlap (~90%)."""
+    return _binary_overlapping(n, DATASET_DIMENSIONS["hepmass"], intrinsic_dim=6,
+                               overlap=0.06, label_noise=0.07, seed=seed)
+
+
+def covtype_like(n: int, seed=None) -> Tuple[np.ndarray, np.ndarray]:
+    """COVTYPE-like dataset: 54 features, one-vs-all against cover type 3."""
+    X, ids = clustered_manifold(n, DATASET_DIMENSIONS["covtype"], n_clusters=14,
+                                intrinsic_dim=5, separation=3.5, noise=0.35,
+                                seed=seed)
+    y = _one_vs_all_from_clusters(ids, n_classes=7, target_class=3)
+    return X, y
+
+
+def gas_like(n: int, seed=None) -> Tuple[np.ndarray, np.ndarray]:
+    """GAS-like dataset: 128 chemical-sensor features, one-vs-all gas 5.
+
+    The real GAS dataset has very low intrinsic dimension relative to its
+    128 sensors (highly correlated sensor responses), which is why its
+    kernel matrix compresses extremely well in the paper (Table 2's
+    smallest memory footprints); intrinsic_dim is kept small accordingly.
+    """
+    X, ids = clustered_manifold(n, DATASET_DIMENSIONS["gas"], n_clusters=12,
+                                intrinsic_dim=4, separation=4.0, noise=0.25,
+                                seed=seed)
+    y = _one_vs_all_from_clusters(ids, n_classes=6, target_class=5)
+    return X, y
+
+
+def letter_like(n: int, seed=None) -> Tuple[np.ndarray, np.ndarray]:
+    """LETTER-like dataset: 16 features, one-vs-all against letter 'A' (class 0)."""
+    X, ids = clustered_manifold(n, DATASET_DIMENSIONS["letter"], n_clusters=26,
+                                intrinsic_dim=5, separation=3.5, noise=0.3,
+                                seed=seed)
+    y = _one_vs_all_from_clusters(ids, n_classes=26, target_class=0)
+    return X, y
+
+
+def pen_like(n: int, seed=None) -> Tuple[np.ndarray, np.ndarray]:
+    """PEN-like dataset: 16 features (pen trajectory), one-vs-all digit 5."""
+    X, ids = clustered_manifold(n, DATASET_DIMENSIONS["pen"], n_clusters=20,
+                                intrinsic_dim=4, separation=3.5, noise=0.3,
+                                seed=seed)
+    y = _one_vs_all_from_clusters(ids, n_classes=10, target_class=5)
+    return X, y
+
+
+def mnist_like(n: int, seed=None, ambient_dim: int = None) -> Tuple[np.ndarray, np.ndarray]:
+    """MNIST-like dataset: 784 features, one-vs-all digit 5.
+
+    Handwritten-digit images live near a low-dimensional manifold inside
+    the 784-dimensional pixel space; we mimic that with 10 digit clusters
+    of intrinsic dimension ~10 embedded in the full pixel dimension.  The
+    ambient dimension can be reduced (``ambient_dim``) for quick tests.
+    """
+    d = DATASET_DIMENSIONS["mnist"] if ambient_dim is None else int(ambient_dim)
+    X, ids = clustered_manifold(n, d, n_clusters=10, intrinsic_dim=10,
+                                separation=5.0, noise=0.2, seed=seed)
+    y = _one_vs_all_from_clusters(ids, n_classes=10, target_class=5)
+    return X, y

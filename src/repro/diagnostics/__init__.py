@@ -1,0 +1,27 @@
+"""Diagnostics: singular-value spectra, effective ranks, experiment tables.
+
+These tools produce the quantities behind the paper's motivating Figure 1
+and Table 1 (singular values / effective ranks of kernel off-diagonal
+blocks with and without clustering) and the tabular report formatting used
+throughout the benchmark harness.
+"""
+
+from .spectra import (
+    offdiagonal_block,
+    offdiagonal_singular_values,
+    full_singular_values,
+    spectrum_sweep,
+)
+from .ranks import effective_rank_table, block_effective_rank
+from .report import Table, format_table
+
+__all__ = [
+    "offdiagonal_block",
+    "offdiagonal_singular_values",
+    "full_singular_values",
+    "spectrum_sweep",
+    "effective_rank_table",
+    "block_effective_rank",
+    "Table",
+    "format_table",
+]

@@ -1,0 +1,78 @@
+"""Minimal tabular report formatting for the experiment harness.
+
+The benchmark scripts print tables that mirror the paper's tables row by
+row; this module renders lists of dictionaries as aligned plain-text tables
+without pulling in any external dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A named table built from dictionary rows."""
+
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    columns: Optional[Sequence[str]] = None
+
+    def add_row(self, **values: object) -> None:
+        """Append one row given as keyword arguments."""
+        self.rows.append(dict(values))
+
+    def column_names(self) -> List[str]:
+        """Explicit column order if given, otherwise first-seen order."""
+        if self.columns is not None:
+            return list(self.columns)
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        return format_table(self.rows, title=self.title, columns=self.columns)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "",
+                 columns: Optional[Sequence[str]] = None) -> str:
+    """Format dictionary rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(empty table)" if title else "(empty table)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    columns = list(columns)
+    rendered = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Figure 8: strong scaling of the factorization phase, 32 to 1,024 cores.
+
+The paper shows the wall-clock time of the ULV factorization of the
+compressed kernel matrix for four large datasets (MNIST 1.6M / d=784,
+COVTYPE 0.5M / d=54, HEPMASS 1.0M / d=27, SUSY 4.5M / d=8) as the core
+count grows from 32 to 1,024.  The curves are near-linear at first and
+flatten at high core counts ("the number of degrees of freedom per core
+decreases dramatically, while communication time starts to dominate"), and
+datasets with larger dimension (larger HSS ranks) take longer in absolute
+terms even when they have fewer points (MNIST above SUSY).
+
+This experiment builds the HSS matrix for each dataset at a reduced N,
+derives its per-level work profile, and sweeps the core count through the
+distributed cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import HSSOptions
+from ..clustering.api import cluster
+from ..datasets import load_dataset
+from ..diagnostics.report import Table
+from ..hss.build_random import build_hss_randomized
+from ..kernels.gaussian import GaussianKernel
+from ..kernels.operator import ShiftedKernelOperator
+from ..parallel.strong_scaling import StrongScalingPoint, simulate_strong_scaling
+from ..parallel.work_model import estimate_hss_work
+
+
+@dataclass
+class Fig8Curve:
+    """One dataset's strong-scaling curve."""
+
+    dataset: str
+    n: int
+    dim: int
+    max_rank: int
+    points: List[StrongScalingPoint] = field(default_factory=list)
+
+    def factorization_times(self) -> Dict[int, float]:
+        return {pt.cores: pt.factorization_time for pt in self.points}
+
+    def speedup(self) -> Dict[int, float]:
+        base = self.points[0]
+        return {pt.cores: base.factorization_time / pt.factorization_time
+                for pt in self.points}
+
+
+@dataclass
+class Fig8Result:
+    core_counts: Sequence[int]
+    curves: List[Fig8Curve] = field(default_factory=list)
+
+    def table(self) -> Table:
+        table = Table(title="Figure 8 — modelled strong scaling of the ULV "
+                            "factorization (seconds)")
+        for curve in self.curves:
+            row: Dict[str, object] = {
+                "dataset": curve.dataset.upper(),
+                "N": curve.n,
+                "d": curve.dim,
+                "max_rank": curve.max_rank,
+            }
+            for pt in curve.points:
+                row[f"{pt.cores} cores"] = f"{pt.factorization_time:.3g}"
+            table.rows.append(row)
+        return table
+
+
+def run_fig8_strong_scaling(
+    datasets: Sequence[str] = ("mnist", "covtype", "hepmass", "susy"),
+    n_train: int = 4096,
+    core_counts: Sequence[int] = (32, 64, 128, 256, 512, 1024),
+    hss_options: Optional[HSSOptions] = None,
+    seed: int = 0,
+    mnist_ambient_dim: Optional[int] = 196,
+) -> Fig8Result:
+    """Build each dataset's HSS matrix and model its factorization scaling."""
+    opts = hss_options if hss_options is not None else HSSOptions()
+    result = Fig8Result(core_counts=tuple(int(c) for c in core_counts))
+    for idx, name in enumerate(datasets):
+        kwargs = {}
+        if name == "mnist" and mnist_ambient_dim is not None:
+            kwargs["ambient_dim"] = int(mnist_ambient_dim)
+        data = load_dataset(name, n_train=n_train, n_test=64, seed=seed + idx,
+                            **kwargs)
+        clustering = cluster(data.X_train, method="two_means",
+                             leaf_size=opts.leaf_size, seed=seed)
+        operator = ShiftedKernelOperator(clustering.X, GaussianKernel(h=data.h),
+                                         data.lam)
+        hss, stats = build_hss_randomized(operator, clustering.tree, options=opts,
+                                          rng=seed)
+        work = estimate_hss_work(hss, n_random=stats.random_vectors)
+        points = simulate_strong_scaling(work, core_counts=core_counts)
+        result.curves.append(Fig8Curve(
+            dataset=name, n=hss.n, dim=data.dim,
+            max_rank=hss.max_rank, points=points))
+    return result

@@ -1,0 +1,154 @@
+"""Axis-aligned bounding boxes of cluster-tree nodes.
+
+Strong admissibility needs two geometric quantities per cluster: its
+diameter and its distance to another cluster.  We use axis-aligned bounding
+boxes, the standard choice in H-matrix codes: diameters and box-to-box
+distances are cheap (O(d)) and conservative (box diameter >= point-set
+diameter, box distance <= point-set distance), so admissibility decisions
+made with boxes are never *less* safe than with exact point sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..clustering.tree import ClusterTree
+from ..utils.validation import check_array_2d
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box of a point set."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        lower = np.asarray(self.lower, dtype=np.float64)
+        upper = np.asarray(self.upper, dtype=np.float64)
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ValueError("lower and upper must be 1-D arrays of equal length")
+        if np.any(upper < lower):
+            raise ValueError("upper must be >= lower componentwise")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "BoundingBox":
+        """Bounding box of a set of points (rows)."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty 2-D array")
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    @property
+    def diameter(self) -> float:
+        """Euclidean length of the box diagonal."""
+        return float(np.linalg.norm(self.upper - self.lower))
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lower + self.upper)
+
+    def distance(self, other: "BoundingBox") -> float:
+        """Euclidean distance between two boxes (0 if they overlap)."""
+        gap = np.maximum(
+            np.maximum(self.lower - other.upper, other.lower - self.upper), 0.0)
+        return float(np.linalg.norm(gap))
+
+
+@dataclass(frozen=True)
+class ClusterGeometry:
+    """Geometric summary of a cluster: bounding box, centroid and RMS radius.
+
+    The bounding box drives the textbook strong admissibility condition;
+    the centroid / RMS radius pair drives the less conservative
+    "centroid" criterion that practical kernel H-matrix codes use in high
+    dimensions, where axis-aligned boxes of distinct clusters almost always
+    overlap even though the clusters themselves are well separated.
+    """
+
+    box: BoundingBox
+    centroid: np.ndarray
+    radius: float
+    size: int
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "ClusterGeometry":
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty 2-D array")
+        centroid = points.mean(axis=0)
+        diffs = points - centroid
+        radius = float(np.sqrt(np.einsum("ij,ij->i", diffs, diffs).mean()))
+        return cls(box=BoundingBox.of_points(points), centroid=centroid,
+                   radius=radius, size=points.shape[0])
+
+    @classmethod
+    def merge(cls, a: "ClusterGeometry", b: "ClusterGeometry") -> "ClusterGeometry":
+        """Geometry of the union of two clusters (exact box, exact centroid,
+        radius merged with the parallel-axis rule)."""
+        box = BoundingBox(np.minimum(a.box.lower, b.box.lower),
+                          np.maximum(a.box.upper, b.box.upper))
+        total = a.size + b.size
+        centroid = (a.size * a.centroid + b.size * b.centroid) / total
+        # mean squared distance to the new centroid, via the parallel axis rule
+        da = float(np.dot(a.centroid - centroid, a.centroid - centroid))
+        db = float(np.dot(b.centroid - centroid, b.centroid - centroid))
+        msq = (a.size * (a.radius ** 2 + da) + b.size * (b.radius ** 2 + db)) / total
+        return cls(box=box, centroid=centroid, radius=float(np.sqrt(msq)), size=total)
+
+    def centroid_distance(self, other: "ClusterGeometry") -> float:
+        return float(np.linalg.norm(self.centroid - other.centroid))
+
+
+def cluster_geometries(X_permuted: np.ndarray, tree: ClusterTree) -> Dict[int, ClusterGeometry]:
+    """Geometric summaries of every cluster-tree node (bottom-up, O(n log n))."""
+    X_permuted = check_array_2d(X_permuted, "X_permuted")
+    if X_permuted.shape[0] != tree.n:
+        raise ValueError(
+            f"X has {X_permuted.shape[0]} rows but the tree covers {tree.n} points")
+    geoms: Dict[int, ClusterGeometry] = {}
+    for node_id in tree.postorder():
+        nd = tree.node(node_id)
+        if nd.is_leaf:
+            geoms[node_id] = ClusterGeometry.of_points(X_permuted[nd.start:nd.stop])
+        else:
+            geoms[node_id] = ClusterGeometry.merge(geoms[nd.left], geoms[nd.right])
+    return geoms
+
+
+def cluster_bounding_boxes(X_permuted: np.ndarray, tree: ClusterTree) -> Dict[int, BoundingBox]:
+    """Bounding boxes of every cluster-tree node.
+
+    Parameters
+    ----------
+    X_permuted:
+        Data points *already in the permuted ordering* of ``tree`` (i.e.
+        ``X_original[tree.perm]``), so node ranges slice it directly.
+    tree:
+        The cluster tree.
+
+    Returns
+    -------
+    dict
+        Mapping node id -> :class:`BoundingBox`.  Computed bottom-up so
+        every point is touched only once per tree level.
+    """
+    X_permuted = check_array_2d(X_permuted, "X_permuted")
+    if X_permuted.shape[0] != tree.n:
+        raise ValueError(
+            f"X has {X_permuted.shape[0]} rows but the tree covers {tree.n} points")
+    boxes: Dict[int, BoundingBox] = {}
+    for node_id in tree.postorder():
+        nd = tree.node(node_id)
+        if nd.is_leaf:
+            boxes[node_id] = BoundingBox.of_points(X_permuted[nd.start:nd.stop])
+        else:
+            b1, b2 = boxes[nd.left], boxes[nd.right]
+            boxes[node_id] = BoundingBox(np.minimum(b1.lower, b2.lower),
+                                         np.maximum(b1.upper, b2.upper))
+    return boxes

@@ -1,0 +1,307 @@
+"""Randomized (partially matrix-free) HSS construction.
+
+This is the STRUMPACK-style construction the paper relies on
+(Section 1.1 / 3.1): the input matrix is only accessed through
+
+* a black-box product ``A @ R`` (and ``A.T @ R``) with a block of random
+  vectors — the *sampling* phase, and
+* extraction of selected entries — used for the diagonal blocks ``D_i`` and
+  the coupling blocks ``B_ij`` at the skeleton rows/columns.
+
+The algorithm is the one of Martinsson (2011): walk the cluster tree bottom
+up; at every node form the *local sample* of its off-diagonal block row by
+subtracting the already-known diagonal contribution from the global sample,
+compress it with a row interpolative decomposition, and propagate both the
+selected skeleton rows and the compressed random blocks to the parent.
+
+Adaptivity: if any node's interpolation rank comes within ``oversampling``
+columns of the number of random vectors, the sample is considered
+insufficient, the number of random vectors is increased by
+``sample_increment`` and the construction is restarted (STRUMPACK grows the
+sample incrementally; a restart has the same asymptotic cost profile and is
+simpler to reason about).
+
+The sampling operator can be the exact kernel operator (cost ``O(n^2)`` per
+sweep, the paper's bottleneck) or the H-matrix accelerated sampler
+(:class:`repro.hmatrix.HMatrixSampler`), which is the paper's main
+performance contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..clustering.tree import ClusterTree
+from ..config import HSSOptions
+from ..lowrank.interpolative import row_id
+from ..utils.random import as_generator
+from ..utils.timing import TimingLog
+from .generators import HSSNodeData
+from .hss_matrix import HSSMatrix
+
+
+@dataclass
+class SamplingStats:
+    """Bookkeeping of the randomized construction.
+
+    Attributes
+    ----------
+    random_vectors:
+        Final number of random vectors used (STRUMPACK's adaptive ``d``).
+    rounds:
+        Number of adaptive restart rounds (1 = no restart needed).
+    sample_time:
+        Seconds spent in the black-box product ``A @ R`` (the paper's
+        "Sampling" row of Table 4).
+    other_time:
+        Seconds spent in everything else (IDs, element extraction, tree
+        bookkeeping) — the paper's "Other" row.
+    element_evaluations:
+        Number of matrix entries extracted through the element interface.
+    """
+
+    random_vectors: int = 0
+    rounds: int = 0
+    sample_time: float = 0.0
+    other_time: float = 0.0
+    element_evaluations: int = 0
+
+    @property
+    def construction_time(self) -> float:
+        """Total HSS construction time (sampling + other)."""
+        return self.sample_time + self.other_time
+
+
+class _SaturatedSample(Exception):
+    """Raised internally when the random sample is too small for a node."""
+
+
+def _compress_node(
+    sample_loc: np.ndarray,
+    opts: HSSOptions,
+    n_random: int,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Row-ID compress a local sample; raise if the sample looks saturated."""
+    rid = row_id(sample_loc, rel_tol=opts.rel_tol, abs_tol=opts.abs_tol,
+                 max_rank=opts.max_rank)
+    saturated = rid.rank >= min(sample_loc.shape[0], n_random) - opts.oversampling
+    rank_capped = opts.max_rank is not None and rid.rank >= opts.max_rank
+    sample_limited = rid.rank >= n_random - opts.oversampling
+    if sample_limited and not rank_capped and sample_loc.shape[0] > rid.rank:
+        # The detected rank is limited by the number of random vectors rather
+        # than by the block itself: ask for a bigger sample.
+        raise _SaturatedSample()
+    del saturated
+    return rid.interp, rid.skeleton, rid.rank
+
+
+def build_hss_randomized(
+    operator,
+    tree: ClusterTree,
+    options: Optional[HSSOptions] = None,
+    rng=None,
+    timing: Optional[TimingLog] = None,
+) -> Tuple[HSSMatrix, SamplingStats]:
+    """Build an HSS approximation of ``operator`` using randomized sampling.
+
+    Parameters
+    ----------
+    operator:
+        Any object exposing the partially matrix-free interface:
+        ``matmat(V)``, ``rmatmat(V)`` (ignored when ``options.symmetric``),
+        ``block(rows, cols)`` and the ``n`` / ``shape`` attributes.  The
+        operator must represent the matrix **in the permuted ordering** of
+        ``tree`` (build it from the reordered points).
+    tree:
+        Cluster tree defining the HSS partition.
+    options:
+        :class:`repro.config.HSSOptions`.
+    rng:
+        Seed or generator for the random sample.
+    timing:
+        Optional :class:`repro.utils.TimingLog`; phases ``hss_sampling`` and
+        ``hss_other`` are accumulated into it.
+
+    Returns
+    -------
+    (HSSMatrix, SamplingStats)
+    """
+    opts = options if options is not None else HSSOptions()
+    rng = as_generator(rng)
+    log = timing if timing is not None else TimingLog()
+    n = operator.n if hasattr(operator, "n") else operator.shape[0]
+    if tree.n != n:
+        raise ValueError(f"tree covers {tree.n} points but operator has dimension {n}")
+
+    n_random = min(max(opts.initial_samples, 2 * opts.oversampling + 2), n)
+    stats = SamplingStats()
+    start_elements = getattr(operator, "element_evaluations", 0)
+
+    for round_idx in range(opts.max_adaptive_rounds):
+        stats.rounds = round_idx + 1
+        stats.random_vectors = n_random
+        try:
+            hss = _attempt_build(operator, tree, opts, rng, n_random, log, stats)
+            stats.element_evaluations = getattr(operator, "element_evaluations",
+                                                0) - start_elements
+            log.add("hss_sampling", 0.0)
+            return hss, stats
+        except _SaturatedSample:
+            if n_random >= n:
+                # Cannot enlarge further: accept whatever rank the full
+                # sample gives by disabling the saturation check.
+                hss = _attempt_build(operator, tree, opts, rng, n_random, log,
+                                     stats, allow_saturated=True)
+                stats.element_evaluations = getattr(operator, "element_evaluations",
+                                                    0) - start_elements
+                return hss, stats
+            # Grow the sample geometrically (like STRUMPACK's doubling) so a
+            # high-rank problem is reached in O(log n) restart rounds; an
+            # additive increment would need too many rounds and could leave
+            # the compression short of its tolerance.
+            n_random = min(max(2 * n_random,
+                               n_random + opts.sample_increment), n)
+    # Final attempt with the saturation check disabled.
+    hss = _attempt_build(operator, tree, opts, rng, n_random, log, stats,
+                         allow_saturated=True)
+    stats.element_evaluations = getattr(operator, "element_evaluations",
+                                        0) - start_elements
+    return hss, stats
+
+
+def _attempt_build(
+    operator,
+    tree: ClusterTree,
+    opts: HSSOptions,
+    rng: np.random.Generator,
+    n_random: int,
+    log: TimingLog,
+    stats: SamplingStats,
+    allow_saturated: bool = False,
+) -> HSSMatrix:
+    """One construction pass with a fixed number of random vectors."""
+    import time
+
+    n = tree.n
+    symmetric = opts.symmetric
+
+    t0 = time.perf_counter()
+    R = rng.standard_normal((n, n_random))
+    S = np.asarray(operator.matmat(R), dtype=np.float64)
+    if symmetric:
+        St = S
+    else:
+        St = np.asarray(operator.rmatmat(R), dtype=np.float64)
+    sample_seconds = time.perf_counter() - t0
+    stats.sample_time += sample_seconds
+    log.add("hss_sampling", sample_seconds)
+
+    t1 = time.perf_counter()
+    node_data: List[HSSNodeData] = [HSSNodeData() for _ in range(tree.n_nodes)]
+    # Per-node compressed random blocks:
+    #   Rcol[i] = V_i^(full)^T R(I_i, :)   (needed by the parent's row sample)
+    #   Rrow[i] = U_i^(full)^T R(I_i, :)   (needed by the parent's column sample)
+    Rcol: Dict[int, np.ndarray] = {}
+    Rrow: Dict[int, np.ndarray] = {}
+    # Per-node local samples restricted to the skeleton rows.
+    Srow: Dict[int, np.ndarray] = {}
+    Scol: Dict[int, np.ndarray] = {}
+
+    def compress(sample_loc: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        if allow_saturated:
+            rid = row_id(sample_loc, rel_tol=opts.rel_tol, abs_tol=opts.abs_tol,
+                         max_rank=opts.max_rank)
+            return rid.interp, rid.skeleton, rid.rank
+        return _compress_node(sample_loc, opts, n_random)
+
+    try:
+        for node_id in tree.postorder():
+            nd = tree.node(node_id)
+            data = node_data[node_id]
+
+            if nd.is_leaf:
+                rows = np.arange(nd.start, nd.stop, dtype=np.intp)
+                data.D = np.asarray(operator.block(rows, rows), dtype=np.float64)
+                if node_id == tree.root:
+                    data.U = np.zeros((nd.size, 0))
+                    data.V = np.zeros((nd.size, 0))
+                    data.row_skeleton = rows[:0]
+                    data.col_skeleton = rows[:0]
+                    continue
+                Ri = R[nd.start:nd.stop]
+                sample_row = S[nd.start:nd.stop] - data.D @ Ri
+                interp, skel, _ = compress(sample_row)
+                data.U = interp
+                data.row_skeleton = rows[skel]
+                Srow[node_id] = sample_row[skel]
+                if symmetric:
+                    data.V = interp.copy()
+                    data.col_skeleton = data.row_skeleton.copy()
+                    Scol[node_id] = Srow[node_id]
+                else:
+                    sample_col = St[nd.start:nd.stop] - data.D.T @ Ri
+                    interp_c, skel_c, _ = compress(sample_col)
+                    data.V = interp_c
+                    data.col_skeleton = rows[skel_c]
+                    Scol[node_id] = sample_col[skel_c]
+                Rcol[node_id] = data.V.T @ Ri
+                Rrow[node_id] = data.U.T @ Ri
+                continue
+
+            # ---------------- internal node
+            c1, c2 = nd.left, nd.right
+            d1, d2 = node_data[c1], node_data[c2]
+            data.B12 = np.asarray(
+                operator.block(d1.row_skeleton, d2.col_skeleton), dtype=np.float64)
+            if symmetric:
+                data.B21 = data.B12.T.copy()
+            else:
+                data.B21 = np.asarray(
+                    operator.block(d2.row_skeleton, d1.col_skeleton), dtype=np.float64)
+
+            if node_id == tree.root:
+                data.row_skeleton = np.zeros(0, dtype=np.intp)
+                data.col_skeleton = np.zeros(0, dtype=np.intp)
+                continue
+
+            sample_row = np.vstack([
+                Srow[c1] - data.B12 @ Rcol[c2],
+                Srow[c2] - data.B21 @ Rcol[c1],
+            ])
+            interp, skel, _ = compress(sample_row)
+            data.U = interp
+            merged_rows = np.concatenate([d1.row_skeleton, d2.row_skeleton])
+            data.row_skeleton = merged_rows[skel]
+            Srow[node_id] = sample_row[skel]
+
+            if symmetric:
+                data.V = interp.copy()
+                data.col_skeleton = data.row_skeleton.copy()
+                Scol[node_id] = Srow[node_id]
+            else:
+                sample_col = np.vstack([
+                    Scol[c1] - data.B21.T @ Rrow[c2],
+                    Scol[c2] - data.B12.T @ Rrow[c1],
+                ])
+                interp_c, skel_c, _ = compress(sample_col)
+                data.V = interp_c
+                merged_cols = np.concatenate([d1.col_skeleton, d2.col_skeleton])
+                data.col_skeleton = merged_cols[skel_c]
+                Scol[node_id] = sample_col[skel_c]
+
+            Rcol[node_id] = data.V.T @ np.vstack([Rcol[c1], Rcol[c2]])
+            Rrow[node_id] = data.U.T @ np.vstack([Rrow[c1], Rrow[c2]])
+
+            # Children's working arrays are no longer needed.
+            for cache in (Srow, Scol, Rcol, Rrow):
+                cache.pop(c1, None)
+                cache.pop(c2, None)
+    finally:
+        other_seconds = time.perf_counter() - t1
+        stats.other_time += other_seconds
+        log.add("hss_other", other_seconds)
+
+    return HSSMatrix(tree, node_data)

@@ -1,0 +1,298 @@
+"""The compressed HSS matrix: storage, matvec, reconstruction, statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..clustering.tree import ClusterTree
+from .generators import HSSNodeData
+from .memory import HSSStatistics
+
+
+class HSSMatrix:
+    """A matrix stored in Hierarchically Semi-Separable form.
+
+    The partition is given by a :class:`repro.clustering.ClusterTree` whose
+    index ranges refer to the *permuted* ordering; the HSS matrix therefore
+    represents the permuted matrix ``A_perm = A[perm][:, perm]``.  All
+    operations (``matvec``, ``solve`` through
+    :class:`repro.hss.ULVFactorization`) work in the permuted ordering; the
+    KRR pipeline keeps its data permuted throughout so no back-and-forth
+    mapping is needed until prediction time.
+
+    Parameters
+    ----------
+    tree:
+        Cluster tree defining the hierarchical partition.
+    node_data:
+        One :class:`HSSNodeData` per cluster-tree node (same indexing).
+    """
+
+    def __init__(self, tree: ClusterTree, node_data: List[HSSNodeData]):
+        if len(node_data) != tree.n_nodes:
+            raise ValueError(
+                f"expected {tree.n_nodes} node data entries, got {len(node_data)}")
+        self.tree = tree
+        self.node_data = node_data
+        self._validate()
+
+    # ------------------------------------------------------------ validation
+    def _validate(self) -> None:
+        for node_id in self.tree.postorder():
+            nd = self.tree.node(node_id)
+            data = self.node_data[node_id]
+            if nd.is_leaf:
+                if data.D is None:
+                    raise ValueError(f"leaf node {node_id} is missing its D block")
+                if data.D.shape != (nd.size, nd.size):
+                    raise ValueError(
+                        f"leaf node {node_id} D block has shape {data.D.shape}, "
+                        f"expected {(nd.size, nd.size)}")
+            else:
+                c1, c2 = nd.left, nd.right
+                d1, d2 = self.node_data[c1], self.node_data[c2]
+                if data.B12 is None or data.B21 is None:
+                    raise ValueError(f"internal node {node_id} is missing B blocks")
+                if data.B12.shape != (d1.row_rank, d2.col_rank):
+                    raise ValueError(
+                        f"node {node_id} B12 has shape {data.B12.shape}, expected "
+                        f"{(d1.row_rank, d2.col_rank)}")
+                if data.B21.shape != (d2.row_rank, d1.col_rank):
+                    raise ValueError(
+                        f"node {node_id} B21 has shape {data.B21.shape}, expected "
+                        f"{(d2.row_rank, d1.col_rank)}")
+                if node_id != self.tree.root:
+                    if data.U is None or data.V is None:
+                        raise ValueError(
+                            f"internal non-root node {node_id} is missing transfer matrices")
+                    if data.U.shape[0] != d1.row_rank + d2.row_rank:
+                        raise ValueError(
+                            f"node {node_id} U transfer has {data.U.shape[0]} rows, "
+                            f"expected {d1.row_rank + d2.row_rank}")
+                    if data.V.shape[0] != d1.col_rank + d2.col_rank:
+                        raise ValueError(
+                            f"node {node_id} V transfer has {data.V.shape[0]} rows, "
+                            f"expected {d1.col_rank + d2.col_rank}")
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def shape(self) -> tuple:
+        return (self.tree.n, self.tree.n)
+
+    @property
+    def n(self) -> int:
+        return self.tree.n
+
+    def statistics(self) -> HSSStatistics:
+        """Memory / rank statistics of the compressed representation."""
+        return HSSStatistics.from_hss(self)
+
+    @property
+    def max_rank(self) -> int:
+        """Largest off-diagonal rank in the structure (paper's "Maximum rank")."""
+        return max((d.rank for d in self.node_data), default=0)
+
+    @property
+    def nbytes(self) -> int:
+        """Total memory of all generators in bytes."""
+        return sum(d.nbytes for d in self.node_data)
+
+    # --------------------------------------------------------------- products
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``A_perm @ x`` in ``O(n r)`` operations."""
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        X = x[:, None] if single else x
+        if X.shape[0] != self.n:
+            raise ValueError(f"x has {X.shape[0]} rows, expected {self.n}")
+        Y = self._matmat(X)
+        return Y.ravel() if single else Y
+
+    def _matmat(self, X: np.ndarray) -> np.ndarray:
+        tree = self.tree
+        data = self.node_data
+        # --- up sweep: compressed products xt_i = V_i^(full)^T x(I_i)
+        xt: Dict[int, np.ndarray] = {}
+        for node_id in tree.postorder():
+            nd = tree.node(node_id)
+            d = data[node_id]
+            if nd.is_leaf:
+                if d.V is not None and d.V.shape[1] > 0:
+                    xt[node_id] = d.V.T @ X[nd.start:nd.stop]
+                else:
+                    xt[node_id] = np.zeros((0, X.shape[1]))
+            else:
+                stacked = np.vstack([xt[nd.left], xt[nd.right]])
+                if node_id == tree.root or d.V is None:
+                    xt[node_id] = stacked  # not used further
+                else:
+                    xt[node_id] = d.V.T @ stacked
+
+        # --- down sweep: f_i vectors in the row-basis space of each node
+        Y = np.zeros((self.n, X.shape[1]))
+        f: Dict[int, np.ndarray] = {}
+        order = list(tree.postorder())[::-1]  # parents before children
+        for node_id in order:
+            nd = tree.node(node_id)
+            d = data[node_id]
+            if nd.is_leaf:
+                Y[nd.start:nd.stop] = d.D @ X[nd.start:nd.stop]
+                fi = f.get(node_id)
+                if fi is not None and d.U is not None and d.U.shape[1] > 0:
+                    Y[nd.start:nd.stop] += d.U @ fi
+                continue
+            c1, c2 = nd.left, nd.right
+            d1, d2 = data[c1], data[c2]
+            f1 = d.B12 @ xt[c2] if d.B12 is not None else np.zeros((d1.row_rank, X.shape[1]))
+            f2 = d.B21 @ xt[c1] if d.B21 is not None else np.zeros((d2.row_rank, X.shape[1]))
+            fp = f.get(node_id)
+            if fp is not None and d.U is not None and d.U.shape[1] > 0:
+                prop = d.U @ fp
+                f1 = f1 + prop[:d1.row_rank]
+                f2 = f2 + prop[d1.row_rank:]
+            f[c1] = f1
+            f[c2] = f2
+        return Y
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``A_perm.T @ x`` (transpose matvec)."""
+        return self.transpose_matvec(x)
+
+    def transpose_matvec(self, x: np.ndarray) -> np.ndarray:
+        """Transpose mat-vec via the same sweeps with the roles of U/V swapped."""
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        X = x[:, None] if single else x
+        tree = self.tree
+        data = self.node_data
+        xt: Dict[int, np.ndarray] = {}
+        for node_id in tree.postorder():
+            nd = tree.node(node_id)
+            d = data[node_id]
+            if nd.is_leaf:
+                if d.U is not None and d.U.shape[1] > 0:
+                    xt[node_id] = d.U.T @ X[nd.start:nd.stop]
+                else:
+                    xt[node_id] = np.zeros((0, X.shape[1]))
+            else:
+                stacked = np.vstack([xt[nd.left], xt[nd.right]])
+                if node_id == tree.root or d.U is None:
+                    xt[node_id] = stacked
+                else:
+                    xt[node_id] = d.U.T @ stacked
+        Y = np.zeros((self.n, X.shape[1]))
+        f: Dict[int, np.ndarray] = {}
+        order = list(tree.postorder())[::-1]
+        for node_id in order:
+            nd = tree.node(node_id)
+            d = data[node_id]
+            if nd.is_leaf:
+                Y[nd.start:nd.stop] = d.D.T @ X[nd.start:nd.stop]
+                fi = f.get(node_id)
+                if fi is not None and d.V is not None and d.V.shape[1] > 0:
+                    Y[nd.start:nd.stop] += d.V @ fi
+                continue
+            c1, c2 = nd.left, nd.right
+            d1, d2 = data[c1], data[c2]
+            # (U_1 B12 V_2^T)^T = V_2 B12^T U_1^T contributes to block (2, 1)
+            f2 = d.B12.T @ xt[c1] if d.B12 is not None else np.zeros((d2.col_rank, X.shape[1]))
+            f1 = d.B21.T @ xt[c2] if d.B21 is not None else np.zeros((d1.col_rank, X.shape[1]))
+            fp = f.get(node_id)
+            if fp is not None and d.V is not None and d.V.shape[1] > 0:
+                prop = d.V @ fp
+                f1 = f1 + prop[:d1.col_rank]
+                f2 = f2 + prop[d1.col_rank:]
+            f[c1] = f1
+            f[c2] = f2
+        Y = Y if not single else Y.ravel()
+        return Y
+
+    # --------------------------------------------------------- diagonal shift
+    def shifted(self, delta: float) -> "HSSMatrix":
+        """Return a copy representing ``A + delta * I``.
+
+        Only the dense diagonal leaf blocks change; all bases and coupling
+        blocks are shared with the original matrix (no copy).  This is the
+        cheap-lambda-update the paper relies on for hyper-parameter tuning
+        (Section 5.3): "When the parameter lambda changes, we only need to
+        update the diagonal entries of the HSS matrix, and there is no need
+        to perform HSS construction again."  A new ULV factorization is
+        still required for the shifted matrix.
+        """
+        delta = float(delta)
+        new_data: List[HSSNodeData] = []
+        for node_id, data in enumerate(self.node_data):
+            nd = self.tree.node(node_id)
+            if nd.is_leaf and data.D is not None:
+                D = data.D.copy()
+                D[np.diag_indices_from(D)] += delta
+                new_data.append(HSSNodeData(
+                    D=D, U=data.U, V=data.V, B12=data.B12, B21=data.B21,
+                    row_skeleton=data.row_skeleton, col_skeleton=data.col_skeleton))
+            else:
+                new_data.append(data)
+        return HSSMatrix(self.tree, new_data)
+
+    # ----------------------------------------------------------- full bases
+    def full_bases(self) -> Dict[int, Dict[str, np.ndarray]]:
+        """Expand the nested bases into explicit ``U_i`` / ``V_i`` per node.
+
+        Only used for reconstruction and debugging — the whole point of the
+        nested-basis property is that these are never formed during normal
+        operation.
+        """
+        tree = self.tree
+        data = self.node_data
+        out: Dict[int, Dict[str, np.ndarray]] = {}
+        for node_id in tree.postorder():
+            nd = tree.node(node_id)
+            d = data[node_id]
+            if nd.is_leaf:
+                U = d.U if d.U is not None else np.zeros((nd.size, 0))
+                V = d.V if d.V is not None else np.zeros((nd.size, 0))
+                out[node_id] = {"U": U, "V": V}
+            else:
+                u1, v1 = out[nd.left]["U"], out[nd.left]["V"]
+                u2, v2 = out[nd.right]["U"], out[nd.right]["V"]
+                if node_id == tree.root or d.U is None:
+                    U = np.zeros((nd.size, 0))
+                    V = np.zeros((nd.size, 0))
+                else:
+                    blockU = np.zeros((nd.size, u1.shape[1] + u2.shape[1]))
+                    blockU[: tree.node(nd.left).size, : u1.shape[1]] = u1
+                    blockU[tree.node(nd.left).size:, u1.shape[1]:] = u2
+                    U = blockU @ d.U
+                    blockV = np.zeros((nd.size, v1.shape[1] + v2.shape[1]))
+                    blockV[: tree.node(nd.left).size, : v1.shape[1]] = v1
+                    blockV[tree.node(nd.left).size:, v1.shape[1]:] = v2
+                    V = blockV @ d.V
+                out[node_id] = {"U": U, "V": V}
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense (permuted) matrix. For testing / small n."""
+        tree = self.tree
+        data = self.node_data
+        bases = self.full_bases()
+        dense: Dict[int, np.ndarray] = {}
+        for node_id in tree.postorder():
+            nd = tree.node(node_id)
+            d = data[node_id]
+            if nd.is_leaf:
+                dense[node_id] = d.D.copy()
+                continue
+            c1, c2 = nd.left, nd.right
+            A11 = dense.pop(c1)
+            A22 = dense.pop(c2)
+            U1, V1 = bases[c1]["U"], bases[c1]["V"]
+            U2, V2 = bases[c2]["U"], bases[c2]["V"]
+            A12 = U1 @ d.B12 @ V2.T
+            A21 = U2 @ d.B21 @ V1.T
+            dense[node_id] = np.block([[A11, A12], [A21, A22]])
+        return dense[tree.root]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"HSSMatrix(n={self.n}, max_rank={self.max_rank}, "
+                f"memory={self.nbytes / 2**20:.2f} MB)")

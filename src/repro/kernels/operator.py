@@ -1,0 +1,220 @@
+"""Matrix-free kernel operators: the "partially matrix-free interface".
+
+The HSS construction in STRUMPACK needs two things from the matrix being
+compressed (Section 1.1 of the paper):
+
+1. a black-box matrix times (multiple) vector multiplication routine, used
+   by the randomized sampling phase, and
+2. access to selected elements of the matrix, used to form the diagonal
+   blocks ``D_i`` and the coupling blocks ``B_ij``.
+
+:class:`KernelOperator` provides exactly that interface for a kernel matrix
+defined by a point set and a radial kernel, without ever materialising the
+full ``n x n`` matrix.  :class:`DenseMatrixOperator` wraps an explicit dense
+matrix behind the same interface (used for testing and for the exact
+baseline), and :class:`ShiftedKernelOperator` adds the ridge shift
+``+ lambda I`` required by kernel ridge regression.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..utils.validation import check_array_2d, check_non_negative
+from .base import Kernel
+from .distance import blockwise_sq_dists
+
+
+class KernelOperator:
+    """Implicit representation of the kernel matrix of a point set.
+
+    Parameters
+    ----------
+    X:
+        Data points, shape ``(n, d)``.  The operator represents
+        ``K[i, j] = kernel(X[i], X[j])``.
+    kernel:
+        A :class:`repro.kernels.Kernel` instance.
+    block_size:
+        Row-block size used by the tiled matvec; bounds peak memory at
+        ``O(block_size * n)``.
+
+    Notes
+    -----
+    ``matmat`` cost is ``O(n^2 k / block)`` GEMM work.  For large ``n`` the
+    H-matrix sampler (:class:`repro.hmatrix.HMatrixSampler`) should be used
+    instead, which is the paper's main engineering contribution.
+    """
+
+    def __init__(self, X: np.ndarray, kernel: Kernel, block_size: int = 2048):
+        self.X = check_array_2d(X, "X")
+        self.kernel = kernel
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.block_size = int(block_size)
+        #: number of kernel element evaluations performed through ``block``
+        self.element_evaluations = 0
+        #: number of full matrix-vector style sweeps performed
+        self.matvec_sweeps = 0
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def shape(self) -> tuple:
+        n = self.X.shape[0]
+        return (n, n)
+
+    @property
+    def n(self) -> int:
+        """Number of data points (matrix dimension)."""
+        return self.X.shape[0]
+
+    @property
+    def dtype(self):
+        return np.dtype(np.float64)
+
+    # -------------------------------------------------------------- elements
+    def block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Extract the sub-block ``K[rows, cols]`` (element extraction)."""
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        self.element_evaluations += int(rows.size) * int(cols.size)
+        return self.kernel.block(self.X, rows, cols)
+
+    def diag(self) -> np.ndarray:
+        """Diagonal of the kernel matrix (all ones for normalized kernels)."""
+        return np.full(self.n, self.kernel.diagonal_value(), dtype=np.float64)
+
+    def element(self, i: int, j: int) -> float:
+        """Single entry ``K[i, j]``."""
+        return float(self.block(np.array([i]), np.array([j]))[0, 0])
+
+    # --------------------------------------------------------------- products
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """Compute ``K @ v`` for a single vector without forming ``K``."""
+        v = np.asarray(v, dtype=np.float64)
+        if v.ndim == 1:
+            return self.matmat(v[:, None]).ravel()
+        raise ValueError("matvec expects a 1-D vector; use matmat for blocks")
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        """Compute ``K.T @ v``; equal to :meth:`matvec` because K is symmetric."""
+        return self.matvec(v)
+
+    def matmat(self, V: np.ndarray) -> np.ndarray:
+        """Compute ``K @ V`` with a row-blocked sweep (``V`` is ``(n, k)``)."""
+        V = np.asarray(V, dtype=np.float64)
+        if V.ndim != 2 or V.shape[0] != self.n:
+            raise ValueError(f"V must have shape ({self.n}, k), got {V.shape}")
+        out = np.empty((self.n, V.shape[1]), dtype=np.float64)
+        for rows, sq in blockwise_sq_dists(self.X, block_size=self.block_size):
+            out[rows] = self.kernel._evaluate_sq(sq) @ V
+        self.matvec_sweeps += 1
+        return out
+
+    def rmatmat(self, V: np.ndarray) -> np.ndarray:
+        """Compute ``K.T @ V``; equal to :meth:`matmat` because K is symmetric."""
+        return self.matmat(V)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full kernel matrix (testing / small problems only)."""
+        return self.kernel.matrix(self.X)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(n={self.n}, d={self.X.shape[1]}, "
+                f"kernel={self.kernel!r})")
+
+
+class ShiftedKernelOperator(KernelOperator):
+    """Kernel operator with a diagonal ridge shift: ``K + lambda I``.
+
+    This is the matrix actually factored in Step 2 of Algorithm 1.  The
+    shift only affects the diagonal, so ``block`` adds ``lambda`` on entries
+    with equal row and column index and ``matmat`` adds ``lambda * V``.
+    """
+
+    def __init__(self, X: np.ndarray, kernel: Kernel, lam: float,
+                 block_size: int = 2048):
+        super().__init__(X, kernel, block_size=block_size)
+        self.lam = check_non_negative(lam, "lam")
+
+    def block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        B = super().block(rows, cols)
+        if self.lam != 0.0:
+            eq = rows[:, None] == cols[None, :]
+            if eq.any():
+                B = B + self.lam * eq
+        return B
+
+    def diag(self) -> np.ndarray:
+        return super().diag() + self.lam
+
+    def matmat(self, V: np.ndarray) -> np.ndarray:
+        return super().matmat(V) + self.lam * np.asarray(V, dtype=np.float64)
+
+    def to_dense(self) -> np.ndarray:
+        K = super().to_dense()
+        K[np.diag_indices_from(K)] += self.lam
+        return K
+
+
+class DenseMatrixOperator:
+    """Wrap an explicit dense matrix behind the partially matrix-free interface.
+
+    Useful for unit tests (compress an arbitrary matrix) and as the exact
+    baseline in the benchmark harness.
+    """
+
+    def __init__(self, A: np.ndarray):
+        A = np.ascontiguousarray(A, dtype=np.float64)
+        if A.ndim != 2 or A.shape[0] != A.shape[1]:
+            raise ValueError(f"A must be a square matrix, got shape {A.shape}")
+        self.A = A
+        self.element_evaluations = 0
+        self.matvec_sweeps = 0
+
+    @property
+    def shape(self) -> tuple:
+        return self.A.shape
+
+    @property
+    def n(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def dtype(self):
+        return self.A.dtype
+
+    def block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        self.element_evaluations += int(rows.size) * int(cols.size)
+        return self.A[np.ix_(rows, cols)]
+
+    def diag(self) -> np.ndarray:
+        return np.diag(self.A).copy()
+
+    def element(self, i: int, j: int) -> float:
+        return float(self.A[i, j])
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        self.matvec_sweeps += 1
+        return self.A @ np.asarray(v, dtype=np.float64)
+
+    def rmatvec(self, v: np.ndarray) -> np.ndarray:
+        self.matvec_sweeps += 1
+        return self.A.T @ np.asarray(v, dtype=np.float64)
+
+    def matmat(self, V: np.ndarray) -> np.ndarray:
+        self.matvec_sweeps += 1
+        return self.A @ np.asarray(V, dtype=np.float64)
+
+    def rmatmat(self, V: np.ndarray) -> np.ndarray:
+        self.matvec_sweeps += 1
+        return self.A.T @ np.asarray(V, dtype=np.float64)
+
+    def to_dense(self) -> np.ndarray:
+        return self.A.copy()

@@ -1,0 +1,53 @@
+"""Classification metrics.
+
+The paper's accuracy metric (Eq. (2.1)) is simply the fraction of correctly
+predicted test labels.  A confusion matrix and error rate are provided for
+the examples and for sanity checks on the one-vs-all multi-class setting
+(where accuracy "might differ significantly if one would predict some other
+class" — Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correctly predicted labels (Eq. (2.1) of the paper)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of empty label vectors")
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of mispredicted labels (``1 - accuracy``)."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Confusion matrix and the label values indexing it.
+
+    Returns
+    -------
+    (matrix, labels):
+        ``matrix[i, j]`` counts samples with true label ``labels[i]``
+        predicted as ``labels[j]``.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}")
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((labels.size, labels.size), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix, labels

@@ -1,0 +1,163 @@
+"""End-to-end KRR experiment pipeline.
+
+:class:`KRRPipeline` bundles the full Algorithm-1 workflow — clustering
+preprocessing, kernel construction, compressed factorization, training
+solve, prediction, evaluation — and reports exactly the quantities the
+paper's tables are built from: memory (MB), maximum rank, accuracy (%),
+and per-phase timings.  The benchmark harness (one module per table /
+figure in :mod:`repro.experiments`) is a thin layer over this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..config import ClusteringOptions, HMatrixOptions, HSSOptions
+from ..utils.timing import TimingLog
+from .classifier import KernelRidgeClassifier
+from .metrics import accuracy
+from .solvers import HSSSolver, KernelSystemSolver, make_solver
+
+
+@dataclass
+class PipelineReport:
+    """Everything the paper reports about one train/test run."""
+
+    dataset: str = ""
+    clustering: str = ""
+    solver: str = ""
+    h: float = 0.0
+    lam: float = 0.0
+    n_train: int = 0
+    n_test: int = 0
+    dim: int = 0
+    accuracy: float = 0.0
+    memory_mb: float = 0.0
+    hss_memory_mb: float = 0.0
+    hmatrix_memory_mb: float = 0.0
+    max_rank: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accuracy_percent(self) -> float:
+        """Accuracy in percent, as printed in the paper's tables."""
+        return 100.0 * self.accuracy
+
+    def phase(self, name: str) -> float:
+        return self.timings.get(name, 0.0)
+
+    def row(self) -> Dict[str, object]:
+        """Flat dictionary suitable for tabular printing / CSV export."""
+        out = {
+            "dataset": self.dataset,
+            "clustering": self.clustering,
+            "solver": self.solver,
+            "h": self.h,
+            "lambda": self.lam,
+            "n_train": self.n_train,
+            "n_test": self.n_test,
+            "dim": self.dim,
+            "accuracy_percent": round(self.accuracy_percent, 2),
+            "memory_mb": round(self.memory_mb, 3),
+            "max_rank": self.max_rank,
+        }
+        for name, sec in sorted(self.timings.items()):
+            out[f"time_{name}_s"] = round(sec, 4)
+        return out
+
+
+class KRRPipeline:
+    """Run the full KRR classification experiment on one dataset.
+
+    Parameters
+    ----------
+    h, lam:
+        Kernel bandwidth and ridge parameter.
+    clustering:
+        Ordering method name (``"natural"``, ``"two_means"``, ``"kd"``,
+        ``"pca"``, ...).
+    solver:
+        ``"dense"``, ``"hss"`` or ``"cg"``.
+    leaf_size:
+        Cluster-tree / HSS leaf size.
+    hss_options, hmatrix_options:
+        Compression options used when ``solver == "hss"``.
+    use_hmatrix_sampling:
+        Whether the HSS sampling goes through the H matrix (paper default).
+    seed:
+        Seed shared by all random components.
+    """
+
+    def __init__(
+        self,
+        h: float = 1.0,
+        lam: float = 1.0,
+        clustering: str = "two_means",
+        solver: str = "hss",
+        leaf_size: int = 16,
+        hss_options: Optional[HSSOptions] = None,
+        hmatrix_options: Optional[HMatrixOptions] = None,
+        use_hmatrix_sampling: bool = True,
+        seed=0,
+    ):
+        self.h = float(h)
+        self.lam = float(lam)
+        self.clustering = clustering
+        self.solver_name = solver
+        self.leaf_size = int(leaf_size)
+        self.hss_options = hss_options
+        self.hmatrix_options = hmatrix_options
+        self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
+        self.seed = seed
+        self.classifier_: Optional[KernelRidgeClassifier] = None
+
+    def _build_solver(self) -> Union[str, KernelSystemSolver]:
+        if self.solver_name == "hss":
+            return HSSSolver(hss_options=self.hss_options,
+                             hmatrix_options=self.hmatrix_options,
+                             use_hmatrix_sampling=self.use_hmatrix_sampling,
+                             seed=self.seed)
+        return make_solver(self.solver_name)
+
+    def run(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_test: np.ndarray,
+        y_test: np.ndarray,
+        dataset_name: str = "",
+    ) -> PipelineReport:
+        """Train, predict and evaluate; return the full report."""
+        log = TimingLog()
+        clf = KernelRidgeClassifier(
+            h=self.h, lam=self.lam, solver=self._build_solver(),
+            clustering=self.clustering, leaf_size=self.leaf_size, seed=self.seed)
+        with log.phase("train_total"):
+            clf.fit(X_train, y_train)
+        with log.phase("predict_total"):
+            y_pred = clf.predict(X_test)
+        acc = accuracy(np.asarray(y_test, dtype=np.float64), y_pred)
+        self.classifier_ = clf
+
+        report = PipelineReport(
+            dataset=dataset_name,
+            clustering=self.clustering,
+            solver=self.solver_name,
+            h=self.h,
+            lam=self.lam,
+            n_train=int(np.asarray(X_train).shape[0]),
+            n_test=int(np.asarray(X_test).shape[0]),
+            dim=int(np.asarray(X_train).shape[1]),
+            accuracy=acc,
+        )
+        solve_report = clf.report
+        report.memory_mb = solve_report.memory_mb
+        report.hss_memory_mb = solve_report.hss_memory_mb
+        report.hmatrix_memory_mb = solve_report.hmatrix_memory_mb
+        report.max_rank = solve_report.max_rank
+        report.timings = dict(solve_report.timings)
+        report.timings.update(log.as_dict())
+        return report

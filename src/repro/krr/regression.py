@@ -1,0 +1,114 @@
+"""Kernel ridge regression for real-valued targets.
+
+The paper is about classification, but the training stage (Step 2 of
+Algorithm 1) is identical for regression — only Step 4 (thresholding)
+disappears.  Having a regressor alongside the classifier lets the test
+suite check the solvers against analytic regression solutions and makes the
+library usable for the broader class of kernel methods mentioned in the
+introduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..clustering.api import ClusteringResult, cluster
+from ..config import ClusteringOptions
+from ..kernels.base import Kernel, get_kernel
+from ..kernels.distance import blockwise_sq_dists
+from ..utils.validation import (check_array_2d, check_non_negative,
+                                check_positive, check_same_dimension,
+                                check_vector)
+from .solvers import KernelSystemSolver, make_solver
+
+
+class KernelRidgeRegressor:
+    """Kernel ridge regression with interchangeable hierarchical solvers.
+
+    Parameters mirror :class:`repro.krr.KernelRidgeClassifier`; the target
+    vector ``y`` is real-valued.
+    """
+
+    def __init__(
+        self,
+        h: float = 1.0,
+        lam: float = 1.0,
+        solver: Union[str, KernelSystemSolver] = "hss",
+        clustering: Union[str, ClusteringOptions] = "two_means",
+        kernel: Union[str, Kernel, None] = None,
+        leaf_size: int = 16,
+        seed=0,
+        solver_options: Optional[dict] = None,
+    ):
+        self.h = check_positive(h, "h")
+        self.lam = check_non_negative(lam, "lam")
+        self.leaf_size = int(leaf_size)
+        self.seed = seed
+        if isinstance(kernel, Kernel):
+            self.kernel = kernel
+        elif kernel is None:
+            self.kernel = get_kernel("gaussian", h=self.h)
+        else:
+            self.kernel = get_kernel(kernel, h=self.h)
+        self._solver_spec = solver
+        self._solver_options = dict(solver_options or {})
+        self._clustering_spec = clustering
+        self.solver_: Optional[KernelSystemSolver] = None
+        self.clustering_: Optional[ClusteringResult] = None
+        self.weights_: Optional[np.ndarray] = None
+        self.X_train_: Optional[np.ndarray] = None
+
+    def _make_solver(self) -> KernelSystemSolver:
+        if isinstance(self._solver_spec, KernelSystemSolver):
+            return self._solver_spec
+        opts = dict(self._solver_options)
+        if str(self._solver_spec).lower() == "hss" and "seed" not in opts:
+            opts["seed"] = self.seed
+        return make_solver(self._solver_spec, **opts)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KernelRidgeRegressor":
+        """Fit the regressor on real-valued targets."""
+        X = check_array_2d(X, "X")
+        y = check_vector(y, "y", length=X.shape[0])
+        if isinstance(self._clustering_spec, ClusteringOptions):
+            self.clustering_ = cluster(X, options=self._clustering_spec)
+        else:
+            self.clustering_ = cluster(X, method=self._clustering_spec,
+                                       leaf_size=self.leaf_size, seed=self.seed)
+        X_perm = self.clustering_.X
+        y_perm = self.clustering_.tree.permute_vector(y)
+        self.solver_ = self._make_solver()
+        self.solver_.fit(X_perm, self.clustering_.tree, self.kernel, self.lam)
+        self.weights_ = self.solver_.solve(y_perm)
+        self.X_train_ = X_perm
+        return self
+
+    def predict(self, X_test: np.ndarray, block_size: int = 1024) -> np.ndarray:
+        """Predicted real values for the test points."""
+        if self.weights_ is None:
+            raise RuntimeError("regressor must be fitted before predicting")
+        X_test = check_array_2d(X_test, "X_test")
+        check_same_dimension(X_test, self.X_train_, ("X_test", "X_train"))
+        out = np.empty(X_test.shape[0], dtype=np.float64)
+        for rows, sq in blockwise_sq_dists(X_test, self.X_train_, block_size=block_size):
+            out[rows] = self.kernel._evaluate_sq(sq) @ self.weights_
+        return out
+
+    def score(self, X_test: np.ndarray, y_test: np.ndarray) -> float:
+        """Coefficient of determination (R^2) on a test set."""
+        y_test = check_vector(y_test, "y_test")
+        pred = self.predict(X_test)
+        ss_res = float(np.sum((y_test - pred) ** 2))
+        ss_tot = float(np.sum((y_test - y_test.mean()) ** 2))
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+    @property
+    def report(self):
+        """The :class:`repro.krr.SolveReport` of the training solve."""
+        if self.solver_ is None:
+            raise RuntimeError("regressor must be fitted first")
+        return self.solver_.report

@@ -1,0 +1,277 @@
+"""Solvers for the KRR training system ``(K + lambda I) w = y``.
+
+Step 2 of Algorithm 1 is the only expensive step of kernel ridge
+regression, and the paper's observation is that it does not need many
+digits of accuracy — the weight vector only feeds a sign computation — so
+an approximate but fast solver (HSS + ULV) can replace the exact dense
+factorization.  Three interchangeable solvers are provided:
+
+* :class:`DenseSolver` — exact Cholesky factorization of the full kernel
+  matrix (the "not compressed" baseline of Table 2),
+* :class:`HSSSolver` — the paper's approach: HSS compression via adaptive
+  randomized sampling (optionally accelerated with an H matrix), ULV
+  factorization, triangular solves,
+* :class:`CGSolver` — matrix-free conjugate gradients on the exact kernel
+  operator, a common alternative baseline (and the "iterative solution"
+  the paper's conclusion mentions as future work for preconditioning).
+
+Every solver exposes the same three-phase interface: ``fit`` (build /
+compress / factor), ``solve`` (per right-hand side) and a
+:class:`SolveReport` with the phase timings, memory and rank statistics
+used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse.linalg
+
+from ..clustering.tree import ClusterTree
+from ..config import HMatrixOptions, HSSOptions
+from ..hmatrix.build import build_hmatrix
+from ..hmatrix.sampler import HMatrixSampler
+from ..hss.build_random import build_hss_randomized
+from ..hss.ulv import ULVFactorization
+from ..kernels.base import Kernel
+from ..kernels.operator import ShiftedKernelOperator
+from ..utils.bytes import megabytes
+from ..utils.timing import TimingLog
+from ..utils.validation import check_array_2d, check_non_negative
+
+
+@dataclass
+class SolveReport:
+    """Per-phase timings and compression statistics of one training solve."""
+
+    solver: str = ""
+    timings: Dict[str, float] = field(default_factory=dict)
+    memory_mb: float = 0.0
+    hss_memory_mb: float = 0.0
+    hmatrix_memory_mb: float = 0.0
+    max_rank: int = 0
+    random_vectors: int = 0
+    iterations: int = 0
+
+    def phase(self, name: str) -> float:
+        """Accumulated seconds of the named phase (0.0 if absent)."""
+        return self.timings.get(name, 0.0)
+
+    @property
+    def total_time(self) -> float:
+        return float(sum(self.timings.values()))
+
+
+class KernelSystemSolver(abc.ABC):
+    """Common interface of the training-system solvers."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.report = SolveReport(solver=self.name)
+        self._fitted = False
+
+    @abc.abstractmethod
+    def _fit_impl(self, X_permuted: np.ndarray, tree: Optional[ClusterTree],
+                  kernel: Kernel, lam: float) -> None:
+        """Build and factor the (approximate) kernel system."""
+
+    @abc.abstractmethod
+    def _solve_impl(self, y: np.ndarray) -> np.ndarray:
+        """Solve for one or more right-hand sides (permuted ordering)."""
+
+    def fit(self, X_permuted: np.ndarray, tree: Optional[ClusterTree],
+            kernel: Kernel, lam: float) -> "KernelSystemSolver":
+        """Prepare the factorization of ``K(X_permuted) + lam I``.
+
+        Parameters
+        ----------
+        X_permuted:
+            Training points, already reordered by the clustering step.
+        tree:
+            The cluster tree of the reordering (may be ``None`` for solvers
+            that do not need it, e.g. the dense baseline).
+        kernel:
+            Kernel function.
+        lam:
+            Ridge parameter.
+        """
+        X_permuted = check_array_2d(X_permuted, "X_permuted")
+        check_non_negative(lam, "lam")
+        self.report = SolveReport(solver=self.name)
+        self._fit_impl(X_permuted, tree, kernel, lam)
+        self._fitted = True
+        return self
+
+    def solve(self, y: np.ndarray) -> np.ndarray:
+        """Solve the fitted system for right-hand side(s) ``y``."""
+        if not self._fitted:
+            raise RuntimeError("solver must be fitted before calling solve()")
+        return self._solve_impl(np.asarray(y, dtype=np.float64))
+
+
+class DenseSolver(KernelSystemSolver):
+    """Exact dense Cholesky solver (the uncompressed baseline).
+
+    Memory is ``O(n^2)`` and factorization ``O(n^3)``; the paper uses this
+    as the accuracy reference ("this accuracy matches the accuracy we get
+    using the full non-compressed kernel matrix", Section 5.2).
+    """
+
+    name = "dense"
+
+    def _fit_impl(self, X_permuted, tree, kernel, lam) -> None:
+        log = TimingLog()
+        with log.phase("construction"):
+            K = kernel.matrix(X_permuted)
+            K[np.diag_indices_from(K)] += lam
+        with log.phase("factorization"):
+            self._cho = scipy.linalg.cho_factor(K, lower=True)
+        self.report.timings = log.as_dict()
+        self.report.memory_mb = megabytes(K.nbytes)
+
+    def _solve_impl(self, y: np.ndarray) -> np.ndarray:
+        log = TimingLog()
+        with log.phase("solve"):
+            w = scipy.linalg.cho_solve(self._cho, y)
+        for name, sec in log.as_dict().items():
+            self.report.timings[name] = self.report.timings.get(name, 0.0) + sec
+        return w
+
+
+class HSSSolver(KernelSystemSolver):
+    """HSS-compressed direct solver (the paper's method).
+
+    Parameters
+    ----------
+    hss_options:
+        Compression options (tolerance 0.1 by default, as in the paper).
+    use_hmatrix_sampling:
+        If ``True`` (default) an H matrix of the kernel is built first and
+        its fast matvec drives the randomized HSS sampling (Section 3.2);
+        if ``False`` the exact ``O(n^2)`` kernel product is used.
+    hmatrix_options:
+        Options of the auxiliary H matrix.
+    seed:
+        Seed of the random sampling.
+    """
+
+    name = "hss"
+
+    def __init__(self,
+                 hss_options: Optional[HSSOptions] = None,
+                 use_hmatrix_sampling: bool = True,
+                 hmatrix_options: Optional[HMatrixOptions] = None,
+                 seed=0):
+        super().__init__()
+        self.hss_options = hss_options if hss_options is not None else HSSOptions()
+        self.hmatrix_options = (hmatrix_options if hmatrix_options is not None
+                                else HMatrixOptions())
+        self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
+        self.seed = seed
+        self.hss_ = None
+        self.hmatrix_ = None
+        self.factorization_ = None
+
+    def _fit_impl(self, X_permuted, tree, kernel, lam) -> None:
+        if tree is None:
+            raise ValueError("HSSSolver requires the cluster tree of the reordering")
+        log = TimingLog()
+        operator = ShiftedKernelOperator(X_permuted, kernel, lam)
+        sampler = operator
+        if self.use_hmatrix_sampling:
+            self.hmatrix_ = build_hmatrix(operator, X_permuted, tree,
+                                          options=self.hmatrix_options, timing=log)
+            sampler = HMatrixSampler(self.hmatrix_, operator)
+            self.report.hmatrix_memory_mb = megabytes(self.hmatrix_.nbytes)
+        self.hss_, stats = build_hss_randomized(sampler, tree,
+                                                options=self.hss_options,
+                                                rng=self.seed, timing=log)
+        self.factorization_ = ULVFactorization(self.hss_, timing=log)
+        hss_stats = self.hss_.statistics()
+        self.report.timings = log.as_dict()
+        self.report.hss_memory_mb = hss_stats.memory_mb
+        self.report.memory_mb = hss_stats.memory_mb + self.report.hmatrix_memory_mb
+        self.report.max_rank = hss_stats.max_rank
+        self.report.random_vectors = stats.random_vectors
+
+    def _solve_impl(self, y: np.ndarray) -> np.ndarray:
+        log = TimingLog()
+        w = self.factorization_.solve(y, timing=log)
+        for name, sec in log.as_dict().items():
+            self.report.timings[name] = self.report.timings.get(name, 0.0) + sec
+        return w
+
+
+class CGSolver(KernelSystemSolver):
+    """Conjugate-gradient solver on the exact (matrix-free) kernel operator."""
+
+    name = "cg"
+
+    def __init__(self, tol: float = 1e-6, max_iter: Optional[int] = None):
+        super().__init__()
+        if tol <= 0:
+            raise ValueError("tol must be positive")
+        self.tol = float(tol)
+        self.max_iter = max_iter
+
+    def _fit_impl(self, X_permuted, tree, kernel, lam) -> None:
+        log = TimingLog()
+        with log.phase("construction"):
+            self._operator = ShiftedKernelOperator(X_permuted, kernel, lam)
+        self.report.timings = log.as_dict()
+        self.report.memory_mb = megabytes(X_permuted.nbytes)
+
+    def _solve_impl(self, y: np.ndarray) -> np.ndarray:
+        op = self._operator
+        linop = scipy.sparse.linalg.LinearOperator(
+            shape=op.shape, matvec=op.matvec, rmatvec=op.rmatvec, dtype=np.float64)
+        log = TimingLog()
+        single = y.ndim == 1
+        Y = y[:, None] if single else y
+        out = np.empty_like(Y)
+        iterations = 0
+        with log.phase("solve"):
+            for j in range(Y.shape[1]):
+                counter = _IterationCounter()
+                w, info = scipy.sparse.linalg.cg(linop, Y[:, j], rtol=self.tol,
+                                                 maxiter=self.max_iter,
+                                                 callback=counter)
+                if info > 0:
+                    # Did not converge within maxiter; keep the best iterate —
+                    # KRR only needs the sign of the decision values.
+                    pass
+                elif info < 0:
+                    raise RuntimeError(f"CG failed with illegal input (info={info})")
+                out[:, j] = w
+                iterations = max(iterations, counter.count)
+        self.report.iterations = iterations
+        for name, sec in log.as_dict().items():
+            self.report.timings[name] = self.report.timings.get(name, 0.0) + sec
+        return out.ravel() if single else out
+
+
+class _IterationCounter:
+    """Callback counting CG iterations."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def __call__(self, _xk) -> None:
+        self.count += 1
+
+
+def make_solver(name: str, **kwargs) -> KernelSystemSolver:
+    """Instantiate a solver by name (``"dense"``, ``"hss"`` or ``"cg"``)."""
+    name = str(name).strip().lower()
+    if name == "dense":
+        return DenseSolver(**kwargs)
+    if name == "hss":
+        return HSSSolver(**kwargs)
+    if name == "cg":
+        return CGSolver(**kwargs)
+    raise ValueError(f"unknown solver {name!r}; expected 'dense', 'hss' or 'cg'")

@@ -1,0 +1,201 @@
+"""Adaptive Cross Approximation (ACA).
+
+ACA builds a low-rank approximation ``A ~= U V^T`` of a block by sampling a
+small number of its rows and columns, never touching the rest of the block.
+The paper's prototype H-matrix code uses a "hybrid-ACA scheme" to compress
+admissible (well separated) blocks of the kernel matrix; we implement the
+classical partially pivoted ACA with the standard stopping criterion based
+on an incrementally updated Frobenius-norm estimate, plus a fully pivoted
+variant used as a reference in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .lowrank_matrix import LowRank
+
+#: signature of the row/column samplers handed to :func:`aca`:
+#: ``row_fn(i) -> (n,)`` returns row ``i`` of the block,
+#: ``col_fn(j) -> (m,)`` returns column ``j``.
+RowFn = Callable[[int], np.ndarray]
+ColFn = Callable[[int], np.ndarray]
+
+
+@dataclass
+class ACAResult:
+    """Outcome of an ACA compression."""
+
+    lowrank: LowRank
+    rank: int
+    converged: bool
+    rows_sampled: int
+    cols_sampled: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.lowrank.nbytes
+
+
+def aca(
+    m: int,
+    n: int,
+    row_fn: RowFn,
+    col_fn: ColFn,
+    rel_tol: float = 1e-6,
+    max_rank: Optional[int] = None,
+    min_pivot: float = 1e-14,
+) -> ACAResult:
+    """Partially pivoted adaptive cross approximation.
+
+    Parameters
+    ----------
+    m, n:
+        Block dimensions.
+    row_fn, col_fn:
+        Callables returning a single (dense) row or column of the block.
+    rel_tol:
+        Stopping tolerance: iteration stops when the norm of the new rank-1
+        update falls below ``rel_tol`` times the running estimate of
+        ``||A||_F``.
+    max_rank:
+        Hard cap on the number of cross updates (default ``min(m, n)``).
+    min_pivot:
+        Pivots smaller than this (in absolute value) terminate the
+        iteration (the remaining block is numerically zero).
+
+    Returns
+    -------
+    ACAResult
+        With ``lowrank.U`` of shape ``(m, r)`` and ``lowrank.V`` of shape
+        ``(n, r)`` such that the block is approximately ``U @ V.T``.
+    """
+    if m < 0 or n < 0:
+        raise ValueError("block dimensions must be non-negative")
+    if rel_tol <= 0:
+        raise ValueError("rel_tol must be positive")
+    limit = min(m, n) if max_rank is None else min(int(max_rank), m, n)
+    if limit == 0 or m == 0 or n == 0:
+        return ACAResult(LowRank.zero(m, n), 0, True, 0, 0)
+
+    us = []
+    vs = []
+    used_rows: set = set()
+    used_cols: set = set()
+    frob_sq = 0.0  # running estimate of ||A||_F^2 of the approximation
+    converged = False
+    rows_sampled = 0
+    cols_sampled = 0
+
+    next_row = 0
+    for _ in range(limit):
+        # --- residual row at the pivot row
+        if next_row in used_rows or next_row >= m:
+            remaining = [i for i in range(m) if i not in used_rows]
+            if not remaining:
+                converged = True
+                break
+            next_row = remaining[0]
+        row = np.asarray(row_fn(next_row), dtype=np.float64).copy()
+        rows_sampled += 1
+        for u, v in zip(us, vs):
+            row -= u[next_row] * v
+        used_rows.add(next_row)
+
+        # --- column pivot: largest residual entry in that row
+        if used_cols:
+            masked = row.copy()
+            masked[list(used_cols)] = 0.0
+        else:
+            masked = row
+        j = int(np.argmax(np.abs(masked)))
+        pivot = row[j]
+        if abs(pivot) < min_pivot:
+            # The row is (numerically) fully captured; try another row before
+            # declaring convergence.
+            remaining = [i for i in range(m) if i not in used_rows]
+            if not remaining:
+                converged = True
+                break
+            next_row = remaining[0]
+            converged = True
+            continue
+
+        col = np.asarray(col_fn(j), dtype=np.float64).copy()
+        cols_sampled += 1
+        for u, v in zip(us, vs):
+            col -= v[j] * u
+        used_cols.add(j)
+
+        u_new = col / pivot
+        v_new = row
+        us.append(u_new)
+        vs.append(v_new)
+
+        # --- stopping criterion (standard ACA norm update)
+        unorm = float(np.linalg.norm(u_new))
+        vnorm = float(np.linalg.norm(v_new))
+        cross = 0.0
+        for u, v in zip(us[:-1], vs[:-1]):
+            cross += float((u @ u_new) * (v @ v_new))
+        frob_sq += 2.0 * cross + (unorm * vnorm) ** 2
+        frob = np.sqrt(max(frob_sq, 0.0))
+        if unorm * vnorm <= rel_tol * max(frob, 1e-300):
+            converged = True
+            break
+
+        # --- next row pivot: largest residual entry of the new column
+        masked_col = np.abs(u_new).copy()
+        masked_col[list(used_rows)] = -1.0
+        next_row = int(np.argmax(masked_col))
+    else:
+        converged = max_rank is None
+
+    if not us:
+        return ACAResult(LowRank.zero(m, n), 0, converged, rows_sampled, cols_sampled)
+    U = np.column_stack(us)
+    V = np.column_stack(vs)
+    return ACAResult(LowRank(U, V), U.shape[1], converged, rows_sampled, cols_sampled)
+
+
+def aca_full(A: np.ndarray, rel_tol: float = 1e-6,
+             max_rank: Optional[int] = None) -> ACAResult:
+    """Fully pivoted ACA of an explicit dense block (reference implementation).
+
+    Uses the true residual maximum as the pivot at every step, which gives
+    near-optimal pivots at ``O(m n)`` cost per step.  Used for testing and
+    for small blocks where the whole block is available anyway.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2:
+        raise ValueError(f"A must be 2-dimensional, got shape {A.shape}")
+    m, n = A.shape
+    limit = min(m, n) if max_rank is None else min(int(max_rank), m, n)
+    if limit == 0:
+        return ACAResult(LowRank.zero(m, n), 0, True, 0, 0)
+    R = A.copy()
+    norm_a = np.linalg.norm(A)
+    us = []
+    vs = []
+    converged = False
+    for _ in range(limit):
+        idx = np.unravel_index(int(np.argmax(np.abs(R))), R.shape)
+        pivot = R[idx]
+        if abs(pivot) <= rel_tol * max(norm_a, 1e-300):
+            converged = True
+            break
+        u = R[:, idx[1]].copy() / pivot
+        v = R[idx[0], :].copy()
+        us.append(u)
+        vs.append(v)
+        R -= np.outer(u, v)
+    else:
+        converged = np.linalg.norm(R) <= rel_tol * max(norm_a, 1e-300)
+    if not us:
+        return ACAResult(LowRank.zero(m, n), 0, True, 0, 0)
+    U = np.column_stack(us)
+    V = np.column_stack(vs)
+    return ACAResult(LowRank(U, V), U.shape[1], converged, len(us), len(us))

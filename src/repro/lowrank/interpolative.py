@@ -1,0 +1,107 @@
+"""Interpolative decompositions (ID).
+
+The randomized HSS construction does not store orthonormal bases directly:
+it selects *representative rows and columns* (skeletons) of the sampled
+off-diagonal blocks and expresses the remaining rows/columns as linear
+combinations of them.  This is exactly a row (or column) interpolative
+decomposition:
+
+    row ID:     M  ~=  P @ M[J, :]      with  P[J, :] = I
+    column ID:  M  ~=  M[:, J] @ P      with  P[:, J] = I
+
+selecting ``|J| = r`` rows (columns) via a column-pivoted QR.  The skeleton
+indices ``J`` are what makes the *partially matrix-free* construction work:
+the coupling generators ``B_ij`` are later read off the original matrix at
+the skeleton rows/columns only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from .rrqr import rank_from_tolerance
+
+
+@dataclass
+class InterpolativeDecomposition:
+    """Result of a row or column interpolative decomposition.
+
+    Attributes
+    ----------
+    interp:
+        The interpolation matrix ``P``.  For a row ID of an ``(m, k)``
+        matrix this has shape ``(m, r)`` and satisfies ``M ~= P @ M[J, :]``
+        with ``P[J, :] = I_r``.  For a column ID it has shape ``(r, k)`` and
+        satisfies ``M ~= M[:, J] @ P`` with ``P[:, J] = I_r``.
+    skeleton:
+        Indices ``J`` of the selected rows (columns), length ``r``.
+    rank:
+        The interpolation rank ``r``.
+    """
+
+    interp: np.ndarray
+    skeleton: np.ndarray
+    rank: int
+
+    def __post_init__(self) -> None:
+        self.skeleton = np.asarray(self.skeleton, dtype=np.intp)
+        self.interp = np.asarray(self.interp, dtype=np.float64)
+        self.rank = int(self.rank)
+
+
+def _pivoted_qr_interp(M: np.ndarray, rel_tol: float, abs_tol: float,
+                       max_rank) -> InterpolativeDecomposition:
+    """Column ID of ``M`` (select columns): ``M ~= M[:, J] @ P``."""
+    m, n = M.shape
+    if m == 0 or n == 0:
+        return InterpolativeDecomposition(np.zeros((0, n)), np.zeros(0, dtype=np.intp), 0)
+    Q, R, piv = scipy.linalg.qr(M, mode="economic", pivoting=True)
+    rank = rank_from_tolerance(np.diag(R), rel_tol, abs_tol, max_rank)
+    piv = np.asarray(piv, dtype=np.intp)
+    if rank == 0:
+        return InterpolativeDecomposition(np.zeros((0, n)), np.zeros(0, dtype=np.intp), 0)
+    R11 = R[:rank, :rank]
+    R12 = R[:rank, rank:]
+    # T solves R11 T = R12 (well conditioned because R11 comes from pivoted QR).
+    if R12.shape[1] > 0:
+        T = scipy.linalg.solve_triangular(R11, R12, lower=False)
+    else:
+        T = np.zeros((rank, 0))
+    P = np.empty((rank, n), dtype=np.float64)
+    P[:, piv[:rank]] = np.eye(rank)
+    P[:, piv[rank:]] = T
+    return InterpolativeDecomposition(P, piv[:rank].copy(), rank)
+
+
+def column_id(M: np.ndarray, rel_tol: float = 1e-8, abs_tol: float = 0.0,
+              max_rank: int = None) -> InterpolativeDecomposition:
+    """Column interpolative decomposition ``M ~= M[:, J] @ P``.
+
+    Parameters
+    ----------
+    M:
+        Dense matrix ``(m, n)``.
+    rel_tol, abs_tol, max_rank:
+        Truncation controls; the rank is determined from the pivoted-QR
+        diagonal exactly as in :func:`repro.lowrank.rrqr.rrqr`.
+    """
+    M = np.asarray(M, dtype=np.float64)
+    if M.ndim != 2:
+        raise ValueError(f"M must be 2-dimensional, got shape {M.shape}")
+    return _pivoted_qr_interp(M, rel_tol, abs_tol, max_rank)
+
+
+def row_id(M: np.ndarray, rel_tol: float = 1e-8, abs_tol: float = 0.0,
+           max_rank: int = None) -> InterpolativeDecomposition:
+    """Row interpolative decomposition ``M ~= P @ M[J, :]`` with ``P[J, :] = I``.
+
+    Implemented as a column ID of ``M.T``.
+    """
+    M = np.asarray(M, dtype=np.float64)
+    if M.ndim != 2:
+        raise ValueError(f"M must be 2-dimensional, got shape {M.shape}")
+    cid = _pivoted_qr_interp(M.T, rel_tol, abs_tol, max_rank)
+    return InterpolativeDecomposition(cid.interp.T, cid.skeleton, cid.rank)

@@ -1,0 +1,105 @@
+"""A minimal low-rank matrix container ``A ~= U @ V.T``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.bytes import nbytes_of_arrays
+
+
+@dataclass
+class LowRank:
+    """Low-rank factorization ``A ~= U @ V.T`` with ``U (m x r)``, ``V (n x r)``.
+
+    The convention (``V`` stored un-transposed) matches the HSS generator
+    convention ``U_i B_ij V_j^T`` used throughout the paper and the library.
+    """
+
+    U: np.ndarray
+    V: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.U = np.ascontiguousarray(self.U, dtype=np.float64)
+        self.V = np.ascontiguousarray(self.V, dtype=np.float64)
+        if self.U.ndim != 2 or self.V.ndim != 2:
+            raise ValueError("U and V must be 2-dimensional")
+        if self.U.shape[1] != self.V.shape[1]:
+            raise ValueError(
+                f"rank mismatch: U has {self.U.shape[1]} columns, "
+                f"V has {self.V.shape[1]}")
+
+    # ------------------------------------------------------------------ info
+    @property
+    def shape(self) -> tuple:
+        return (self.U.shape[0], self.V.shape[0])
+
+    @property
+    def rank(self) -> int:
+        """Number of columns of the factors (the representation rank)."""
+        return self.U.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Memory of the factors in bytes."""
+        return nbytes_of_arrays((self.U, self.V))
+
+    # ------------------------------------------------------------------ ops
+    def to_dense(self) -> np.ndarray:
+        """Materialise ``U @ V.T``."""
+        return self.U @ self.V.T
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``(U V^T) x`` in ``O((m + n) r)`` operations."""
+        return self.U @ (self.V.T @ np.asarray(x, dtype=np.float64))
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``(U V^T)^T x = V (U^T x)``."""
+        return self.V @ (self.U.T @ np.asarray(x, dtype=np.float64))
+
+    def transpose(self) -> "LowRank":
+        """Return the transpose as a new :class:`LowRank`."""
+        return LowRank(self.V.copy(), self.U.copy())
+
+    def recompress(self, rel_tol: float = 1e-12) -> "LowRank":
+        """Re-orthogonalise and truncate the factors to the numerical rank.
+
+        Runs thin QR on both factors followed by an SVD of the small core,
+        the standard rounding step for hierarchical matrix arithmetic.
+        """
+        if self.rank == 0:
+            return LowRank(self.U.copy(), self.V.copy())
+        qu, ru = np.linalg.qr(self.U)
+        qv, rv = np.linalg.qr(self.V)
+        core = ru @ rv.T
+        w, s, vt = np.linalg.svd(core, full_matrices=False)
+        if s.size == 0 or s[0] == 0.0:
+            keep = 0
+        else:
+            keep = int(np.count_nonzero(s > rel_tol * s[0]))
+        w = w[:, :keep] * s[:keep]
+        return LowRank(qu @ w, qv @ vt[:keep].T)
+
+    def __add__(self, other: "LowRank") -> "LowRank":
+        """Formal sum: concatenate factor columns (rank adds, recompress later)."""
+        if not isinstance(other, LowRank):
+            return NotImplemented
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        return LowRank(np.hstack([self.U, other.U]), np.hstack([self.V, other.V]))
+
+    @classmethod
+    def zero(cls, m: int, n: int) -> "LowRank":
+        """Rank-zero matrix of shape ``(m, n)``."""
+        return cls(np.zeros((m, 0)), np.zeros((n, 0)))
+
+    @classmethod
+    def from_dense(cls, A: np.ndarray, rel_tol: float = 1e-12) -> "LowRank":
+        """SVD-truncate a dense matrix to relative tolerance ``rel_tol``."""
+        A = np.asarray(A, dtype=np.float64)
+        u, s, vt = np.linalg.svd(A, full_matrices=False)
+        if s.size == 0 or s[0] == 0.0:
+            return cls.zero(*A.shape)
+        keep = int(np.count_nonzero(s > rel_tol * s[0]))
+        return cls(u[:, :keep] * s[:keep], vt[:keep].T)

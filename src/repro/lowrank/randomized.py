@@ -1,0 +1,145 @@
+"""Randomized range estimation and randomized SVD.
+
+These routines implement the randomized sketching layer that STRUMPACK's HSS
+construction is built on: multiply the (implicitly defined) matrix by a
+block of random vectors, orthonormalise the result, and — if the requested
+accuracy is not yet reached — *adaptively* enlarge the random block.  The
+accuracy test is the standard a-posteriori bound of Halko, Martinsson &
+Tropp: with ``q`` fresh Gaussian probes ``w_i``, ``max_i ||(I - QQ^T) A w_i||``
+over-estimates ``||A - QQ^T A||`` with high probability up to a factor
+``10 sqrt(2/pi)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..utils.random import as_generator
+
+MatMat = Callable[[np.ndarray], np.ndarray]
+
+
+def randomized_range_finder(
+    matmat: MatMat,
+    n: int,
+    rel_tol: float = 1e-6,
+    initial_samples: int = 16,
+    sample_increment: int = 16,
+    max_rank: Optional[int] = None,
+    probe_vectors: int = 8,
+    max_rounds: int = 16,
+    rng=None,
+) -> Tuple[np.ndarray, int]:
+    """Adaptively estimate an orthonormal basis of the range of ``A``.
+
+    Parameters
+    ----------
+    matmat:
+        Callable computing ``A @ V`` for an ``(n, k)`` block ``V``.
+    n:
+        Number of columns of ``A``.
+    rel_tol:
+        Target relative accuracy of the range approximation.
+    initial_samples, sample_increment:
+        Size of the first random block and of every enlargement.
+    max_rank:
+        Hard cap on the basis size.
+    probe_vectors:
+        Number of fresh probes used by the a-posteriori error estimate.
+    max_rounds:
+        Safety cap on the number of enlargement rounds.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    (Q, rounds):
+        ``Q`` with orthonormal columns spanning the estimated range, and the
+        number of adaptation rounds used.
+    """
+    rng = as_generator(rng)
+    if n <= 0:
+        return np.zeros((0, 0)), 0
+    cap = n if max_rank is None else min(int(max_rank), n)
+    k = min(max(int(initial_samples), 1), cap + probe_vectors)
+
+    Omega = rng.standard_normal((n, k))
+    Y = np.asarray(matmat(Omega), dtype=np.float64)
+    m = Y.shape[0]
+    norm_estimate = max(float(np.linalg.norm(Y)) / np.sqrt(max(k, 1)), 1e-300)
+
+    rounds = 0
+    while True:
+        rounds += 1
+        Q, _ = np.linalg.qr(Y)
+        if Q.shape[1] >= cap:
+            Q = Q[:, :cap]
+            return Q, rounds
+        # a-posteriori error estimate with fresh probes
+        W = rng.standard_normal((n, probe_vectors))
+        AW = np.asarray(matmat(W), dtype=np.float64)
+        resid = AW - Q @ (Q.T @ AW)
+        err = float(np.max(np.linalg.norm(resid, axis=0))) * 10.0 * np.sqrt(2.0 / np.pi)
+        scale = max(float(np.linalg.norm(AW)) / np.sqrt(probe_vectors), norm_estimate)
+        if err <= rel_tol * scale or rounds >= max_rounds:
+            return Q, rounds
+        # enlarge the sample: reuse the probe results plus new random samples
+        extra = rng.standard_normal((n, sample_increment))
+        Y = np.hstack([Q * 1.0, AW, np.asarray(matmat(extra), dtype=np.float64)])
+        if Y.shape[1] > m:
+            Y = Y[:, :m]
+
+
+def randomized_svd(
+    matmat: MatMat,
+    rmatmat: MatMat,
+    n: int,
+    rank: int,
+    oversampling: int = 8,
+    n_iter: int = 1,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fixed-rank randomized SVD of an implicitly defined matrix.
+
+    Parameters
+    ----------
+    matmat, rmatmat:
+        Callables computing ``A @ V`` and ``A.T @ V``.
+    n:
+        Number of columns of ``A``.
+    rank:
+        Target rank.
+    oversampling:
+        Extra random columns used to stabilise the range estimate.
+    n_iter:
+        Number of power iterations (improves accuracy for slowly decaying
+        spectra).
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    (U, s, Vt):
+        Approximate truncated SVD with ``U`` of shape ``(m, rank)``.
+    """
+    rng = as_generator(rng)
+    if rank < 0:
+        raise ValueError("rank must be non-negative")
+    k = min(rank + max(int(oversampling), 0), n)
+    if k == 0:
+        return np.zeros((0, 0)), np.zeros(0), np.zeros((0, n))
+    Omega = rng.standard_normal((n, k))
+    Y = np.asarray(matmat(Omega), dtype=np.float64)
+    Q, _ = np.linalg.qr(Y)
+    for _ in range(max(int(n_iter), 0)):
+        Z = np.asarray(rmatmat(Q), dtype=np.float64)
+        Qz, _ = np.linalg.qr(Z)
+        Y = np.asarray(matmat(Qz), dtype=np.float64)
+        Q, _ = np.linalg.qr(Y)
+    B = np.asarray(rmatmat(Q), dtype=np.float64).T  # B = Q^T A, shape (k, n)
+    Ub, s, Vt = np.linalg.svd(B, full_matrices=False)
+    U = Q @ Ub
+    keep = min(rank, s.size)
+    return U[:, :keep], s[:keep], Vt[:keep]

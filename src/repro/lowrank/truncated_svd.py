@@ -1,0 +1,70 @@
+"""Truncated SVD helpers and effective-rank computation.
+
+The *effective rank* — the number of singular values above an absolute
+threshold (0.01 in the paper's Table 1) — is the paper's diagnostic for how
+compressible an off-diagonal kernel block is under a given ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.linalg
+
+
+def singular_values(A: np.ndarray) -> np.ndarray:
+    """Singular values of a dense matrix, in non-increasing order."""
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2:
+        raise ValueError(f"A must be 2-dimensional, got shape {A.shape}")
+    if min(A.shape) == 0:
+        return np.zeros(0)
+    return scipy.linalg.svd(A, compute_uv=False)
+
+
+def truncated_svd(A: np.ndarray, rel_tol: float = 0.0, abs_tol: float = 0.0,
+                  max_rank: int = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """SVD truncated to the requested tolerance and/or rank.
+
+    Parameters
+    ----------
+    A:
+        Dense matrix of shape ``(m, n)``.
+    rel_tol:
+        Keep singular values ``> rel_tol * sigma_max``.
+    abs_tol:
+        Keep singular values ``> abs_tol``.
+    max_rank:
+        Keep at most this many singular triplets.
+
+    Returns
+    -------
+    (U, s, Vt):
+        Truncated factors such that ``A ~= (U * s) @ Vt``.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    if min(A.shape) == 0:
+        k = 0
+        return (np.zeros((A.shape[0], 0)), np.zeros(0), np.zeros((0, A.shape[1])))
+    u, s, vt = scipy.linalg.svd(A, full_matrices=False)
+    if s.size == 0:
+        return u[:, :0], s, vt[:0]
+    threshold = max(rel_tol * s[0], abs_tol)
+    keep = int(np.count_nonzero(s > threshold)) if threshold > 0 else s.size
+    if max_rank is not None:
+        keep = min(keep, int(max_rank))
+    return u[:, :keep], s[:keep], vt[:keep]
+
+
+def effective_rank(A: np.ndarray, threshold: float = 0.01) -> int:
+    """Number of singular values of ``A`` strictly greater than ``threshold``.
+
+    This reproduces the paper's Table 1 metric ("effective rank = number of
+    singular values of the off-diagonal 500x500 K(1,2) block that are
+    > 0.01").
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    s = singular_values(A)
+    return int(np.count_nonzero(s > threshold))

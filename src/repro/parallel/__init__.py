@@ -1,0 +1,44 @@
+"""Parallel execution substrate and distributed-memory performance model.
+
+The paper's large-scale results (Table 4, Figure 8) come from a distributed
+memory MPI code running on up to 1,024 cores of NERSC's Cori machine.  This
+environment has neither MPI nor 1,024 cores, so the package provides two
+complementary pieces (see DESIGN.md for the substitution rationale):
+
+* :class:`BlockExecutor` — a real shared-memory thread pool used to
+  assemble kernel blocks and H-matrix leaves in parallel (NumPy releases
+  the GIL inside BLAS, so threads give genuine speedups for these
+  GEMM-dominated tasks);
+* :class:`MachineModel` / :class:`DistributedCostModel` /
+  :func:`simulate_strong_scaling` — an analytic alpha–beta performance
+  model of the distributed HSS/H algorithms, driven by the *measured*
+  per-node operation counts of our own implementation, which reproduces
+  the strong-scaling behaviour of the paper's Figure 8 and the per-phase
+  timing breakdown of Table 4.
+"""
+
+from .machine import MachineModel, CORI_HASWELL
+from .work_model import (
+    HSSWorkEstimate,
+    estimate_hss_work,
+    estimate_hmatrix_work,
+    estimate_sampling_work,
+)
+from .cost_model import DistributedCostModel, PhaseTimes
+from .strong_scaling import simulate_strong_scaling, StrongScalingPoint
+from .executor import BlockExecutor, parallel_map
+
+__all__ = [
+    "MachineModel",
+    "CORI_HASWELL",
+    "HSSWorkEstimate",
+    "estimate_hss_work",
+    "estimate_hmatrix_work",
+    "estimate_sampling_work",
+    "DistributedCostModel",
+    "PhaseTimes",
+    "simulate_strong_scaling",
+    "StrongScalingPoint",
+    "BlockExecutor",
+    "parallel_map",
+]

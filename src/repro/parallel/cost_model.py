@@ -1,0 +1,160 @@
+"""Distributed-memory cost model for the HSS/H kernel solver phases.
+
+The model follows the parallelisation described for STRUMPACK's dense HSS
+code (Rouet et al., TOMS 2016 — reference [14] of the paper): the HSS tree
+is distributed over the processes level by level.  Near the leaves there
+are many more nodes than processes and the work is perfectly parallel; near
+the root only a few (large) nodes remain, so the parallelism degenerates
+and every level boundary costs one round of child-to-parent communication.
+That tension — abundant leaf-level parallelism, serialised root levels,
+per-level communication — is exactly what produces the strong-scaling
+shape of the paper's Figure 8 ("At large core count, the number of degrees
+of freedom per core decreases dramatically, while communication time starts
+to dominate").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .machine import CORI_HASWELL, MachineModel
+from .work_model import HSSWorkEstimate
+
+
+@dataclass
+class PhaseTimes:
+    """Modelled wall-clock seconds of each phase at a given core count."""
+
+    cores: int
+    h_construction: float = 0.0
+    sampling: float = 0.0
+    hss_other: float = 0.0
+    factorization: float = 0.0
+    solve: float = 0.0
+
+    @property
+    def hss_construction(self) -> float:
+        """Total HSS construction time (sampling + other), as in Table 4."""
+        return self.sampling + self.hss_other
+
+    @property
+    def total(self) -> float:
+        return (self.h_construction + self.sampling + self.hss_other +
+                self.factorization + self.solve)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cores": self.cores,
+            "h_construction": self.h_construction,
+            "hss_construction": self.hss_construction,
+            "sampling": self.sampling,
+            "hss_other": self.hss_other,
+            "factorization": self.factorization,
+            "solve": self.solve,
+        }
+
+
+class DistributedCostModel:
+    """Predict distributed phase times from per-level work estimates.
+
+    Parameters
+    ----------
+    work:
+        The :class:`HSSWorkEstimate` of the (serially built) HSS matrix.
+    machine:
+        Machine parameters (defaults to the Cori-Haswell-like model).
+    n_sampling_sweeps:
+        How many sampling sweeps the adaptive construction performed.
+    hmatrix_flops:
+        Flops of the H-matrix construction (0 disables that phase).
+    hmatrix_sampling_flops:
+        Flops of one H-accelerated sampling sweep; when non-zero it is used
+        in place of the dense sampling cost.
+    """
+
+    def __init__(self,
+                 work: HSSWorkEstimate,
+                 machine: MachineModel = CORI_HASWELL,
+                 n_sampling_sweeps: int = 1,
+                 hmatrix_flops: float = 0.0,
+                 hmatrix_sampling_flops: Optional[float] = None):
+        if n_sampling_sweeps < 1:
+            raise ValueError("n_sampling_sweeps must be >= 1")
+        self.work = work
+        self.machine = machine
+        self.n_sampling_sweeps = int(n_sampling_sweeps)
+        self.hmatrix_flops = float(hmatrix_flops)
+        self.hmatrix_sampling_flops = hmatrix_sampling_flops
+
+    # ------------------------------------------------------------- internals
+    def _tree_phase_time(self, flops_per_level: Dict[int, float],
+                         cores: int) -> float:
+        """Level-by-level execution time of a tree-structured phase.
+
+        Levels with at least as many nodes as processes are embarrassingly
+        parallel and communication-free (every subtree lives inside one
+        process).  Levels above that cut have fewer nodes than processes:
+        their work is shared with limited efficiency (parallel BLAS inside a
+        node, modelled with a square-root law) and every node pays one
+        child-to-parent network exchange per level.
+        """
+        machine = self.machine
+        total = 0.0
+        for level, flops in sorted(flops_per_level.items(), reverse=True):
+            nodes = max(self.work.nodes_per_level.get(level, 1), 1)
+            active = min(cores, nodes)
+            # Work of the level is spread over the active processes; each
+            # node's work can additionally use the idle cores once fewer
+            # nodes than cores remain (STRUMPACK switches to parallel BLAS),
+            # but with limited efficiency — model that with a sqrt law.
+            per_node_cores = max(1, int((cores / nodes) ** 0.5)) if nodes < cores else 1
+            total += machine.compute_time(flops, cores=active * per_node_cores)
+            # Levels above the subtree-per-process cut pay one network round
+            # of child-to-parent exchanges (message size: the reduced blocks
+            # of one node).
+            comm_bytes = self.work.communication_bytes_per_level.get(level, 0.0)
+            if cores > 1 and nodes < cores and comm_bytes > 0:
+                total += 2.0 * machine.message_time(comm_bytes / nodes)
+        return total
+
+    # ----------------------------------------------------------------- phases
+    def sampling_time(self, cores: int) -> float:
+        """Time of the randomized sampling sweeps at ``cores`` processes."""
+        flops = (self.hmatrix_sampling_flops
+                 if self.hmatrix_sampling_flops is not None
+                 else self.work.dense_sampling_flops)
+        flops *= self.n_sampling_sweeps
+        t = self.machine.compute_time(flops, cores=cores)
+        # The sample matrix S (n x d) is redistributed once per sweep.
+        n_bytes = 8.0 * flops ** 0.5  # ~ O(n d) bytes, flops ~ n^2 d
+        t += self.machine.allreduce_time(n_bytes, cores) * self.n_sampling_sweeps
+        return t
+
+    def phase_times(self, cores: int) -> PhaseTimes:
+        """Full phase breakdown at the given core count (Table 4 rows)."""
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        machine = self.machine
+        times = PhaseTimes(cores=cores)
+        if self.hmatrix_flops > 0:
+            # The paper's prototype H code scales poorly ("only capable of
+            # effectively using a subset of the processes"); cap its useful
+            # parallelism at one node.
+            h_cores = min(cores, machine.cores_per_node)
+            times.h_construction = machine.compute_time(self.hmatrix_flops,
+                                                        cores=h_cores)
+        times.sampling = self.sampling_time(cores)
+        times.hss_other = self._tree_phase_time(
+            {lvl: f for lvl, f in self.work.factorization_flops_per_level.items()},
+            cores) * (self.work.compression_flops /
+                      max(self.work.factorization_flops, 1.0))
+        times.factorization = self._tree_phase_time(
+            self.work.factorization_flops_per_level, cores)
+        solve_per_level = {
+            lvl: self.work.solve_flops * f / max(self.work.factorization_flops, 1.0)
+            for lvl, f in self.work.factorization_flops_per_level.items()}
+        times.solve = self._tree_phase_time(solve_per_level, cores)
+        return times

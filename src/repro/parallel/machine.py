@@ -1,0 +1,84 @@
+"""Machine model: per-core compute rate and alpha-beta network parameters.
+
+The distributed cost model charges computation at a sustained per-core
+floating point rate and communication with the classic ``alpha + beta *
+message_size`` model.  The default constants approximate a Cori Haswell
+node (dual 16-core Xeon E5-2698 v3 at 2.3 GHz, Cray Aries interconnect):
+they do not need to be exact — the strong-scaling *shape* (when
+communication starts to dominate) is what the model reproduces, and the
+benchmarks also report model times normalised to the 32-core point, which
+removes the absolute constants entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Analytic machine description used by the distributed cost model.
+
+    Parameters
+    ----------
+    flops_per_second_per_core:
+        Sustained (not peak) double-precision rate of a single core for the
+        BLAS-3 dominated kernels of the HSS/H algorithms.
+    network_latency:
+        Per-message latency in seconds (the ``alpha`` term).
+    network_inverse_bandwidth:
+        Seconds per byte of message payload (the ``beta`` term).
+    cores_per_node:
+        Number of cores sharing a network interface; intra-node messages
+        are charged a fraction of the network cost.
+    intra_node_discount:
+        Multiplier applied to communication between cores of the same node.
+    """
+
+    flops_per_second_per_core: float = 1.2e10
+    network_latency: float = 2.0e-6
+    network_inverse_bandwidth: float = 1.0 / 6.0e9
+    cores_per_node: int = 32
+    intra_node_discount: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.flops_per_second_per_core <= 0:
+            raise ValueError("flops_per_second_per_core must be positive")
+        if self.network_latency < 0 or self.network_inverse_bandwidth < 0:
+            raise ValueError("network parameters must be non-negative")
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+        if not 0.0 < self.intra_node_discount <= 1.0:
+            raise ValueError("intra_node_discount must be in (0, 1]")
+
+    # ------------------------------------------------------------------ costs
+    def compute_time(self, flops: float, cores: int = 1) -> float:
+        """Time to execute ``flops`` floating point operations on ``cores``."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        return flops / (self.flops_per_second_per_core * cores)
+
+    def message_time(self, nbytes: float, intra_node: bool = False) -> float:
+        """Time to send one message of ``nbytes`` bytes."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        t = self.network_latency + nbytes * self.network_inverse_bandwidth
+        return t * self.intra_node_discount if intra_node else t
+
+    def allreduce_time(self, nbytes: float, cores: int) -> float:
+        """Time of an all-reduce over ``cores`` ranks (tree algorithm)."""
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        import math
+        rounds = max(1, int(math.ceil(math.log2(cores)))) if cores > 1 else 0
+        return rounds * self.message_time(nbytes)
+
+    def with_(self, **kwargs) -> "MachineModel":
+        """Copy with some parameters replaced."""
+        return replace(self, **kwargs)
+
+
+#: Default machine: a Cori Haswell-like system (the paper's platform).
+CORI_HASWELL = MachineModel()

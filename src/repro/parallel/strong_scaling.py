@@ -1,0 +1,67 @@
+"""Strong-scaling simulation (Figure 8 of the paper).
+
+Given the work estimate of an actually-built HSS matrix, sweep the core
+count and record the modelled factorization time.  The expected behaviour
+is the one shown in the paper: near-linear scaling while every process
+still owns many tree nodes, flattening once communication and the
+serialised top levels of the tree dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .cost_model import DistributedCostModel, PhaseTimes
+from .machine import CORI_HASWELL, MachineModel
+from .work_model import HSSWorkEstimate
+
+
+@dataclass
+class StrongScalingPoint:
+    """One (cores, phase times) point of the strong-scaling sweep."""
+
+    cores: int
+    times: PhaseTimes
+
+    @property
+    def factorization_time(self) -> float:
+        return self.times.factorization
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Filled in by :func:`simulate_strong_scaling` relative to the first point."""
+        return getattr(self, "_efficiency", 1.0)
+
+
+def simulate_strong_scaling(
+    work: HSSWorkEstimate,
+    core_counts: Iterable[int] = (32, 64, 128, 256, 512, 1024),
+    machine: MachineModel = CORI_HASWELL,
+    n_sampling_sweeps: int = 1,
+    hmatrix_flops: float = 0.0,
+    hmatrix_sampling_flops: Optional[float] = None,
+) -> List[StrongScalingPoint]:
+    """Sweep the core count and model the phase times at each point.
+
+    Returns the points in increasing core order; each point's
+    ``parallel_efficiency`` is the factorization speed-up relative to the
+    smallest core count divided by the ideal speed-up.
+    """
+    cores_list = sorted(set(int(c) for c in core_counts))
+    if not cores_list or cores_list[0] < 1:
+        raise ValueError("core_counts must contain positive integers")
+    model = DistributedCostModel(work, machine=machine,
+                                 n_sampling_sweeps=n_sampling_sweeps,
+                                 hmatrix_flops=hmatrix_flops,
+                                 hmatrix_sampling_flops=hmatrix_sampling_flops)
+    points: List[StrongScalingPoint] = []
+    for cores in cores_list:
+        points.append(StrongScalingPoint(cores=cores, times=model.phase_times(cores)))
+    base = points[0]
+    for pt in points:
+        ideal = pt.cores / base.cores
+        actual = (base.factorization_time / pt.factorization_time
+                  if pt.factorization_time > 0 else float("inf"))
+        pt._efficiency = actual / ideal if ideal > 0 else 1.0
+    return points

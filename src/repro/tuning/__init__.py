@@ -1,0 +1,37 @@
+"""Hyper-parameter tuning for kernel ridge regression (Section 5.3).
+
+The paper compares a fine grid search over ``(h, lambda)`` (128^2 runs,
+Figure 6a) with black-box optimization using OpenTuner (100 runs,
+Figure 6b) and finds that the black-box search reaches better accuracy at a
+fraction of the cost.  This package provides both:
+
+* :class:`GridSearch` — exhaustive search over a Cartesian grid,
+* :class:`RandomSearch` — uniform random sampling of the space,
+* :class:`BanditTuner` — an OpenTuner-style meta-optimizer: a multi-armed
+  bandit (UCB-style credit assignment) over several search techniques
+  (random sampling, Gaussian perturbation of the incumbent, differential
+  evolution, Nelder–Mead simplex steps),
+* :class:`KRRObjective` — the objective the paper optimizes: validation
+  accuracy of the KRR classifier for a given ``(h, lambda)``, with the
+  cheap-lambda-update optimization (changing ``lambda`` only updates the
+  diagonal, no recompression — Section 5.3).
+"""
+
+from .search_space import ParameterSpace, ContinuousParameter, LogUniformParameter
+from .grid_search import GridSearch
+from .random_search import RandomSearch
+from .bandit import BanditTuner
+from .objective import KRRObjective, EvaluationRecord
+from .result import TuningResult
+
+__all__ = [
+    "ParameterSpace",
+    "ContinuousParameter",
+    "LogUniformParameter",
+    "GridSearch",
+    "RandomSearch",
+    "BanditTuner",
+    "KRRObjective",
+    "EvaluationRecord",
+    "TuningResult",
+]

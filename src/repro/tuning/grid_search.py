@@ -1,0 +1,52 @@
+"""Exhaustive grid search (the baseline of Figure 6a).
+
+"A fine grid search is too costly, see Figure 6a" — the paper's grid uses
+128 x 128 = 16,384 runs.  The grid resolution here is a parameter so the
+benchmark can run a coarser grid while reporting the full-grid cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .result import TuningResult
+from .search_space import ParameterSpace
+
+
+class GridSearch:
+    """Evaluate the objective on a full Cartesian grid.
+
+    Parameters
+    ----------
+    space:
+        The parameter space.
+    points_per_dim:
+        Number of grid points per parameter (the paper uses 128).
+    max_evaluations:
+        Optional cap on the number of evaluations (the grid is truncated in
+        row-major order); useful to bound benchmark time.
+    """
+
+    def __init__(self, space: ParameterSpace, points_per_dim: int = 16,
+                 max_evaluations: Optional[int] = None):
+        if points_per_dim < 1:
+            raise ValueError("points_per_dim must be >= 1")
+        self.space = space
+        self.points_per_dim = int(points_per_dim)
+        self.max_evaluations = max_evaluations
+
+    @property
+    def total_grid_size(self) -> int:
+        """Number of configurations in the full grid."""
+        return self.points_per_dim ** self.space.dim
+
+    def optimize(self, objective: Callable[[Dict[str, float]], float]) -> TuningResult:
+        """Run the search and return the :class:`TuningResult`."""
+        result = TuningResult()
+        configs = self.space.grid(self.points_per_dim)
+        if self.max_evaluations is not None:
+            configs = configs[: int(self.max_evaluations)]
+        for config in configs:
+            value = objective(config)
+            result.record(config, value)
+        return result

@@ -1,0 +1,35 @@
+"""Uniform random search over the parameter space."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..utils.random import as_generator
+from .result import TuningResult
+from .search_space import ParameterSpace
+
+
+class RandomSearch:
+    """Sample configurations uniformly (log-uniformly for log parameters).
+
+    Random search is a surprisingly strong baseline for low-dimensional
+    hyper-parameter spaces and is also one of the techniques inside the
+    bandit tuner; having it standalone lets the benchmarks quantify how
+    much the bandit's adaptive techniques add.
+    """
+
+    def __init__(self, space: ParameterSpace, budget: int = 100, seed=None):
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.space = space
+        self.budget = int(budget)
+        self.seed = seed
+
+    def optimize(self, objective: Callable[[Dict[str, float]], float]) -> TuningResult:
+        """Run the search and return the :class:`TuningResult`."""
+        rng = as_generator(self.seed)
+        result = TuningResult()
+        for _ in range(self.budget):
+            config = self.space.sample(rng)
+            result.record(config, objective(config))
+        return result

@@ -1,0 +1,51 @@
+"""Containers for tuning outcomes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a hyper-parameter search.
+
+    Attributes
+    ----------
+    best_config:
+        The configuration with the highest objective value.
+    best_value:
+        The corresponding objective value (validation accuracy for the KRR
+        objective).
+    history:
+        One ``(config, value)`` record per evaluation, in evaluation order;
+        used to plot the accuracy-vs-evaluations curves of Figure 6.
+    evaluations:
+        Number of objective evaluations performed.
+    """
+
+    best_config: Dict[str, float] = field(default_factory=dict)
+    best_value: float = float("-inf")
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.history)
+
+    def record(self, config: Dict[str, float], value: float) -> None:
+        """Add one evaluation and update the incumbent if it improved."""
+        entry = dict(config)
+        entry["objective"] = float(value)
+        self.history.append(entry)
+        if value > self.best_value:
+            self.best_value = float(value)
+            self.best_config = dict(config)
+
+    def best_so_far(self) -> List[float]:
+        """Running maximum of the objective, per evaluation (Figure 6 curves)."""
+        best = float("-inf")
+        out = []
+        for entry in self.history:
+            best = max(best, entry["objective"])
+            out.append(best)
+        return out

@@ -1,0 +1,145 @@
+"""Parameter spaces for the hyper-parameter search.
+
+The paper tunes two continuous parameters: the Gaussian width ``h`` and the
+ridge parameter ``lambda``; both live naturally on a logarithmic scale
+(Figure 5 sweeps h over decades), so a log-uniform parameter type is
+provided alongside the plain uniform one.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..utils.random import as_generator
+
+
+class Parameter(abc.ABC):
+    """A named, bounded scalar parameter."""
+
+    name: str
+    low: float
+    high: float
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw a uniform random value (in the parameter's natural scale)."""
+
+    @abc.abstractmethod
+    def grid(self, num: int) -> np.ndarray:
+        """Return ``num`` evenly spaced values (in the natural scale)."""
+
+    def clip(self, value: float) -> float:
+        """Project a value back into the feasible interval."""
+        return float(min(max(value, self.low), self.high))
+
+
+@dataclass
+class ContinuousParameter(Parameter):
+    """Uniformly distributed parameter on ``[low, high]``."""
+
+    name: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(f"{self.name}: low must be < high")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def grid(self, num: int) -> np.ndarray:
+        return np.linspace(self.low, self.high, num)
+
+
+@dataclass
+class LogUniformParameter(Parameter):
+    """Log-uniformly distributed parameter on ``[low, high]`` (both positive)."""
+
+    name: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low <= 0 or self.high <= 0:
+            raise ValueError(f"{self.name}: log-uniform bounds must be positive")
+        if not self.low < self.high:
+            raise ValueError(f"{self.name}: low must be < high")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+
+    def grid(self, num: int) -> np.ndarray:
+        return np.exp(np.linspace(np.log(self.low), np.log(self.high), num))
+
+
+class ParameterSpace:
+    """An ordered collection of named parameters.
+
+    Examples
+    --------
+    >>> space = ParameterSpace([
+    ...     LogUniformParameter("h", 0.1, 10.0),
+    ...     LogUniformParameter("lam", 0.1, 10.0),
+    ... ])
+    >>> sorted(space.names)
+    ['h', 'lam']
+    """
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        if not parameters:
+            raise ValueError("the parameter space must not be empty")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("parameter names must be unique")
+        self.parameters: List[Parameter] = list(parameters)
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self.parameters]
+
+    @property
+    def dim(self) -> int:
+        return len(self.parameters)
+
+    def sample(self, rng=None) -> Dict[str, float]:
+        """Draw one random configuration."""
+        rng = as_generator(rng)
+        return {p.name: p.sample(rng) for p in self.parameters}
+
+    def clip(self, config: Dict[str, float]) -> Dict[str, float]:
+        """Project a configuration onto the feasible box."""
+        return {p.name: p.clip(config[p.name]) for p in self.parameters}
+
+    def to_array(self, config: Dict[str, float]) -> np.ndarray:
+        """Configuration dictionary -> ordered vector."""
+        return np.array([config[p.name] for p in self.parameters], dtype=np.float64)
+
+    def from_array(self, values: np.ndarray) -> Dict[str, float]:
+        """Ordered vector -> configuration dictionary (clipped to bounds)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.shape[0] != self.dim:
+            raise ValueError(f"expected {self.dim} values, got {values.shape[0]}")
+        return {p.name: p.clip(v) for p, v in zip(self.parameters, values)}
+
+    def grid(self, num: int) -> List[Dict[str, float]]:
+        """Full Cartesian grid with ``num`` points per parameter."""
+        if num < 1:
+            raise ValueError("num must be >= 1")
+        axes = [p.grid(num) for p in self.parameters]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        flat = [m.ravel() for m in mesh]
+        return [
+            {p.name: float(flat[j][i]) for j, p in enumerate(self.parameters)}
+            for i in range(flat[0].size)
+        ]
+
+    @classmethod
+    def krr_default(cls, h_bounds=(0.05, 10.0), lam_bounds=(0.05, 10.0)) -> "ParameterSpace":
+        """The (h, lambda) space used by the paper's tuning experiments."""
+        return cls([LogUniformParameter("h", *h_bounds),
+                    LogUniformParameter("lam", *lam_bounds)])

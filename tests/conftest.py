@@ -1,0 +1,41 @@
+"""Shared pytest fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import cluster
+from repro.datasets import gas_like, susy_like
+from repro.kernels import GaussianKernel
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A session-wide deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_gas():
+    """A small GAS-like dataset (n=256, d=128) with ±1 labels."""
+    X, y = gas_like(256, seed=7)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def small_susy():
+    """A small SUSY-like dataset (n=256, d=8) with ±1 labels."""
+    X, y = susy_like(256, seed=11)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def clustered_kernel_matrix(small_susy):
+    """A kernel matrix (permuted by 2MN clustering) plus its cluster tree."""
+    X, _ = small_susy
+    result = cluster(X, method="two_means", leaf_size=16, seed=3)
+    kernel = GaussianKernel(h=1.0)
+    K = kernel.matrix(result.X)
+    K[np.diag_indices_from(K)] += 1.0  # ridge shift keeps it well conditioned
+    return K, result

@@ -1,0 +1,108 @@
+"""Tests for adaptive cross approximation (partial and full pivoting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import GaussianKernel
+from repro.lowrank import aca, aca_full
+
+
+def _lowrank_matrix(m, n, r, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, r)) @ rng.standard_normal((r, n))
+
+
+def _kernel_block(seed=0, m=60, n=50, separation=5.0, h=4.0):
+    """A kernel block between two well separated clusters (genuinely low rank)."""
+    rng = np.random.default_rng(seed)
+    A_pts = rng.standard_normal((m, 3))
+    B_pts = rng.standard_normal((n, 3)) + separation
+    return GaussianKernel(h=h).matrix(A_pts, B_pts)
+
+
+def _fns(A):
+    return (lambda i: A[i, :], lambda j: A[:, j])
+
+
+class TestPartialACA:
+    def test_exact_on_lowrank(self):
+        A = _lowrank_matrix(30, 40, 4)
+        row_fn, col_fn = _fns(A)
+        result = aca(30, 40, row_fn, col_fn, rel_tol=1e-10)
+        assert result.converged
+        assert result.rank >= 4
+        np.testing.assert_allclose(result.lowrank.to_dense(), A,
+                                   atol=1e-6 * np.abs(A).max())
+
+    def test_kernel_block_compression(self):
+        A = _kernel_block()
+        row_fn, col_fn = _fns(A)
+        result = aca(*A.shape, row_fn, col_fn, rel_tol=1e-4)
+        err = np.linalg.norm(result.lowrank.to_dense() - A) / np.linalg.norm(A)
+        assert err < 1e-3
+        assert result.rank < min(A.shape) // 2  # genuinely compressed
+
+    def test_rank_cap(self):
+        A = _lowrank_matrix(20, 20, 10)
+        row_fn, col_fn = _fns(A)
+        result = aca(20, 20, row_fn, col_fn, rel_tol=1e-12, max_rank=3)
+        assert result.rank == 3
+
+    def test_zero_block(self):
+        A = np.zeros((10, 12))
+        row_fn, col_fn = _fns(A)
+        result = aca(10, 12, row_fn, col_fn, rel_tol=1e-6)
+        assert result.rank == 0
+        np.testing.assert_allclose(result.lowrank.to_dense(), A)
+
+    def test_empty_block(self):
+        result = aca(0, 5, lambda i: np.zeros(5), lambda j: np.zeros(0))
+        assert result.rank == 0
+        assert result.lowrank.shape == (0, 5)
+
+    def test_sampled_rows_and_cols_counted(self):
+        A = _kernel_block(seed=1)
+        row_fn, col_fn = _fns(A)
+        result = aca(*A.shape, row_fn, col_fn, rel_tol=1e-6)
+        assert result.rows_sampled >= result.rank
+        assert result.cols_sampled >= result.rank
+        # The whole point of ACA: the number of sampled rows/columns is much
+        # smaller than the block dimensions.
+        assert result.rows_sampled < A.shape[0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            aca(-1, 5, lambda i: None, lambda j: None)
+        with pytest.raises(ValueError):
+            aca(5, 5, lambda i: None, lambda j: None, rel_tol=0.0)
+
+
+class TestFullACA:
+    def test_exact_on_lowrank(self):
+        A = _lowrank_matrix(25, 18, 5, seed=3)
+        result = aca_full(A, rel_tol=1e-12)
+        np.testing.assert_allclose(result.lowrank.to_dense(), A,
+                                   atol=1e-8 * np.abs(A).max())
+
+    def test_rank_detection(self):
+        A = _lowrank_matrix(30, 30, 7, seed=4)
+        result = aca_full(A, rel_tol=1e-10)
+        assert result.rank == 7
+
+    def test_agrees_with_partial_on_kernel_block(self):
+        A = _kernel_block(seed=5)
+        partial = aca(*A.shape, *_fns(A), rel_tol=1e-8)
+        full = aca_full(A, rel_tol=1e-8)
+        err_p = np.linalg.norm(partial.lowrank.to_dense() - A)
+        err_f = np.linalg.norm(full.lowrank.to_dense() - A)
+        assert err_p <= 10 * max(err_f, 1e-8 * np.linalg.norm(A))
+
+    def test_zero_matrix(self):
+        result = aca_full(np.zeros((5, 5)))
+        assert result.rank == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            aca_full(np.zeros(5))

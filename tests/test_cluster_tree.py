@@ -1,0 +1,173 @@
+"""Tests for the cluster tree structure and the generic splitter driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import ClusterNode, ClusterTree, tree_from_splitter
+from repro.clustering.two_means import TwoMeansSplitter
+
+
+def _random_points(n, d=3, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, d))
+
+
+def _build(n, leaf_size=8, seed=0):
+    X = _random_points(n, seed=seed)
+    return X, tree_from_splitter(X, TwoMeansSplitter(), leaf_size=leaf_size,
+                                 rng=np.random.default_rng(seed))
+
+
+class TestClusterNode:
+    def test_size_and_leaf(self):
+        node = ClusterNode(start=3, stop=10)
+        assert node.size == 7
+        assert node.is_leaf
+        node.left, node.right = 1, 2
+        assert not node.is_leaf
+
+
+class TestClusterTreeInvariants:
+    def test_root_covers_everything(self):
+        _, tree = _build(100)
+        root = tree.node(tree.root)
+        assert root.start == 0 and root.stop == 100
+
+    def test_perm_is_permutation(self):
+        _, tree = _build(73)
+        assert np.array_equal(np.sort(tree.perm), np.arange(73))
+
+    def test_children_partition_parent(self):
+        _, tree = _build(64)
+        for node in tree.nodes:
+            if not node.is_leaf:
+                left, right = tree.node(node.left), tree.node(node.right)
+                assert left.start == node.start
+                assert left.stop == right.start
+                assert right.stop == node.stop
+
+    def test_leaf_sizes_bounded(self):
+        _, tree = _build(200, leaf_size=16)
+        assert tree.leaf_sizes().max() <= 16
+        assert tree.leaf_sizes().sum() == 200
+
+    def test_leaves_cover_in_order(self):
+        _, tree = _build(50, leaf_size=4)
+        leaves = tree.leaves()
+        positions = [tree.node(i).start for i in leaves]
+        assert positions == sorted(positions)
+        assert tree.node(leaves[0]).start == 0
+        assert tree.node(leaves[-1]).stop == 50
+
+    def test_postorder_children_before_parents(self):
+        _, tree = _build(60, leaf_size=8)
+        seen = set()
+        for node_id in tree.postorder():
+            node = tree.node(node_id)
+            if not node.is_leaf:
+                assert node.left in seen and node.right in seen
+            seen.add(node_id)
+        assert len(seen) == tree.n_nodes
+
+    def test_levels_structure(self):
+        _, tree = _build(64, leaf_size=8)
+        levels = tree.levels()
+        assert levels[0] == [tree.root]
+        assert sum(len(level) for level in levels) == tree.n_nodes
+
+    def test_inverse_perm(self):
+        _, tree = _build(40)
+        inv = tree.inverse_perm
+        assert np.array_equal(inv[tree.perm], np.arange(40))
+
+    def test_indices_and_original_indices(self):
+        X, tree = _build(30, leaf_size=5)
+        for leaf in tree.leaves():
+            pos = tree.indices(leaf)
+            orig = tree.original_indices(leaf)
+            np.testing.assert_array_equal(tree.perm[pos], orig)
+
+
+class TestPermutationHelpers:
+    def test_apply_permutation_roundtrip(self):
+        X, tree = _build(37)
+        Xp = tree.apply_permutation(X)
+        assert Xp.shape == X.shape
+        np.testing.assert_allclose(Xp, X[tree.perm])
+
+    def test_permute_and_unpermute_vector(self):
+        _, tree = _build(29)
+        y = np.arange(29, dtype=float)
+        yp = tree.permute_vector(y)
+        np.testing.assert_allclose(tree.unpermute_vector(yp), y)
+
+    def test_wrong_length_raises(self):
+        _, tree = _build(20)
+        with pytest.raises(ValueError):
+            tree.apply_permutation(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            tree.permute_vector(np.zeros(5))
+
+
+class TestTreeValidation:
+    def test_invalid_perm_rejected(self):
+        nodes = [ClusterNode(0, 3)]
+        with pytest.raises(ValueError, match="not a permutation"):
+            ClusterTree(np.array([0, 0, 2]), nodes)
+
+    def test_root_range_must_cover(self):
+        nodes = [ClusterNode(0, 2)]
+        with pytest.raises(ValueError, match="root must cover"):
+            ClusterTree(np.array([0, 1, 2]), nodes)
+
+    def test_children_must_partition(self):
+        nodes = [ClusterNode(0, 4, left=1, right=2),
+                 ClusterNode(0, 3), ClusterNode(2, 4)]
+        with pytest.raises(ValueError, match="partition"):
+            ClusterTree(np.arange(4), nodes)
+
+    def test_single_child_rejected(self):
+        nodes = [ClusterNode(0, 4, left=1, right=-1), ClusterNode(0, 4)]
+        with pytest.raises(ValueError, match="zero or two children"):
+            ClusterTree(np.arange(4), nodes)
+
+
+class TestSplitterDriver:
+    def test_degenerate_splitter_falls_back(self):
+        # A splitter that puts everything in one side must still terminate.
+        X = _random_points(64, seed=4)
+        tree = tree_from_splitter(X, lambda pts, rng: np.ones(len(pts), dtype=bool),
+                                  leaf_size=8)
+        assert tree.leaf_sizes().max() <= 8
+
+    def test_bad_mask_length_raises(self):
+        X = _random_points(32, seed=5)
+        with pytest.raises(ValueError, match="mask of length"):
+            tree_from_splitter(X, lambda pts, rng: np.ones(3, dtype=bool),
+                               leaf_size=4)
+
+    def test_leaf_size_one(self):
+        X = _random_points(17, seed=6)
+        tree = tree_from_splitter(X, TwoMeansSplitter(), leaf_size=1)
+        assert tree.leaf_sizes().max() == 1
+        assert len(tree.leaves()) == 17
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            tree_from_splitter(_random_points(10), TwoMeansSplitter(), leaf_size=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=120),
+           leaf=st.integers(min_value=1, max_value=32),
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_property_tree_always_valid(self, n, leaf, seed):
+        X = _random_points(n, d=2, seed=seed)
+        tree = tree_from_splitter(X, TwoMeansSplitter(), leaf_size=leaf,
+                                  rng=np.random.default_rng(seed))
+        # The ClusterTree constructor validates all structural invariants.
+        assert tree.n == n
+        assert tree.leaf_sizes().sum() == n
+        assert tree.leaf_sizes().max() <= max(leaf, 1)

@@ -1,0 +1,220 @@
+"""Tests for the individual clustering / ordering methods and the front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (BallTreeSplitter, ClusteringResult,
+                              KDTreeSplitter, PCATreeSplitter, agglomerative_tree,
+                              available_methods, cluster,
+                              cluster_separation_ratio, natural_tree,
+                              tree_balance, average_leaf_size, two_means_split)
+from repro.clustering.kd_tree import kd_tree
+from repro.clustering.pca_tree import pca_tree
+from repro.clustering.ball_tree import ball_tree
+from repro.clustering.two_means import two_means_tree
+from repro.config import ClusteringOptions
+
+
+def _two_blobs(n=100, d=4, separation=8.0, seed=0):
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    a = rng.standard_normal((half, d))
+    b = rng.standard_normal((n - half, d)) + separation
+    X = np.vstack([a, b])
+    labels = np.array([0] * half + [1] * (n - half))
+    shuffle = rng.permutation(n)
+    return X[shuffle], labels[shuffle]
+
+
+class TestNaturalOrdering:
+    def test_identity_permutation(self):
+        X, _ = _two_blobs(50)
+        tree = natural_tree(X, leaf_size=8)
+        np.testing.assert_array_equal(tree.perm, np.arange(50))
+
+    def test_balanced_tree(self):
+        X, _ = _two_blobs(64)
+        tree = natural_tree(X, leaf_size=8)
+        assert tree_balance(tree) <= 0.6
+
+
+class TestTwoMeans:
+    def test_split_separates_blobs(self):
+        X, labels = _two_blobs(80, separation=10.0, seed=1)
+        mask = two_means_split(X, rng=0)
+        # All points of one blob must land on the same side.
+        side_of_label0 = mask[labels == 0]
+        side_of_label1 = mask[labels == 1]
+        assert side_of_label0.all() or (~side_of_label0).all()
+        assert side_of_label1.all() or (~side_of_label1).all()
+
+    def test_split_handles_identical_points(self):
+        X = np.ones((10, 3))
+        mask = two_means_split(X, rng=0)
+        assert mask.shape == (10,)
+        # Identical points cannot be clustered meaningfully, but the split
+        # must still make progress (neither side may be empty).
+        assert 0 < mask.sum() < 10
+
+    def test_split_tiny_inputs(self):
+        assert two_means_split(np.zeros((1, 2)), rng=0).shape == (1,)
+
+    def test_tree_reorders_blobs_contiguously(self):
+        X, labels = _two_blobs(96, separation=10.0, seed=2)
+        tree = two_means_tree(X, leaf_size=8, seed=0)
+        reordered_labels = labels[tree.perm]
+        # After the first split, each half should be pure.
+        root = tree.node(tree.root)
+        left = tree.node(root.left)
+        first_half = reordered_labels[left.start:left.stop]
+        assert len(np.unique(first_half)) == 1
+
+    def test_seed_reproducibility(self):
+        X, _ = _two_blobs(60, seed=3)
+        t1 = two_means_tree(X, leaf_size=8, seed=42)
+        t2 = two_means_tree(X, leaf_size=8, seed=42)
+        np.testing.assert_array_equal(t1.perm, t2.perm)
+
+
+class TestKDTree:
+    def test_splits_along_max_spread(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.uniform(0, 100, 50), rng.uniform(0, 1, 50)])
+        mask = KDTreeSplitter()(X, rng)
+        # Split must be along the first (wide) coordinate.
+        threshold_low = X[mask][:, 0].max()
+        threshold_high = X[~mask][:, 0].min()
+        assert threshold_low <= threshold_high + 1e-9
+
+    def test_median_split_is_balanced(self):
+        X, _ = _two_blobs(101, seed=4)
+        tree = kd_tree(X, leaf_size=8, use_median=True)
+        assert tree_balance(tree) <= 0.6
+
+    def test_mean_split_with_outlier_falls_back(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((200, 2))
+        X[0] = [1e6, 0.0]  # extreme outlier pulls the mean
+        tree = kd_tree(X, leaf_size=8, balance_threshold=100.0)
+        # The fallback keeps the tree from having size-1 / size-199 splits
+        # at the root.
+        root = tree.node(tree.root)
+        left = tree.node(root.left)
+        assert min(left.size, root.size - left.size) > 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            KDTreeSplitter(balance_threshold=0.1)
+
+
+class TestPCATree:
+    def test_splits_along_principal_direction(self):
+        rng = np.random.default_rng(2)
+        # Anisotropic cloud rotated 45 degrees: neither axis is the right
+        # split direction, but PCA finds it.
+        t = rng.standard_normal(100) * 10
+        X = np.column_stack([t, t]) + rng.standard_normal((100, 2)) * 0.1
+        mask = PCATreeSplitter()(X, rng)
+        left_mean = X[mask].mean(axis=0)
+        right_mean = X[~mask].mean(axis=0)
+        assert np.linalg.norm(left_mean - right_mean) > 5.0
+
+    def test_tree_builds(self):
+        X, _ = _two_blobs(70, seed=5)
+        tree = pca_tree(X, leaf_size=8)
+        assert tree.leaf_sizes().max() <= 8
+
+    def test_degenerate_constant_data(self):
+        X = np.ones((20, 3))
+        tree = pca_tree(X, leaf_size=4)
+        assert tree.leaf_sizes().sum() == 20
+
+
+class TestBallTree:
+    def test_tree_builds_and_separates(self):
+        X, labels = _two_blobs(80, separation=12.0, seed=6)
+        tree = ball_tree(X, leaf_size=8, seed=0)
+        reordered = labels[tree.perm]
+        root = tree.node(tree.root)
+        left = tree.node(root.left)
+        assert len(np.unique(reordered[left.start:left.stop])) == 1
+
+    def test_splitter_small_input(self):
+        assert BallTreeSplitter()(np.zeros((1, 2)), np.random.default_rng(0)).all()
+
+
+class TestAgglomerative:
+    def test_tree_structure_valid(self):
+        X, _ = _two_blobs(60, seed=7)
+        tree = agglomerative_tree(X, leaf_size=8)
+        assert tree.leaf_sizes().sum() == 60
+        assert tree.leaf_sizes().max() <= 8 or tree.leaf_sizes().max() <= 60
+
+    def test_separates_blobs(self):
+        X, labels = _two_blobs(50, separation=15.0, seed=8)
+        tree = agglomerative_tree(X, leaf_size=16)
+        reordered = labels[tree.perm]
+        root = tree.node(tree.root)
+        left = tree.node(root.left)
+        assert len(np.unique(reordered[left.start:left.stop])) == 1
+
+    def test_single_point(self):
+        tree = agglomerative_tree(np.zeros((1, 2)), leaf_size=4)
+        assert tree.n == 1
+
+
+class TestClusterFrontend:
+    def test_available_methods(self):
+        methods = available_methods()
+        assert "two_means" in methods and "natural" in methods
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("2MN", "two_means"), ("NP", "natural"), ("KD", "kd"), ("PCA", "pca"),
+        ("kd_tree", "kd"), ("none", "natural"),
+    ])
+    def test_aliases(self, alias, canonical):
+        X, _ = _two_blobs(40, seed=9)
+        result = cluster(X, method=alias, leaf_size=8, seed=0)
+        assert result.method == canonical
+
+    def test_unknown_method_raises(self):
+        X, _ = _two_blobs(20)
+        with pytest.raises(ValueError, match="unknown clustering method"):
+            cluster(X, method="quantum")
+
+    def test_result_consistency(self):
+        X, y = _two_blobs(50, seed=10)
+        result = cluster(X, method="pca", leaf_size=8)
+        assert isinstance(result, ClusteringResult)
+        np.testing.assert_allclose(result.X, X[result.perm])
+        np.testing.assert_allclose(result.permute_labels(y), y[result.perm])
+
+    def test_options_object(self):
+        X, _ = _two_blobs(40, seed=11)
+        opts = ClusteringOptions(method="kd", leaf_size=4, seed=1)
+        result = cluster(X, options=opts)
+        assert result.method == "kd"
+        assert result.tree.leaf_sizes().max() <= 4
+
+
+class TestQualityMetrics:
+    def test_separation_ratio_larger_for_clustered_ordering(self):
+        X, _ = _two_blobs(100, separation=10.0, seed=12)
+        natural = cluster(X, method="natural", leaf_size=8)
+        clustered = cluster(X, method="two_means", leaf_size=8, seed=0)
+        r_nat = cluster_separation_ratio(X, natural.tree)
+        r_clu = cluster_separation_ratio(X, clustered.tree)
+        assert r_clu > r_nat
+
+    def test_separation_requires_internal_node(self):
+        X, _ = _two_blobs(10, seed=13)
+        result = cluster(X, method="natural", leaf_size=16)
+        with pytest.raises(ValueError):
+            cluster_separation_ratio(X, result.tree, node=result.tree.root)
+
+    def test_average_leaf_size(self):
+        X, _ = _two_blobs(64, seed=14)
+        result = cluster(X, method="natural", leaf_size=8)
+        assert 0 < average_leaf_size(result.tree) <= 8

@@ -1,0 +1,85 @@
+"""Tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (ClusteringOptions, HMatrixOptions, HSSOptions,
+                          KRROptions)
+
+
+class TestHSSOptions:
+    def test_defaults_match_paper(self):
+        opts = HSSOptions()
+        assert opts.leaf_size == 16          # Section 4.3
+        assert opts.rel_tol == pytest.approx(0.1)  # Section 5.2
+        assert opts.symmetric is True
+
+    def test_with_replaces_fields(self):
+        opts = HSSOptions().with_(rel_tol=1e-4, leaf_size=32)
+        assert opts.rel_tol == 1e-4
+        assert opts.leaf_size == 32
+        # original untouched (frozen dataclass)
+        assert HSSOptions().rel_tol == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"leaf_size": 0},
+        {"rel_tol": 0.0},
+        {"rel_tol": -1.0},
+        {"abs_tol": -1e-3},
+        {"initial_samples": 0},
+        {"sample_increment": 0},
+        {"max_rank": 0},
+    ])
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            HSSOptions(**kwargs)
+
+
+class TestHMatrixOptions:
+    def test_defaults(self):
+        opts = HMatrixOptions()
+        assert opts.leaf_size >= 1
+        assert opts.admissibility in ("centroid", "box")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"leaf_size": 0},
+        {"admissibility_eta": 0.0},
+        {"admissibility": "bogus"},
+        {"rel_tol": 0.0},
+    ])
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            HMatrixOptions(**kwargs)
+
+
+class TestClusteringOptions:
+    def test_defaults(self):
+        opts = ClusteringOptions()
+        assert opts.method == "two_means"
+        assert opts.leaf_size == 16
+
+    @pytest.mark.parametrize("kwargs", [
+        {"leaf_size": 0},
+        {"max_iter": 0},
+        {"balance_threshold": 0.5},
+    ])
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusteringOptions(**kwargs)
+
+
+class TestKRROptions:
+    def test_defaults(self):
+        opts = KRROptions()
+        assert opts.solver == "hss"
+        assert opts.kernel == "gaussian"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"h": 0.0},
+        {"lam": -1.0},
+        {"solver": "unknown"},
+    ])
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            KRROptions(**kwargs)

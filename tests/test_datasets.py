@@ -1,0 +1,192 @@
+"""Tests for the synthetic dataset generators, normalization and splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (DATASET_DIMENSIONS, DatasetBundle, Standardizer,
+                            concentric_spheres, clustered_manifold,
+                            dataset_names, gaussian_mixture, load_dataset,
+                            minmax_scale, standardize, train_test_split,
+                            train_val_test_split, two_spirals)
+from repro.datasets.registry import PAPER_HYPERPARAMETERS
+from repro.datasets.uci_like import (covtype_like, gas_like, hepmass_like,
+                                     letter_like, mnist_like, pen_like,
+                                     susy_like)
+
+
+class TestSyntheticPrimitives:
+    def test_gaussian_mixture_shapes_and_labels(self):
+        X, y = gaussian_mixture(200, 5, n_components=4, seed=0)
+        assert X.shape == (200, 5)
+        assert set(np.unique(y)) <= {-1.0, 1.0}
+
+    def test_gaussian_mixture_weights_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture(10, 2, n_components=2, weights=np.array([0.5]))
+
+    def test_clustered_manifold_cluster_ids(self):
+        X, ids = clustered_manifold(300, 10, n_clusters=5, seed=1)
+        assert X.shape == (300, 10)
+        assert ids.max() < 5
+        # every cluster should get some points at this size
+        assert len(np.unique(ids)) == 5
+
+    def test_clustered_manifold_is_clustered(self):
+        X, ids = clustered_manifold(400, 8, n_clusters=4, separation=6.0,
+                                    noise=0.2, seed=2)
+        # within-cluster spread should be much smaller than between-cluster
+        centroids = np.array([X[ids == c].mean(axis=0) for c in range(4)])
+        within = np.mean([X[ids == c].std() for c in range(4)])
+        between = np.linalg.norm(centroids[0] - centroids[1])
+        assert between > 2 * within
+
+    def test_two_spirals_and_spheres(self):
+        X, y = two_spirals(100, seed=3)
+        assert X.shape == (100, 2)
+        assert set(np.unique(y)) == {-1.0, 1.0}
+        X2, y2 = concentric_spheres(100, d=4, seed=4)
+        assert X2.shape == (100, 4)
+        assert set(np.unique(y2)) == {-1.0, 1.0}
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture(0, 3)
+        with pytest.raises(ValueError):
+            clustered_manifold(10, 0)
+        with pytest.raises(ValueError):
+            two_spirals(1)
+
+
+class TestUCILikeGenerators:
+    @pytest.mark.parametrize("gen,name", [
+        (susy_like, "susy"), (hepmass_like, "hepmass"), (covtype_like, "covtype"),
+        (gas_like, "gas"), (letter_like, "letter"), (pen_like, "pen"),
+    ])
+    def test_dimensions_match_paper(self, gen, name):
+        X, y = gen(128, seed=0)
+        assert X.shape == (128, DATASET_DIMENSIONS[name])
+        assert set(np.unique(y)) <= {-1.0, 1.0}
+
+    def test_mnist_dimension_and_reduction(self):
+        X, y = mnist_like(64, seed=0)
+        assert X.shape[1] == 784
+        X2, _ = mnist_like(64, seed=0, ambient_dim=100)
+        assert X2.shape[1] == 100
+
+    def test_one_vs_all_labels_are_minority(self):
+        # One-vs-all labels: the positive class is a strict minority.
+        for gen in (letter_like, pen_like, covtype_like, gas_like):
+            _, y = gen(1000, seed=1)
+            positive_fraction = np.mean(y == 1.0)
+            assert 0.0 < positive_fraction < 0.5
+
+    def test_reproducibility(self):
+        X1, y1 = susy_like(100, seed=42)
+        X2, y2 = susy_like(100, seed=42)
+        np.testing.assert_allclose(X1, X2)
+        np.testing.assert_array_equal(y1, y2)
+
+
+class TestNormalization:
+    def test_standardize_train_statistics(self):
+        rng = np.random.default_rng(0)
+        X_train = rng.normal(5.0, 3.0, size=(500, 4))
+        X_test = rng.normal(5.0, 3.0, size=(100, 4))
+        Xt, Xe = standardize(X_train, X_test)
+        np.testing.assert_allclose(Xt.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Xt.std(axis=0), 1.0, atol=1e-10)
+        # test set is scaled with TRAIN statistics, so only approximately normal
+        assert np.all(np.abs(Xe.mean(axis=0)) < 0.5)
+
+    def test_standardize_single_argument(self):
+        X = np.random.default_rng(1).normal(size=(50, 3)) * 10 + 2
+        Xs = standardize(X)
+        np.testing.assert_allclose(Xs.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_standardizer_constant_column(self):
+        X = np.column_stack([np.ones(20), np.arange(20, dtype=float)])
+        Xs = Standardizer().fit_transform(X)
+        assert np.all(np.isfinite(Xs))
+        np.testing.assert_allclose(Xs[:, 0], 0.0)
+
+    def test_standardizer_errors(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.zeros((3, 2)))
+        s = Standardizer().fit(np.random.default_rng(2).normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            s.transform(np.zeros((5, 4)))
+
+    def test_minmax_scale(self):
+        X = np.random.default_rng(3).uniform(-10, 10, size=(100, 3))
+        Xs = minmax_scale(X)
+        assert np.abs(Xs).max() <= 1.0 + 1e-12
+
+
+class TestSplits:
+    def test_train_test_split_sizes(self):
+        X = np.arange(100)[:, None].astype(float)
+        y = np.arange(100, dtype=float)
+        X_tr, y_tr, X_te, y_te = train_test_split(X, y, test_fraction=0.2, seed=0)
+        assert X_te.shape[0] == 20 and X_tr.shape[0] == 80
+        # consistency between X and y
+        np.testing.assert_allclose(X_tr.ravel(), y_tr)
+        # no overlap
+        assert set(y_tr).isdisjoint(set(y_te))
+
+    def test_train_val_test_split(self):
+        X = np.arange(200)[:, None].astype(float)
+        y = np.arange(200, dtype=float)
+        parts = train_val_test_split(X, y, val_fraction=0.1, test_fraction=0.2,
+                                     seed=1)
+        X_tr, y_tr, X_val, y_val, X_te, y_te = parts
+        assert X_val.shape[0] == 20 and X_te.shape[0] == 40
+        assert X_tr.shape[0] == 140
+        all_targets = np.concatenate([y_tr, y_val, y_te])
+        assert len(np.unique(all_targets)) == 200
+
+    def test_invalid_fractions(self):
+        X = np.zeros((10, 2))
+        y = np.zeros(10)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_val_test_split(X, y, val_fraction=0.6, test_fraction=0.6)
+
+
+class TestRegistry:
+    def test_dataset_names_cover_paper(self):
+        names = dataset_names()
+        for expected in ("susy", "letter", "pen", "hepmass", "covtype", "gas",
+                         "mnist"):
+            assert expected in names
+            assert expected in PAPER_HYPERPARAMETERS
+
+    def test_load_dataset_bundle(self):
+        data = load_dataset("gas", n_train=200, n_test=50, seed=0)
+        assert isinstance(data, DatasetBundle)
+        assert data.n_train == 200 and data.n_test == 50
+        assert data.dim == DATASET_DIMENSIONS["gas"]
+        assert data.h == PAPER_HYPERPARAMETERS["gas"][0]
+        # standardized with train statistics
+        np.testing.assert_allclose(data.X_train.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_load_dataset_no_normalization(self):
+        data = load_dataset("susy", n_train=100, n_test=20, seed=0, normalize=False)
+        assert abs(data.X_train.mean()) > 1e-6 or data.X_train.std() != 1.0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("cifar")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            load_dataset("susy", n_train=1, n_test=1)
+
+    def test_train_test_same_distribution(self):
+        data = load_dataset("pen", n_train=400, n_test=200, seed=5)
+        # Means of train and test should agree within sampling error because
+        # they come from the same generated pool.
+        diff = np.abs(data.X_train.mean(axis=0) - data.X_test.mean(axis=0))
+        assert np.median(diff) < 0.5

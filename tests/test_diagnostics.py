@@ -1,0 +1,104 @@
+"""Tests for the diagnostics package (spectra, ranks, report tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import gas_like, standardize
+from repro.diagnostics import (Table, block_effective_rank, effective_rank_table,
+                               format_table, full_singular_values,
+                               offdiagonal_block, offdiagonal_singular_values,
+                               spectrum_sweep)
+
+
+@pytest.fixture(scope="module")
+def gas_small():
+    X, _ = gas_like(256, seed=0)
+    return standardize(X)
+
+
+class TestSpectra:
+    def test_offdiagonal_block_shape(self, gas_small):
+        block = offdiagonal_block(gas_small, h=1.0, ordering="natural")
+        assert block.shape == (128, 128)
+
+    def test_clustering_accelerates_decay(self, gas_small):
+        # The central claim of Figure 1a: with 2MN ordering the off-diagonal
+        # singular values decay faster at intermediate h.
+        s_natural = offdiagonal_singular_values(gas_small, h=1.0, ordering="natural")
+        s_clustered = offdiagonal_singular_values(gas_small, h=1.0,
+                                                  ordering="two_means", seed=0)
+        k = 30
+        assert s_clustered[k] < s_natural[k]
+
+    def test_full_spectrum_is_permutation_invariant(self, gas_small):
+        s_nat = full_singular_values(gas_small, h=1.0, ordering="natural")
+        s_2mn = full_singular_values(gas_small, h=1.0, ordering="two_means", seed=0)
+        np.testing.assert_allclose(s_nat, s_2mn, rtol=1e-8, atol=1e-10)
+
+    def test_spectrum_sweep_structure(self, gas_small):
+        sweep = spectrum_sweep(gas_small, h_values=[0.5, 2.0],
+                               orderings=("natural", "two_means"), seed=0)
+        assert set(sweep) == {"natural", "two_means"}
+        assert set(sweep["natural"]) == {0.5, 2.0}
+        assert sweep["natural"][0.5].shape[0] == 128
+
+    def test_invalid_which(self, gas_small):
+        with pytest.raises(ValueError):
+            spectrum_sweep(gas_small, [1.0], which="bogus")
+
+
+class TestEffectiveRanks:
+    def test_rank_small_for_extreme_h(self, gas_small):
+        # Table 1 behaviour: effective rank -> small as h -> 0 or infinity.
+        tiny_h = block_effective_rank(gas_small, h=0.01, ordering="natural")
+        huge_h = block_effective_rank(gas_small, h=100.0, ordering="natural")
+        mid_h = block_effective_rank(gas_small, h=1.0, ordering="natural")
+        assert tiny_h <= 3
+        assert huge_h <= gas_small.shape[0] // 4
+        assert mid_h >= tiny_h
+
+    def test_clustering_reduces_effective_rank(self, gas_small):
+        table = effective_rank_table(gas_small, h_values=(1.0,),
+                                     orderings=("natural", "two_means"), seed=0)
+        assert table["two_means"][1.0] <= table["natural"][1.0]
+
+    def test_table_structure(self, gas_small):
+        table = effective_rank_table(gas_small, h_values=(0.1, 1.0),
+                                     orderings=("natural",))
+        assert set(table) == {"natural"}
+        assert set(table["natural"]) == {0.1, 1.0}
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"name": "a", "value": 1.0}, {"name": "long-name", "value": 123.456}]
+        text = format_table(rows, title="My table")
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(empty table)" in format_table([], title="x")
+
+    def test_table_add_row_and_columns(self):
+        t = Table(title="t", columns=["b", "a"])
+        t.add_row(a=1, b=2)
+        t.add_row(a=3, b=4, c=5)  # extra key ignored by explicit columns
+        assert t.column_names() == ["b", "a"]
+        rendered = t.render()
+        assert rendered.splitlines()[1].startswith("b")
+
+    def test_table_infers_columns(self):
+        t = Table(title="t")
+        t.add_row(x=1)
+        t.add_row(y=2)
+        assert t.column_names() == ["x", "y"]
+
+    def test_cell_formatting(self):
+        rows = [{"v": 0.000012345}, {"v": 123456.0}, {"v": 0}]
+        text = format_table(rows)
+        assert "1.23e-05" in text or "1.235e-05" in text
+        assert "0" in text

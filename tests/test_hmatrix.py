@@ -1,0 +1,203 @@
+"""Tests for the H-matrix format: geometry, admissibility, build, matvec, sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import cluster
+from repro.config import HMatrixOptions, HSSOptions
+from repro.hmatrix import (BlockClusterTree, BoundingBox, ClusterGeometry,
+                           HMatrixSampler, build_hmatrix,
+                           centroid_admissibility, cluster_bounding_boxes,
+                           cluster_geometries, strong_admissibility)
+from repro.hss import build_hss_randomized
+from repro.kernels import GaussianKernel, ShiftedKernelOperator
+
+
+def _clustered_points(n=300, d=4, n_clusters=6, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((n_clusters, d)) * 6.0
+    X = centers[rng.integers(n_clusters, size=n)] + 0.4 * rng.standard_normal((n, d))
+    return X
+
+
+@pytest.fixture()
+def hmatrix_setup():
+    X = _clustered_points()
+    result = cluster(X, method="two_means", leaf_size=16, seed=0)
+    op = ShiftedKernelOperator(result.X, GaussianKernel(h=1.5), 1.0)
+    return result, op
+
+
+class TestBoundingBox:
+    def test_of_points_and_diameter(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+        box = BoundingBox.of_points(pts)
+        np.testing.assert_allclose(box.lower, [0, 0])
+        np.testing.assert_allclose(box.upper, [3, 4])
+        assert box.diameter == pytest.approx(5.0)
+        np.testing.assert_allclose(box.center, [1.5, 2.0])
+
+    def test_distance_disjoint_and_overlapping(self):
+        a = BoundingBox(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = BoundingBox(np.array([4.0, 0.0]), np.array([5.0, 1.0]))
+        c = BoundingBox(np.array([0.5, 0.5]), np.array([2.0, 2.0]))
+        assert a.distance(b) == pytest.approx(3.0)
+        assert a.distance(c) == 0.0
+
+    def test_invalid_box(self):
+        with pytest.raises(ValueError):
+            BoundingBox(np.array([1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            BoundingBox.of_points(np.zeros((0, 2)))
+
+
+class TestClusterGeometry:
+    def test_of_points(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        g = ClusterGeometry.of_points(pts)
+        np.testing.assert_allclose(g.centroid, [1.0, 0.0])
+        assert g.radius == pytest.approx(1.0)
+        assert g.size == 2
+
+    def test_merge_matches_direct_computation(self):
+        rng = np.random.default_rng(1)
+        a_pts = rng.standard_normal((30, 3))
+        b_pts = rng.standard_normal((20, 3)) + 5.0
+        merged = ClusterGeometry.merge(ClusterGeometry.of_points(a_pts),
+                                       ClusterGeometry.of_points(b_pts))
+        direct = ClusterGeometry.of_points(np.vstack([a_pts, b_pts]))
+        np.testing.assert_allclose(merged.centroid, direct.centroid, atol=1e-10)
+        assert merged.radius == pytest.approx(direct.radius, rel=1e-10)
+        assert merged.size == 50
+
+    def test_geometries_cover_all_nodes(self, hmatrix_setup):
+        result, _ = hmatrix_setup
+        geoms = cluster_geometries(result.X, result.tree)
+        assert set(geoms) == set(range(result.tree.n_nodes))
+        boxes = cluster_bounding_boxes(result.X, result.tree)
+        root_geom = geoms[result.tree.root]
+        np.testing.assert_allclose(root_geom.box.lower,
+                                   boxes[result.tree.root].lower)
+
+
+class TestAdmissibility:
+    def test_strong_admissibility_far_boxes(self):
+        a = BoundingBox(np.zeros(2), np.ones(2))
+        b = BoundingBox(np.array([10.0, 10.0]), np.array([11.0, 11.0]))
+        assert strong_admissibility(a, b, eta=1.5)
+        assert not strong_admissibility(a, a, eta=1.5)
+
+    def test_centroid_admissibility(self):
+        g1 = ClusterGeometry.of_points(np.random.default_rng(0).standard_normal((50, 3)))
+        g2 = ClusterGeometry.of_points(
+            np.random.default_rng(1).standard_normal((50, 3)) + 20.0)
+        assert centroid_admissibility(g1, g2, eta=1.0)
+        assert not centroid_admissibility(g1, g1, eta=1.0)
+
+    def test_invalid_eta(self):
+        g = ClusterGeometry.of_points(np.zeros((2, 2)) + np.arange(2)[:, None])
+        with pytest.raises(ValueError):
+            centroid_admissibility(g, g, eta=0.0)
+
+
+class TestBlockClusterTree:
+    def test_leaves_tile_matrix(self, hmatrix_setup):
+        result, _ = hmatrix_setup
+        geoms = cluster_geometries(result.X, result.tree)
+        btree = BlockClusterTree(result.tree, geoms, eta=1.0, leaf_size=32)
+        assert btree.coverage_check()
+        assert len(btree.admissible_leaves()) + len(btree.dense_leaves()) == \
+            len(btree.leaves())
+
+    def test_box_criterion_also_valid(self, hmatrix_setup):
+        result, _ = hmatrix_setup
+        geoms = cluster_geometries(result.X, result.tree)
+        btree = BlockClusterTree(result.tree, geoms, eta=1.5, leaf_size=32,
+                                 criterion="box")
+        assert btree.coverage_check()
+
+    def test_invalid_arguments(self, hmatrix_setup):
+        result, _ = hmatrix_setup
+        geoms = cluster_geometries(result.X, result.tree)
+        with pytest.raises(ValueError):
+            BlockClusterTree(result.tree, geoms, eta=0.0)
+        with pytest.raises(ValueError):
+            BlockClusterTree(result.tree, geoms, criterion="nope")
+
+
+class TestHMatrixBuild:
+    def test_accuracy_and_compression(self, hmatrix_setup):
+        result, op = hmatrix_setup
+        hm = build_hmatrix(op, result.X, result.tree,
+                           HMatrixOptions(rel_tol=1e-6))
+        A = op.to_dense()
+        err = np.linalg.norm(hm.to_dense() - A) / np.linalg.norm(A)
+        assert err < 1e-4
+        assert hm.nbytes < A.nbytes  # compressed
+        stats = hm.statistics()
+        assert stats.admissible_blocks > 0
+        assert stats.total_bytes == hm.nbytes
+
+    def test_matvec_matches_dense(self, hmatrix_setup):
+        result, op = hmatrix_setup
+        hm = build_hmatrix(op, result.X, result.tree, HMatrixOptions(rel_tol=1e-7))
+        A = op.to_dense()
+        rng = np.random.default_rng(2)
+        v = rng.standard_normal(hm.n)
+        V = rng.standard_normal((hm.n, 3))
+        np.testing.assert_allclose(hm.matvec(v), A @ v, atol=1e-5 * np.linalg.norm(A @ v))
+        np.testing.assert_allclose(hm.rmatvec(v), A.T @ v,
+                                   atol=1e-5 * np.linalg.norm(A @ v))
+        np.testing.assert_allclose(hm.matmat(V), A @ V,
+                                   atol=1e-5 * np.linalg.norm(A @ V))
+
+    def test_matvec_shape_check(self, hmatrix_setup):
+        result, op = hmatrix_setup
+        hm = build_hmatrix(op, result.X, result.tree)
+        with pytest.raises(ValueError):
+            hm.matvec(np.zeros(3))
+
+    def test_tolerance_controls_memory(self, hmatrix_setup):
+        result, op = hmatrix_setup
+        loose = build_hmatrix(op, result.X, result.tree, HMatrixOptions(rel_tol=1e-1))
+        tight = build_hmatrix(op, result.X, result.tree, HMatrixOptions(rel_tol=1e-8))
+        assert loose.nbytes <= tight.nbytes
+
+
+class TestHMatrixSampler:
+    def test_sampler_products_and_elements(self, hmatrix_setup):
+        result, op = hmatrix_setup
+        hm = build_hmatrix(op, result.X, result.tree, HMatrixOptions(rel_tol=1e-7))
+        sampler = HMatrixSampler(hm, op)
+        A = op.to_dense()
+        V = np.random.default_rng(3).standard_normal((hm.n, 4))
+        np.testing.assert_allclose(sampler.matmat(V), A @ V,
+                                   atol=1e-5 * np.linalg.norm(A @ V))
+        rows = np.array([0, 5, 10])
+        cols = np.array([1, 2])
+        # Element extraction must be exact (it goes to the exact operator).
+        np.testing.assert_allclose(sampler.block(rows, cols),
+                                   A[np.ix_(rows, cols)], atol=1e-12)
+        assert sampler.n == hm.n
+        assert sampler.matvec_sweeps >= 1
+
+    def test_hss_built_through_sampler_matches_exact(self, hmatrix_setup):
+        result, op = hmatrix_setup
+        hm = build_hmatrix(op, result.X, result.tree, HMatrixOptions(rel_tol=1e-7))
+        sampler = HMatrixSampler(hm, op)
+        opts = HSSOptions(rel_tol=1e-5)
+        hss_exact, _ = build_hss_randomized(op, result.tree, opts, rng=0)
+        hss_sampled, _ = build_hss_randomized(sampler, result.tree, opts, rng=0)
+        A = op.to_dense()
+        err_exact = np.linalg.norm(hss_exact.to_dense() - A) / np.linalg.norm(A)
+        err_sampled = np.linalg.norm(hss_sampled.to_dense() - A) / np.linalg.norm(A)
+        assert err_sampled < 50 * max(err_exact, 1e-6)
+
+    def test_dimension_mismatch(self, hmatrix_setup):
+        result, op = hmatrix_setup
+        hm = build_hmatrix(op, result.X, result.tree)
+        other = ShiftedKernelOperator(result.X[:-10], GaussianKernel(h=1.0), 1.0)
+        with pytest.raises(ValueError):
+            HMatrixSampler(hm, other)

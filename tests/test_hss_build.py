@@ -1,0 +1,176 @@
+"""Tests for the deterministic and randomized HSS constructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import cluster, natural_tree
+from repro.config import HSSOptions
+from repro.hss import (HSSMatrix, build_hss_from_dense, build_hss_randomized)
+from repro.kernels import (DenseMatrixOperator, GaussianKernel,
+                           ShiftedKernelOperator)
+
+
+def _clustered_kernel(n=200, d=6, h=1.0, lam=1.0, seed=0, method="two_means"):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((6, d)) * 4.0
+    X = centers[rng.integers(6, size=n)] + 0.5 * rng.standard_normal((n, d))
+    result = cluster(X, method=method, leaf_size=16, seed=seed)
+    K = GaussianKernel(h=h).matrix(result.X) + lam * np.eye(n)
+    return K, result
+
+
+class TestDenseBuilder:
+    def test_reconstruction_tight_tolerance(self, clustered_kernel_matrix):
+        K, result = clustered_kernel_matrix
+        hss = build_hss_from_dense(K, result.tree, HSSOptions(rel_tol=1e-8))
+        err = np.linalg.norm(hss.to_dense() - K) / np.linalg.norm(K)
+        assert err < 1e-6
+
+    def test_reconstruction_loose_tolerance(self, clustered_kernel_matrix):
+        K, result = clustered_kernel_matrix
+        hss = build_hss_from_dense(K, result.tree, HSSOptions(rel_tol=0.1))
+        err = np.linalg.norm(hss.to_dense() - K) / np.linalg.norm(K)
+        assert err < 0.3  # loose tolerance still bounded
+        tight = build_hss_from_dense(K, result.tree, HSSOptions(rel_tol=1e-8))
+        assert hss.max_rank <= tight.max_rank
+        assert hss.nbytes <= tight.nbytes
+
+    def test_nonsymmetric_matrix(self):
+        rng = np.random.default_rng(1)
+        n = 128
+        # A smooth nonsymmetric matrix with low-rank off-diagonal blocks.
+        t = np.linspace(0, 1, n)
+        A = 1.0 / (1.0 + 5.0 * np.abs(t[:, None] - t[None, :] * 0.7)) \
+            + np.diag(rng.uniform(1, 2, n))
+        tree = natural_tree(np.column_stack([t, t]), leaf_size=16)
+        hss = build_hss_from_dense(A, tree, HSSOptions(rel_tol=1e-9, symmetric=False))
+        err = np.linalg.norm(hss.to_dense() - A) / np.linalg.norm(A)
+        assert err < 1e-6
+
+    def test_single_leaf_tree(self):
+        rng = np.random.default_rng(2)
+        A = rng.standard_normal((10, 10))
+        A = A @ A.T + 10 * np.eye(10)
+        tree = natural_tree(rng.standard_normal((10, 2)), leaf_size=16)
+        hss = build_hss_from_dense(A, tree, HSSOptions())
+        np.testing.assert_allclose(hss.to_dense(), A)
+
+    def test_dimension_mismatch_raises(self, clustered_kernel_matrix):
+        K, result = clustered_kernel_matrix
+        with pytest.raises(ValueError, match="dimension"):
+            build_hss_from_dense(K[:-2, :-2], result.tree)
+
+    def test_max_rank_cap_respected(self, clustered_kernel_matrix):
+        K, result = clustered_kernel_matrix
+        hss = build_hss_from_dense(K, result.tree,
+                                   HSSOptions(rel_tol=1e-12, max_rank=10))
+        assert hss.max_rank <= 10
+
+    def test_validation_of_node_shapes(self, clustered_kernel_matrix):
+        K, result = clustered_kernel_matrix
+        hss = build_hss_from_dense(K, result.tree, HSSOptions(rel_tol=1e-6))
+        # Corrupt a B block and verify the validator notices.
+        for node_id, data in enumerate(hss.node_data):
+            if data.B12 is not None and data.B12.size:
+                data.B12 = data.B12[:, :-1] if data.B12.shape[1] > 1 else np.zeros((1, 5))
+                break
+        with pytest.raises(ValueError):
+            HSSMatrix(hss.tree, hss.node_data)
+
+
+class TestRandomizedBuilder:
+    def test_matches_dense_builder(self):
+        K, result = _clustered_kernel(n=192, seed=3)
+        opts = HSSOptions(rel_tol=1e-7)
+        dense_hss = build_hss_from_dense(K, result.tree, opts)
+        op = DenseMatrixOperator(K)
+        rand_hss, stats = build_hss_randomized(op, result.tree, opts, rng=0)
+        err = np.linalg.norm(rand_hss.to_dense() - K) / np.linalg.norm(K)
+        assert err < 1e-5
+        assert stats.random_vectors >= opts.initial_samples
+        # Ranks should be comparable (randomized may differ slightly).
+        assert abs(rand_hss.max_rank - dense_hss.max_rank) <= 10
+
+    def test_kernel_operator_input(self):
+        K, result = _clustered_kernel(n=160, h=1.5, lam=2.0, seed=4)
+        op = ShiftedKernelOperator(result.X, GaussianKernel(h=1.5), 2.0)
+        hss, stats = build_hss_randomized(op, result.tree, HSSOptions(rel_tol=1e-6),
+                                          rng=1)
+        err = np.linalg.norm(hss.to_dense() - K) / np.linalg.norm(K)
+        assert err < 1e-4
+        assert stats.element_evaluations > 0
+        assert stats.sample_time >= 0.0
+
+    def test_adaptive_rounds_increase_random_vectors(self):
+        # Force adaptation by starting with very few samples on a matrix of
+        # moderately large off-diagonal rank.
+        K, result = _clustered_kernel(n=256, h=0.8, seed=5)
+        op = DenseMatrixOperator(K)
+        opts = HSSOptions(rel_tol=1e-8, initial_samples=8, sample_increment=16,
+                          oversampling=4)
+        hss, stats = build_hss_randomized(op, result.tree, opts, rng=2)
+        assert stats.rounds >= 2
+        assert stats.random_vectors > 8
+        err = np.linalg.norm(hss.to_dense() - K) / np.linalg.norm(K)
+        assert err < 1e-5
+
+    def test_nonsymmetric_randomized(self):
+        rng = np.random.default_rng(6)
+        n = 128
+        t = np.linspace(0, 1, n)
+        A = 1.0 / (1.0 + 4.0 * np.abs(t[:, None] - 0.5 * t[None, :])) + np.eye(n)
+        tree = natural_tree(np.column_stack([t, t]), leaf_size=16)
+        op = DenseMatrixOperator(A)
+        hss, _ = build_hss_randomized(op, tree,
+                                      HSSOptions(rel_tol=1e-8, symmetric=False),
+                                      rng=3)
+        err = np.linalg.norm(hss.to_dense() - A) / np.linalg.norm(A)
+        assert err < 1e-5
+
+    def test_loose_tolerance_smaller_memory(self):
+        K, result = _clustered_kernel(n=192, seed=7)
+        op = DenseMatrixOperator(K)
+        loose, _ = build_hss_randomized(op, result.tree, HSSOptions(rel_tol=0.1),
+                                        rng=0)
+        tight, _ = build_hss_randomized(op, result.tree, HSSOptions(rel_tol=1e-6),
+                                        rng=0)
+        assert loose.nbytes <= tight.nbytes
+        # Ranks are detected from random samples of different sizes, so exact
+        # monotonicity is not guaranteed; allow a small slack.
+        assert loose.max_rank <= tight.max_rank + 8
+
+    def test_dimension_mismatch(self):
+        K, result = _clustered_kernel(n=64, seed=8)
+        op = DenseMatrixOperator(K[:32, :32])
+        with pytest.raises(ValueError, match="dimension"):
+            build_hss_randomized(op, result.tree)
+
+    def test_reproducible_with_seed(self):
+        K, result = _clustered_kernel(n=96, seed=9)
+        op = DenseMatrixOperator(K)
+        h1, _ = build_hss_randomized(op, result.tree, HSSOptions(rel_tol=1e-6), rng=11)
+        h2, _ = build_hss_randomized(op, result.tree, HSSOptions(rel_tol=1e-6), rng=11)
+        np.testing.assert_allclose(h1.to_dense(), h2.to_dense(), atol=1e-12)
+
+
+class TestStatistics:
+    def test_memory_accounting_matches_nbytes(self, clustered_kernel_matrix):
+        K, result = clustered_kernel_matrix
+        hss = build_hss_from_dense(K, result.tree, HSSOptions(rel_tol=1e-4))
+        stats = hss.statistics()
+        assert stats.total_bytes == hss.nbytes
+        assert stats.total_bytes == (stats.bytes_diagonal + stats.bytes_bases +
+                                     stats.bytes_coupling)
+        assert stats.max_rank == hss.max_rank
+        assert stats.n == hss.n
+        assert stats.leaf_count == len(result.tree.leaves())
+        assert 0 < stats.memory_mb < stats.dense_bytes / 2**20
+        assert stats.compression_ratio > 1.0
+        assert "memory" in stats.summary()
+
+    def test_compression_beats_dense_for_clustered_data(self):
+        K, result = _clustered_kernel(n=400, seed=10)
+        hss = build_hss_from_dense(K, result.tree, HSSOptions(rel_tol=0.1))
+        assert hss.nbytes < K.nbytes / 2

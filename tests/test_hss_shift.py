@@ -1,0 +1,76 @@
+"""Tests for the cheap diagonal update of an HSS matrix (Section 5.3).
+
+Changing the ridge parameter lambda only changes the diagonal of the
+compressed matrix, so the compression can be reused across lambda values —
+the property the paper exploits during hyper-parameter tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import cluster
+from repro.config import HSSOptions
+from repro.hss import ULVFactorization, build_hss_from_dense
+from repro.kernels import GaussianKernel
+
+
+@pytest.fixture(scope="module")
+def base_problem():
+    rng = np.random.default_rng(0)
+    centers = rng.standard_normal((5, 4)) * 4.0
+    X = centers[rng.integers(5, size=192)] + 0.4 * rng.standard_normal((192, 4))
+    result = cluster(X, method="two_means", leaf_size=16, seed=0)
+    K = GaussianKernel(h=1.0).matrix(result.X)
+    hss = build_hss_from_dense(K + 1.0 * np.eye(192), result.tree,
+                               HSSOptions(rel_tol=1e-8))
+    return hss, K
+
+
+class TestDiagonalShift:
+    def test_shifted_reconstruction(self, base_problem):
+        hss, K = base_problem
+        shifted = hss.shifted(2.5)
+        np.testing.assert_allclose(shifted.to_dense(), hss.to_dense() + 2.5 * np.eye(192),
+                                   atol=1e-10)
+
+    def test_shift_shares_offdiagonal_generators(self, base_problem):
+        hss, _ = base_problem
+        shifted = hss.shifted(1.0)
+        for original, new in zip(hss.node_data, shifted.node_data):
+            if original.B12 is not None:
+                assert new.B12 is original.B12  # shared, not copied
+            if original.U is not None and original.D is None:
+                assert new.U is original.U
+
+    def test_original_unchanged(self, base_problem):
+        hss, _ = base_problem
+        before = hss.to_dense()
+        hss.shifted(10.0)
+        np.testing.assert_allclose(hss.to_dense(), before)
+
+    def test_solve_for_multiple_lambdas_reusing_compression(self, base_problem):
+        hss, K = base_problem
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal(192)
+        # hss approximates K + 1.0 I; shifting by (lam - 1.0) gives K + lam I.
+        for lam in (0.5, 2.0, 8.0):
+            shifted = hss.shifted(lam - 1.0)
+            x = ULVFactorization(shifted).solve(b)
+            x_ref = np.linalg.solve(K + lam * np.eye(192), b)
+            np.testing.assert_allclose(x, x_ref, atol=1e-5 * np.linalg.norm(x_ref))
+
+    def test_negative_shift(self, base_problem):
+        hss, _ = base_problem
+        shifted = hss.shifted(-0.5)
+        np.testing.assert_allclose(shifted.to_dense(),
+                                   hss.to_dense() - 0.5 * np.eye(192), atol=1e-10)
+
+    def test_memory_of_shift_only_duplicates_diagonal(self, base_problem):
+        hss, _ = base_problem
+        shifted = hss.shifted(1.0)
+        stats = hss.statistics()
+        shifted_stats = shifted.statistics()
+        assert shifted_stats.total_bytes == stats.total_bytes
+        assert shifted_stats.max_rank == stats.max_rank

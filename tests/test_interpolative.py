@@ -1,0 +1,95 @@
+"""Tests for the interpolative decompositions (row / column ID)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowrank import column_id, row_id
+
+
+def _lowrank_matrix(m, n, r, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, r)) @ rng.standard_normal((r, n))
+    if noise:
+        A += noise * rng.standard_normal((m, n))
+    return A
+
+
+class TestRowID:
+    def test_exact_reconstruction_of_lowrank(self):
+        A = _lowrank_matrix(30, 50, 5)
+        rid = row_id(A, rel_tol=1e-10)
+        assert rid.rank == 5
+        np.testing.assert_allclose(rid.interp @ A[rid.skeleton], A, atol=1e-7)
+
+    def test_interp_contains_identity_on_skeleton(self):
+        A = _lowrank_matrix(20, 25, 4, noise=1e-3)
+        rid = row_id(A, rel_tol=1e-6)
+        block = rid.interp[rid.skeleton]
+        np.testing.assert_allclose(block, np.eye(rid.rank), atol=1e-10)
+
+    def test_skeleton_indices_valid(self):
+        A = _lowrank_matrix(15, 10, 3)
+        rid = row_id(A, rel_tol=1e-8)
+        assert np.all(rid.skeleton >= 0) and np.all(rid.skeleton < 15)
+        assert len(np.unique(rid.skeleton)) == rid.rank
+
+    def test_max_rank_cap(self):
+        A = _lowrank_matrix(20, 20, 8)
+        rid = row_id(A, rel_tol=1e-12, max_rank=3)
+        assert rid.rank == 3
+
+    def test_tolerance_controls_error(self):
+        A = _lowrank_matrix(40, 40, 20, noise=0.0)
+        loose = row_id(A, rel_tol=1e-1)
+        tight = row_id(A, rel_tol=1e-8)
+        err_loose = np.linalg.norm(loose.interp @ A[loose.skeleton] - A)
+        err_tight = np.linalg.norm(tight.interp @ A[tight.skeleton] - A)
+        assert err_tight <= err_loose + 1e-12
+        assert tight.rank >= loose.rank
+
+    def test_zero_matrix(self):
+        rid = row_id(np.zeros((6, 4)), rel_tol=1e-8)
+        assert rid.rank == 0
+        assert rid.interp.shape == (6, 0)
+
+    def test_empty_matrix(self):
+        rid = row_id(np.zeros((0, 4)))
+        assert rid.rank == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            row_id(np.zeros(5))
+
+
+class TestColumnID:
+    def test_exact_reconstruction(self):
+        A = _lowrank_matrix(40, 30, 6)
+        cid = column_id(A, rel_tol=1e-10)
+        assert cid.rank == 6
+        np.testing.assert_allclose(A[:, cid.skeleton] @ cid.interp, A, atol=1e-7)
+
+    def test_interp_identity_on_skeleton_columns(self):
+        A = _lowrank_matrix(25, 20, 5, noise=1e-3)
+        cid = column_id(A, rel_tol=1e-6)
+        np.testing.assert_allclose(cid.interp[:, cid.skeleton], np.eye(cid.rank),
+                                   atol=1e-10)
+
+    def test_row_and_column_id_are_transposes(self):
+        A = _lowrank_matrix(18, 22, 4, seed=7)
+        rid = row_id(A, rel_tol=1e-9)
+        cid = column_id(A.T, rel_tol=1e-9)
+        np.testing.assert_array_equal(np.sort(rid.skeleton), np.sort(cid.skeleton))
+
+    @settings(max_examples=20, deadline=None)
+    @given(m=st.integers(3, 25), n=st.integers(3, 25), r=st.integers(1, 5),
+           seed=st.integers(0, 10**6))
+    def test_property_reconstruction_error_bounded(self, m, n, r, seed):
+        A = _lowrank_matrix(m, n, min(r, m, n), seed=seed, noise=0.0)
+        rid = row_id(A, rel_tol=1e-8)
+        err = np.linalg.norm(rid.interp @ A[rid.skeleton] - A)
+        scale = max(np.linalg.norm(A), 1e-12)
+        assert err <= 1e-5 * scale

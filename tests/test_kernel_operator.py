@@ -1,0 +1,116 @@
+"""Tests for the partially matrix-free kernel operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import (DenseMatrixOperator, GaussianKernel, KernelOperator,
+                           ShiftedKernelOperator)
+
+
+@pytest.fixture()
+def operator_and_dense():
+    rng = np.random.default_rng(3)
+    X = rng.standard_normal((60, 5))
+    kernel = GaussianKernel(h=1.2)
+    op = KernelOperator(X, kernel, block_size=17)
+    return op, kernel.matrix(X)
+
+
+class TestKernelOperator:
+    def test_shape_and_diag(self, operator_and_dense):
+        op, K = operator_and_dense
+        assert op.shape == (60, 60)
+        assert op.n == 60
+        np.testing.assert_allclose(op.diag(), np.ones(60))
+
+    def test_block_matches_dense(self, operator_and_dense):
+        op, K = operator_and_dense
+        rows = np.array([0, 10, 59])
+        cols = np.array([3, 4, 5, 6])
+        np.testing.assert_allclose(op.block(rows, cols), K[np.ix_(rows, cols)],
+                                   atol=1e-12)
+        assert op.element_evaluations == rows.size * cols.size
+
+    def test_element(self, operator_and_dense):
+        op, K = operator_and_dense
+        assert op.element(7, 12) == pytest.approx(K[7, 12])
+
+    def test_matvec_and_matmat(self, operator_and_dense):
+        op, K = operator_and_dense
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal(60)
+        V = rng.standard_normal((60, 4))
+        np.testing.assert_allclose(op.matvec(v), K @ v, atol=1e-10)
+        np.testing.assert_allclose(op.matmat(V), K @ V, atol=1e-10)
+        np.testing.assert_allclose(op.rmatmat(V), K.T @ V, atol=1e-10)
+        assert op.matvec_sweeps >= 3
+
+    def test_matvec_rejects_matrix_input(self, operator_and_dense):
+        op, _ = operator_and_dense
+        with pytest.raises(ValueError):
+            op.matvec(np.zeros((60, 2)))
+
+    def test_matmat_shape_check(self, operator_and_dense):
+        op, _ = operator_and_dense
+        with pytest.raises(ValueError):
+            op.matmat(np.zeros((10, 2)))
+
+    def test_to_dense(self, operator_and_dense):
+        op, K = operator_and_dense
+        np.testing.assert_allclose(op.to_dense(), K, atol=1e-12)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            KernelOperator(np.zeros((4, 2)), GaussianKernel(), block_size=0)
+
+
+class TestShiftedKernelOperator:
+    def test_diagonal_shift_in_blocks(self):
+        rng = np.random.default_rng(5)
+        X = rng.standard_normal((30, 4))
+        op = ShiftedKernelOperator(X, GaussianKernel(h=1.0), lam=2.5)
+        K = GaussianKernel(h=1.0).matrix(X) + 2.5 * np.eye(30)
+        rows = np.array([0, 5, 9])
+        np.testing.assert_allclose(op.block(rows, rows), K[np.ix_(rows, rows)],
+                                   atol=1e-12)
+        # off-diagonal blocks must NOT receive the shift
+        cols = np.array([10, 11])
+        np.testing.assert_allclose(op.block(rows, cols), K[np.ix_(rows, cols)],
+                                   atol=1e-12)
+
+    def test_matmat_and_dense_include_shift(self):
+        rng = np.random.default_rng(6)
+        X = rng.standard_normal((25, 3))
+        lam = 0.7
+        op = ShiftedKernelOperator(X, GaussianKernel(h=0.8), lam=lam)
+        K = GaussianKernel(h=0.8).matrix(X) + lam * np.eye(25)
+        V = rng.standard_normal((25, 3))
+        np.testing.assert_allclose(op.matmat(V), K @ V, atol=1e-10)
+        np.testing.assert_allclose(op.to_dense(), K, atol=1e-12)
+        np.testing.assert_allclose(op.diag(), np.ones(25) + lam)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftedKernelOperator(np.zeros((4, 2)), GaussianKernel(), lam=-1.0)
+
+
+class TestDenseMatrixOperator:
+    def test_wraps_matrix(self):
+        rng = np.random.default_rng(8)
+        A = rng.standard_normal((20, 20))
+        op = DenseMatrixOperator(A)
+        v = rng.standard_normal(20)
+        np.testing.assert_allclose(op.matvec(v), A @ v)
+        np.testing.assert_allclose(op.rmatvec(v), A.T @ v)
+        rows = np.array([1, 2])
+        cols = np.array([3, 4, 5])
+        np.testing.assert_allclose(op.block(rows, cols), A[np.ix_(rows, cols)])
+        np.testing.assert_allclose(op.diag(), np.diag(A))
+        assert op.element(3, 4) == A[3, 4]
+        assert op.shape == (20, 20)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            DenseMatrixOperator(np.zeros((3, 4)))

@@ -1,0 +1,210 @@
+"""Tests for the KRR solvers, classifier, regressor and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import HSSOptions
+from repro.datasets import gaussian_mixture, load_dataset
+from repro.kernels import GaussianKernel
+from repro.krr import (CGSolver, DenseSolver, HSSSolver, KernelRidgeClassifier,
+                       KernelRidgeRegressor, accuracy, confusion_matrix,
+                       error_rate, make_solver)
+from repro.clustering import cluster
+
+
+def _binary_data(n=300, d=4, seed=0):
+    return gaussian_mixture(n, d, n_components=4, separation=4.0, noise=0.7,
+                            seed=seed)
+
+
+class TestMetrics:
+    def test_accuracy_and_error_rate(self):
+        y = np.array([1, -1, 1, 1])
+        p = np.array([1, 1, 1, -1])
+        assert accuracy(y, p) == pytest.approx(0.5)
+        assert error_rate(y, p) == pytest.approx(0.5)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.ones(3), np.ones(4))
+
+    def test_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(0), np.zeros(0))
+
+    def test_confusion_matrix(self):
+        y = np.array([1, 1, -1, -1])
+        p = np.array([1, -1, -1, -1])
+        M, labels = confusion_matrix(y, p)
+        assert M.sum() == 4
+        assert labels.tolist() == [-1, 1]
+        assert M[1, 1] == 1 and M[1, 0] == 1 and M[0, 0] == 2
+
+
+class TestSolvers:
+    def test_dense_hss_cg_agree(self):
+        X, y = _binary_data(n=256, seed=1)
+        result = cluster(X, method="two_means", leaf_size=16, seed=0)
+        Xp = result.X
+        yp = result.permute_labels(y)
+        kernel = GaussianKernel(h=1.5)
+        lam = 2.0
+        K = kernel.matrix(Xp) + lam * np.eye(Xp.shape[0])
+        w_ref = np.linalg.solve(K, yp)
+
+        dense = DenseSolver().fit(Xp, result.tree, kernel, lam)
+        w_dense = dense.solve(yp)
+        np.testing.assert_allclose(w_dense, w_ref, atol=1e-8 * np.linalg.norm(w_ref))
+
+        hss = HSSSolver(hss_options=HSSOptions(rel_tol=1e-6),
+                        use_hmatrix_sampling=False, seed=0)
+        hss.fit(Xp, result.tree, kernel, lam)
+        w_hss = hss.solve(yp)
+        rel = np.linalg.norm(w_hss - w_ref) / np.linalg.norm(w_ref)
+        assert rel < 1e-3
+
+        cg = CGSolver(tol=1e-10).fit(Xp, result.tree, kernel, lam)
+        w_cg = cg.solve(yp)
+        rel_cg = np.linalg.norm(w_cg - w_ref) / np.linalg.norm(w_ref)
+        assert rel_cg < 1e-5
+        assert cg.report.iterations > 0
+
+    def test_hss_solver_requires_tree(self):
+        X, _ = _binary_data(n=64, seed=2)
+        with pytest.raises(ValueError, match="cluster tree"):
+            HSSSolver(use_hmatrix_sampling=False).fit(X, None, GaussianKernel(), 1.0)
+
+    def test_solver_reports(self):
+        X, y = _binary_data(n=200, seed=3)
+        result = cluster(X, method="two_means", leaf_size=16, seed=0)
+        solver = HSSSolver(use_hmatrix_sampling=True, seed=0)
+        solver.fit(result.X, result.tree, GaussianKernel(h=1.5), 2.0)
+        solver.solve(result.permute_labels(y))
+        rep = solver.report
+        assert rep.solver == "hss"
+        assert rep.memory_mb > 0
+        assert rep.hss_memory_mb > 0
+        assert rep.hmatrix_memory_mb > 0
+        assert rep.max_rank > 0
+        assert rep.phase("factorization") > 0
+        assert rep.phase("solve") > 0
+        assert rep.phase("h_construction") > 0
+        assert rep.total_time > 0
+
+    def test_make_solver(self):
+        assert isinstance(make_solver("dense"), DenseSolver)
+        assert isinstance(make_solver("hss"), HSSSolver)
+        assert isinstance(make_solver("cg"), CGSolver)
+        with pytest.raises(ValueError):
+            make_solver("quantum")
+
+    def test_solve_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DenseSolver().solve(np.ones(5))
+
+
+class TestClassifier:
+    def test_fit_predict_high_accuracy_on_separable_data(self):
+        X, y = _binary_data(n=400, seed=4)
+        clf = KernelRidgeClassifier(h=1.5, lam=1.0, solver="dense",
+                                    clustering="two_means", seed=0)
+        clf.fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_hss_classifier_matches_dense(self):
+        X, y = _binary_data(n=300, seed=5)
+        X_test, y_test = _binary_data(n=100, seed=6)
+        dense = KernelRidgeClassifier(h=1.5, lam=1.0, solver="dense", seed=0).fit(X, y)
+        hss = KernelRidgeClassifier(h=1.5, lam=1.0, solver="hss", seed=0,
+                                    solver_options={"use_hmatrix_sampling": False}
+                                    ).fit(X, y)
+        agree = np.mean(dense.predict(X_test) == hss.predict(X_test))
+        assert agree > 0.97
+
+    def test_decision_function_sign_consistency(self):
+        X, y = _binary_data(n=200, seed=7)
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="dense").fit(X, y)
+        scores = clf.decision_function(X[:50])
+        preds = clf.predict(X[:50])
+        np.testing.assert_array_equal(np.where(scores >= 0, 1.0, -1.0), preds)
+
+    def test_invalid_labels_rejected(self):
+        X, _ = _binary_data(n=50, seed=8)
+        with pytest.raises(ValueError):
+            KernelRidgeClassifier(solver="dense").fit(X, np.zeros(50))
+
+    def test_mismatched_sizes_rejected(self):
+        X, y = _binary_data(n=50, seed=9)
+        with pytest.raises(ValueError):
+            KernelRidgeClassifier(solver="dense").fit(X, y[:-1])
+
+    def test_predict_before_fit_raises(self):
+        clf = KernelRidgeClassifier()
+        with pytest.raises(RuntimeError):
+            clf.predict(np.zeros((3, 2)))
+
+    def test_dimension_mismatch_at_predict(self):
+        X, y = _binary_data(n=60, seed=10)
+        clf = KernelRidgeClassifier(solver="dense").fit(X, y)
+        with pytest.raises(ValueError):
+            clf.predict(np.zeros((5, X.shape[1] + 1)))
+
+    def test_report_accessible_after_fit(self):
+        X, y = _binary_data(n=100, seed=11)
+        clf = KernelRidgeClassifier(solver="dense").fit(X, y)
+        assert clf.report.solver == "dense"
+        with pytest.raises(RuntimeError):
+            KernelRidgeClassifier().report
+
+    def test_clustering_choice_does_not_change_accuracy(self):
+        # The paper's Table 2 claim: accuracy is independent of the ordering.
+        data = load_dataset("pen", n_train=384, n_test=128, seed=3)
+        accs = []
+        for method in ("natural", "kd", "pca", "two_means"):
+            clf = KernelRidgeClassifier(h=data.h, lam=data.lam, solver="hss",
+                                        clustering=method, seed=0,
+                                        solver_options={"use_hmatrix_sampling": False})
+            clf.fit(data.X_train, data.y_train)
+            accs.append(clf.score(data.X_test, data.y_test))
+        assert max(accs) - min(accs) < 0.05
+
+
+class TestRegressor:
+    def test_recovers_smooth_function(self):
+        rng = np.random.default_rng(12)
+        X = rng.uniform(-2, 2, size=(300, 2))
+        y = np.sin(X[:, 0]) + 0.5 * np.cos(2 * X[:, 1])
+        reg = KernelRidgeRegressor(h=0.8, lam=1e-3, solver="dense").fit(X, y)
+        X_test = rng.uniform(-2, 2, size=(100, 2))
+        y_test = np.sin(X_test[:, 0]) + 0.5 * np.cos(2 * X_test[:, 1])
+        assert reg.score(X_test, y_test) > 0.95
+
+    def test_hss_regressor_close_to_dense(self):
+        rng = np.random.default_rng(13)
+        X = rng.uniform(-2, 2, size=(256, 2))
+        y = np.sin(2 * X[:, 0]) * np.cos(X[:, 1])
+        dense = KernelRidgeRegressor(h=0.8, lam=1e-2, solver="dense").fit(X, y)
+        # Regression needs more digits than classification (no sign
+        # robustness), so tighten the compression tolerance below the paper's
+        # classification setting of 0.1.
+        hss = KernelRidgeRegressor(h=0.8, lam=1e-2, solver="hss", seed=0,
+                                   solver_options={
+                                       "use_hmatrix_sampling": False,
+                                       "hss_options": HSSOptions(rel_tol=1e-8),
+                                   }).fit(X, y)
+        X_test = rng.uniform(-2, 2, size=(64, 2))
+        np.testing.assert_allclose(hss.predict(X_test), dense.predict(X_test),
+                                   atol=0.05)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KernelRidgeRegressor().predict(np.zeros((2, 2)))
+
+    def test_report(self):
+        rng = np.random.default_rng(14)
+        X = rng.standard_normal((80, 3))
+        y = X[:, 0]
+        reg = KernelRidgeRegressor(h=1.0, lam=0.1, solver="dense").fit(X, y)
+        assert reg.report.solver == "dense"

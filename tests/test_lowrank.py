@@ -1,0 +1,153 @@
+"""Tests for the low-rank primitives: SVD helpers, RRQR, LowRank container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowrank import (LowRank, effective_rank, rank_from_tolerance, rrqr,
+                           singular_values, truncated_svd)
+
+
+def _lowrank_matrix(m, n, r, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, r)) @ rng.standard_normal((r, n))
+    if noise:
+        A += noise * rng.standard_normal((m, n))
+    return A
+
+
+class TestSingularValues:
+    def test_sorted_nonincreasing(self):
+        A = _lowrank_matrix(20, 15, 5, noise=0.01)
+        s = singular_values(A)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_empty(self):
+        assert singular_values(np.zeros((0, 5))).size == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            singular_values(np.zeros(5))
+
+
+class TestTruncatedSVD:
+    def test_exact_rank_recovery(self):
+        A = _lowrank_matrix(30, 25, 4)
+        U, s, Vt = truncated_svd(A, rel_tol=1e-10)
+        assert s.size == 4
+        np.testing.assert_allclose((U * s) @ Vt, A, atol=1e-8)
+
+    def test_max_rank_cap(self):
+        A = _lowrank_matrix(30, 25, 10)
+        U, s, Vt = truncated_svd(A, max_rank=3)
+        assert s.size == 3
+
+    def test_abs_tol(self):
+        A = np.diag([10.0, 1.0, 0.001])
+        _, s, _ = truncated_svd(A, abs_tol=0.01)
+        assert s.size == 2
+
+    def test_empty_matrix(self):
+        U, s, Vt = truncated_svd(np.zeros((0, 4)))
+        assert U.shape == (0, 0) and s.size == 0 and Vt.shape == (0, 4)
+
+
+class TestEffectiveRank:
+    def test_matches_paper_definition(self):
+        A = np.diag([1.0, 0.5, 0.02, 0.005])
+        assert effective_rank(A, threshold=0.01) == 3
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            effective_rank(np.eye(3), threshold=-0.1)
+
+
+class TestRRQR:
+    def test_reconstruction(self):
+        A = _lowrank_matrix(40, 30, 6)
+        Q, R, piv, rank = rrqr(A, rel_tol=1e-10)
+        assert rank == 6
+        np.testing.assert_allclose(Q @ R, A[:, piv], atol=1e-8)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(rank), atol=1e-10)
+
+    def test_rank_cap(self):
+        A = _lowrank_matrix(20, 20, 10)
+        *_, rank = rrqr(A, max_rank=4)
+        assert rank == 4
+
+    def test_zero_matrix(self):
+        Q, R, piv, rank = rrqr(np.zeros((5, 5)), rel_tol=1e-8)
+        assert rank == 0
+
+    def test_rank_from_tolerance(self):
+        diag = np.array([5.0, 1.0, 0.1, 1e-6])
+        assert rank_from_tolerance(diag, rel_tol=1e-3) == 3
+        assert rank_from_tolerance(diag, rel_tol=0.0, abs_tol=0.5) == 2
+        assert rank_from_tolerance(diag, rel_tol=0.0) == 4
+        assert rank_from_tolerance(np.array([]), rel_tol=0.1) == 0
+
+
+class TestLowRank:
+    def test_basic_properties(self):
+        U = np.random.default_rng(0).standard_normal((10, 3))
+        V = np.random.default_rng(1).standard_normal((8, 3))
+        lr = LowRank(U, V)
+        assert lr.shape == (10, 8)
+        assert lr.rank == 3
+        assert lr.nbytes == U.nbytes + V.nbytes
+        np.testing.assert_allclose(lr.to_dense(), U @ V.T)
+
+    def test_matvec_and_rmatvec(self):
+        rng = np.random.default_rng(2)
+        lr = LowRank(rng.standard_normal((12, 4)), rng.standard_normal((9, 4)))
+        x = rng.standard_normal(9)
+        y = rng.standard_normal(12)
+        np.testing.assert_allclose(lr.matvec(x), lr.to_dense() @ x, atol=1e-10)
+        np.testing.assert_allclose(lr.rmatvec(y), lr.to_dense().T @ y, atol=1e-10)
+
+    def test_transpose(self):
+        rng = np.random.default_rng(3)
+        lr = LowRank(rng.standard_normal((5, 2)), rng.standard_normal((7, 2)))
+        np.testing.assert_allclose(lr.transpose().to_dense(), lr.to_dense().T)
+
+    def test_addition_and_recompress(self):
+        rng = np.random.default_rng(4)
+        a = LowRank(rng.standard_normal((10, 2)), rng.standard_normal((10, 2)))
+        b = LowRank(rng.standard_normal((10, 3)), rng.standard_normal((10, 3)))
+        summed = a + b
+        assert summed.rank == 5
+        np.testing.assert_allclose(summed.to_dense(), a.to_dense() + b.to_dense(),
+                                   atol=1e-10)
+        recompressed = summed.recompress(rel_tol=1e-12)
+        assert recompressed.rank <= 5
+        np.testing.assert_allclose(recompressed.to_dense(), summed.to_dense(),
+                                   atol=1e-8)
+
+    def test_from_dense_and_zero(self):
+        A = _lowrank_matrix(12, 9, 3)
+        lr = LowRank.from_dense(A, rel_tol=1e-10)
+        assert lr.rank == 3
+        np.testing.assert_allclose(lr.to_dense(), A, atol=1e-8)
+        z = LowRank.zero(4, 6)
+        assert z.rank == 0
+        np.testing.assert_allclose(z.to_dense(), np.zeros((4, 6)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LowRank(np.zeros((3, 2)), np.zeros((4, 3)))
+        a = LowRank.zero(3, 3)
+        b = LowRank.zero(4, 4)
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    @settings(max_examples=20, deadline=None)
+    @given(m=st.integers(2, 15), n=st.integers(2, 15), r=st.integers(1, 4),
+           seed=st.integers(0, 1000))
+    def test_property_recompress_preserves_product(self, m, n, r, seed):
+        rng = np.random.default_rng(seed)
+        lr = LowRank(rng.standard_normal((m, r)), rng.standard_normal((n, r)))
+        rc = lr.recompress()
+        np.testing.assert_allclose(rc.to_dense(), lr.to_dense(), atol=1e-8)

@@ -1,0 +1,101 @@
+"""Tests for the one-vs-all classifier and the end-to-end KRR pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_manifold, load_dataset
+from repro.krr import KRRPipeline, OneVsAllClassifier
+
+
+def _multiclass_data(n=400, d=6, n_classes=4, seed=0):
+    X, ids = clustered_manifold(n, d, n_clusters=n_classes, intrinsic_dim=3,
+                                separation=5.0, noise=0.3, seed=seed)
+    return X, ids % n_classes
+
+
+class TestOneVsAll:
+    def test_fit_predict_multiclass(self):
+        X, y = _multiclass_data(seed=1)
+        clf = OneVsAllClassifier(h=1.5, lam=1.0, solver="dense",
+                                 clustering="two_means", seed=0)
+        clf.fit(X, y)
+        assert clf.score(X, y) > 0.95
+        assert clf.classes_.size == 4
+
+    def test_decision_function_shape(self):
+        X, y = _multiclass_data(n=200, seed=2)
+        clf = OneVsAllClassifier(h=1.5, lam=1.0, solver="dense").fit(X, y)
+        scores = clf.decision_function(X[:30])
+        assert scores.shape == (30, clf.classes_.size)
+
+    def test_shared_factorization_with_hss(self):
+        X, y = _multiclass_data(n=300, seed=3)
+        clf = OneVsAllClassifier(h=1.5, lam=1.0, solver="hss", seed=0,
+                                 solver_options={"use_hmatrix_sampling": False})
+        clf.fit(X, y)
+        # One solver fit, several solves: the report carries one factorization.
+        assert clf.report.phase("factorization") > 0
+        assert clf.score(X, y) > 0.9
+
+    def test_string_labels(self):
+        X, y_int = _multiclass_data(n=160, seed=4)
+        y = np.array(["class_%d" % c for c in y_int])
+        clf = OneVsAllClassifier(h=1.5, lam=1.0, solver="dense").fit(X, y)
+        preds = clf.predict(X[:20])
+        assert set(preds).issubset(set(y))
+
+    def test_single_class_rejected(self):
+        X, _ = _multiclass_data(n=50, seed=5)
+        with pytest.raises(ValueError):
+            OneVsAllClassifier(solver="dense").fit(X, np.zeros(50))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            OneVsAllClassifier().predict(np.zeros((2, 3)))
+
+    def test_two_class_case_agrees_with_sign_rule(self):
+        X, y = _multiclass_data(n=200, n_classes=2, seed=6)
+        clf = OneVsAllClassifier(h=1.5, lam=1.0, solver="dense").fit(X, y)
+        acc = clf.score(X, y)
+        assert acc > 0.95
+
+
+class TestPipeline:
+    def test_pipeline_report_fields(self):
+        data = load_dataset("letter", n_train=384, n_test=96, seed=0)
+        pipeline = KRRPipeline(h=data.h, lam=data.lam, clustering="two_means",
+                               solver="hss", use_hmatrix_sampling=False, seed=0)
+        report = pipeline.run(data.X_train, data.y_train, data.X_test, data.y_test,
+                              dataset_name="letter")
+        assert report.dataset == "letter"
+        assert report.n_train == 384
+        assert report.n_test == 96
+        assert report.dim == 16
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.accuracy_percent == pytest.approx(100 * report.accuracy)
+        assert report.memory_mb > 0
+        assert report.max_rank > 0
+        assert report.phase("train_total") > 0
+        assert report.phase("predict_total") > 0
+        row = report.row()
+        assert row["dataset"] == "letter"
+        assert "accuracy_percent" in row
+        assert any(key.startswith("time_") for key in row)
+
+    def test_pipeline_dense_solver(self):
+        data = load_dataset("gas", n_train=256, n_test=64, seed=1)
+        pipeline = KRRPipeline(h=data.h, lam=data.lam, solver="dense",
+                               clustering="natural")
+        report = pipeline.run(data.X_train, data.y_train, data.X_test, data.y_test)
+        assert report.accuracy > 0.8
+        assert report.solver == "dense"
+
+    def test_pipeline_keeps_classifier(self):
+        data = load_dataset("pen", n_train=256, n_test=64, seed=2)
+        pipeline = KRRPipeline(h=data.h, lam=data.lam, solver="cg",
+                               clustering="kd")
+        pipeline.run(data.X_train, data.y_train, data.X_test, data.y_test)
+        assert pipeline.classifier_ is not None
+        assert pipeline.classifier_.weights_ is not None

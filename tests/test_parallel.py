@@ -1,0 +1,184 @@
+"""Tests for the parallel substrate: executor, machine model, cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import cluster
+from repro.config import HSSOptions
+from repro.hss import build_hss_randomized
+from repro.kernels import GaussianKernel, ShiftedKernelOperator
+from repro.parallel import (CORI_HASWELL, BlockExecutor, DistributedCostModel,
+                            MachineModel, estimate_hmatrix_work,
+                            estimate_hss_work, estimate_sampling_work,
+                            parallel_map, simulate_strong_scaling)
+from repro.hmatrix import build_hmatrix
+
+
+@pytest.fixture(scope="module")
+def built_hss():
+    rng = np.random.default_rng(0)
+    centers = rng.standard_normal((5, 4)) * 5
+    X = centers[rng.integers(5, size=384)] + 0.4 * rng.standard_normal((384, 4))
+    result = cluster(X, method="two_means", leaf_size=16, seed=0)
+    op = ShiftedKernelOperator(result.X, GaussianKernel(h=1.0), 2.0)
+    hss, stats = build_hss_randomized(op, result.tree, HSSOptions(rel_tol=0.1), rng=0)
+    hmatrix = build_hmatrix(op, result.X, result.tree)
+    return hss, stats, hmatrix
+
+
+class TestMachineModel:
+    def test_compute_time_scales_with_cores(self):
+        m = MachineModel()
+        assert m.compute_time(1e12, cores=1) == pytest.approx(
+            2 * m.compute_time(1e12, cores=2))
+
+    def test_message_time_components(self):
+        m = MachineModel(network_latency=1e-6, network_inverse_bandwidth=1e-9)
+        assert m.message_time(0) == pytest.approx(1e-6)
+        assert m.message_time(1e6) == pytest.approx(1e-6 + 1e-3)
+        assert m.message_time(1e6, intra_node=True) < m.message_time(1e6)
+
+    def test_allreduce_grows_with_cores(self):
+        m = CORI_HASWELL
+        assert m.allreduce_time(1024, 256) > m.allreduce_time(1024, 2)
+        assert m.allreduce_time(1024, 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineModel(flops_per_second_per_core=0)
+        with pytest.raises(ValueError):
+            MachineModel(cores_per_node=0)
+        with pytest.raises(ValueError):
+            CORI_HASWELL.compute_time(-1.0)
+        with pytest.raises(ValueError):
+            CORI_HASWELL.message_time(-1.0)
+
+    def test_with_replaces(self):
+        m = CORI_HASWELL.with_(cores_per_node=64)
+        assert m.cores_per_node == 64
+        assert CORI_HASWELL.cores_per_node == 32
+
+
+class TestWorkModel:
+    def test_estimates_positive_and_consistent(self, built_hss):
+        hss, stats, hmatrix = built_hss
+        work = estimate_hss_work(hss, n_random=stats.random_vectors)
+        assert work.compression_flops > 0
+        assert work.factorization_flops > 0
+        assert work.solve_flops > 0
+        assert work.dense_sampling_flops == pytest.approx(
+            2.0 * hss.n * hss.n * stats.random_vectors)
+        assert sum(work.factorization_flops_per_level.values()) == pytest.approx(
+            work.factorization_flops)
+        assert sum(work.nodes_per_level.values()) == hss.tree.n_nodes
+
+    def test_sampling_work_hmatrix_cheaper(self, built_hss):
+        hss, stats, hmatrix = built_hss
+        flops = estimate_sampling_work(hss.n, stats.random_vectors, hmatrix)
+        assert flops["hmatrix"] < flops["dense"]
+        no_h = estimate_sampling_work(hss.n, stats.random_vectors, None)
+        assert no_h["hmatrix"] == no_h["dense"]
+
+    def test_hmatrix_work_positive(self, built_hss):
+        *_, hmatrix = built_hss
+        assert estimate_hmatrix_work(hmatrix) > 0
+
+
+class TestCostModel:
+    def test_phase_times_positive_and_decreasing_with_cores(self, built_hss):
+        hss, stats, hmatrix = built_hss
+        work = estimate_hss_work(hss, n_random=stats.random_vectors)
+        model = DistributedCostModel(work, hmatrix_flops=estimate_hmatrix_work(hmatrix))
+        t32 = model.phase_times(32)
+        t512 = model.phase_times(512)
+        for phase in ("sampling", "factorization", "solve"):
+            assert t32.as_dict()[phase] > 0
+            assert t512.as_dict()[phase] <= t32.as_dict()[phase]
+        assert t32.hss_construction == pytest.approx(t32.sampling + t32.hss_other)
+        assert t32.total > 0
+
+    def test_sampling_dominates_construction(self, built_hss):
+        # The paper's Table 4: sampling is the dominant part of the HSS
+        # construction.
+        hss, stats, hmatrix = built_hss
+        work = estimate_hss_work(hss, n_random=stats.random_vectors)
+        model = DistributedCostModel(work, n_sampling_sweeps=stats.rounds)
+        times = model.phase_times(32)
+        assert times.sampling > times.hss_other
+
+    def test_invalid_cores(self, built_hss):
+        hss, stats, _ = built_hss
+        work = estimate_hss_work(hss)
+        with pytest.raises(ValueError):
+            DistributedCostModel(work).phase_times(0)
+
+    def test_hmatrix_sampling_reduces_modelled_time(self, built_hss):
+        hss, stats, hmatrix = built_hss
+        work = estimate_hss_work(hss, n_random=stats.random_vectors)
+        sampling = estimate_sampling_work(hss.n, stats.random_vectors, hmatrix)
+        dense_model = DistributedCostModel(work)
+        h_model = DistributedCostModel(work,
+                                       hmatrix_sampling_flops=sampling["hmatrix"])
+        assert h_model.phase_times(32).sampling < dense_model.phase_times(32).sampling
+
+
+class TestStrongScaling:
+    def test_speedup_monotone_then_saturating(self, built_hss):
+        hss, stats, _ = built_hss
+        work = estimate_hss_work(hss, n_random=stats.random_vectors)
+        points = simulate_strong_scaling(work, core_counts=(32, 64, 128, 256, 512, 1024))
+        times = [pt.factorization_time for pt in points]
+        # times must be non-increasing with cores
+        assert all(t1 >= t2 * 0.999 for t1, t2 in zip(times, times[1:]))
+        # efficiency degrades at scale (communication / serial tree top)
+        assert points[-1].parallel_efficiency < points[0].parallel_efficiency + 1e-9
+        assert points[-1].parallel_efficiency < 1.0
+
+    def test_invalid_core_counts(self, built_hss):
+        hss, stats, _ = built_hss
+        work = estimate_hss_work(hss)
+        with pytest.raises(ValueError):
+            simulate_strong_scaling(work, core_counts=[])
+
+
+class TestBlockExecutor:
+    def test_map_preserves_order(self):
+        executor = BlockExecutor(workers=4, serial_threshold=0)
+        results = executor.map(lambda x: x * x, list(range(50)))
+        assert results == [x * x for x in range(50)]
+
+    def test_serial_fallback(self):
+        executor = BlockExecutor(workers=1)
+        assert executor.map(lambda x: -x, [1, 2, 3]) == [-1, -2, -3]
+
+    def test_starmap(self):
+        executor = BlockExecutor(workers=2, serial_threshold=0)
+        assert executor.starmap(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
+
+    def test_exceptions_propagate(self):
+        executor = BlockExecutor(workers=2, serial_threshold=0)
+
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            executor.map(boom, [1, 2, 3, 4])
+
+    def test_parallel_map_helper_matches_serial(self):
+        tasks = list(range(20))
+        assert parallel_map(lambda x: x + 1, tasks, workers=3) == \
+            [x + 1 for x in tasks]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            BlockExecutor(workers=0)
+
+    def test_numpy_tasks(self):
+        rng = np.random.default_rng(0)
+        blocks = [rng.standard_normal((30, 30)) for _ in range(8)]
+        executor = BlockExecutor(workers=4, serial_threshold=0)
+        sums = executor.map(lambda b: float(np.trace(b @ b.T)), blocks)
+        expected = [float(np.trace(b @ b.T)) for b in blocks]
+        np.testing.assert_allclose(sums, expected)

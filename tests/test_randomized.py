@@ -1,0 +1,73 @@
+"""Tests for the randomized range finder and randomized SVD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lowrank import randomized_range_finder, randomized_svd
+
+
+def _lowrank_matrix(m, n, r, seed=0, decay=None):
+    rng = np.random.default_rng(seed)
+    U, _ = np.linalg.qr(rng.standard_normal((m, r)))
+    V, _ = np.linalg.qr(rng.standard_normal((n, r)))
+    s = np.logspace(0, -6, r) if decay else np.ones(r)
+    return (U * s) @ V.T
+
+
+class TestRangeFinder:
+    def test_captures_range_of_lowrank(self):
+        A = _lowrank_matrix(80, 60, 10, seed=1)
+        Q, rounds = randomized_range_finder(lambda V: A @ V, n=60, rel_tol=1e-8,
+                                            initial_samples=16, rng=0)
+        resid = A - Q @ (Q.T @ A)
+        assert np.linalg.norm(resid) <= 1e-6 * np.linalg.norm(A)
+        assert rounds >= 1
+
+    def test_adaptive_enlargement(self):
+        # Rank 30 but only 8 initial samples: the finder must enlarge.
+        A = _lowrank_matrix(100, 100, 30, seed=2)
+        Q, rounds = randomized_range_finder(lambda V: A @ V, n=100, rel_tol=1e-6,
+                                            initial_samples=8, sample_increment=16,
+                                            rng=0)
+        resid = A - Q @ (Q.T @ A)
+        assert np.linalg.norm(resid) <= 1e-4 * np.linalg.norm(A)
+        assert rounds > 1
+
+    def test_max_rank_cap(self):
+        A = _lowrank_matrix(50, 50, 20, seed=3)
+        Q, _ = randomized_range_finder(lambda V: A @ V, n=50, rel_tol=1e-10,
+                                       max_rank=5, initial_samples=4, rng=0)
+        assert Q.shape[1] <= 5
+
+    def test_empty(self):
+        Q, rounds = randomized_range_finder(lambda V: V, n=0)
+        assert Q.shape == (0, 0)
+        assert rounds == 0
+
+
+class TestRandomizedSVD:
+    def test_matches_exact_svd_of_lowrank(self):
+        A = _lowrank_matrix(70, 50, 8, seed=4, decay=True)
+        U, s, Vt = randomized_svd(lambda V: A @ V, lambda V: A.T @ V, n=50,
+                                  rank=8, rng=1)
+        s_exact = np.linalg.svd(A, compute_uv=False)[:8]
+        np.testing.assert_allclose(s, s_exact, rtol=1e-4)
+        np.testing.assert_allclose((U * s) @ Vt, A, atol=1e-6)
+
+    def test_truncation_rank(self):
+        A = _lowrank_matrix(40, 40, 12, seed=5)
+        U, s, Vt = randomized_svd(lambda V: A @ V, lambda V: A.T @ V, n=40, rank=5,
+                                  rng=0)
+        assert U.shape == (40, 5) and s.shape == (5,) and Vt.shape == (5, 40)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            randomized_svd(lambda V: V, lambda V: V, n=10, rank=-1)
+
+    def test_zero_rank(self):
+        U, s, Vt = randomized_svd(lambda V: np.zeros((5, V.shape[1])),
+                                  lambda V: np.zeros((5, V.shape[1])), n=5, rank=0,
+                                  oversampling=0)
+        assert s.size == 0
