@@ -24,7 +24,11 @@ The library provides:
 * a distributed-memory performance model reproducing the paper's strong
   scaling study — :mod:`repro.parallel`;
 * the experiment harness regenerating every table and figure —
-  :mod:`repro.experiments`.
+  :mod:`repro.experiments`;
+* model persistence (checksummed ``.npz`` artifacts, a directory-backed
+  :class:`repro.serving.ModelStore`) and batched online prediction serving
+  (:class:`repro.serving.PredictionEngine`,
+  :class:`repro.serving.PredictionService`) — :mod:`repro.serving`.
 
 Quickstart
 ----------
@@ -37,6 +41,7 @@ Quickstart
 """
 
 from . import clustering, datasets, hmatrix, hss, kernels, krr, lowrank, utils
+from . import serving
 from .config import (ClusteringOptions, HMatrixOptions, HSSOptions, KRROptions)
 from .clustering import ClusterTree, cluster
 from .hss import HSSMatrix, ULVFactorization, build_hss_from_dense, build_hss_randomized
@@ -45,6 +50,8 @@ from .kernels import GaussianKernel, KernelOperator, get_kernel
 from .krr import (KernelRidgeClassifier, KernelRidgeRegressor, KRRPipeline,
                   OneVsAllClassifier)
 from .datasets import load_dataset
+from .serving import (ModelStore, PredictionEngine, PredictionService,
+                      load_model, save_model)
 
 __version__ = "1.0.0"
 
@@ -70,5 +77,10 @@ __all__ = [
     "KRRPipeline",
     "OneVsAllClassifier",
     "load_dataset",
+    "ModelStore",
+    "PredictionEngine",
+    "PredictionService",
+    "save_model",
+    "load_model",
     "__version__",
 ]

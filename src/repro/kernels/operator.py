@@ -18,6 +18,7 @@ baseline), and :class:`ShiftedKernelOperator` adds the ridge shift
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
@@ -58,6 +59,10 @@ class KernelOperator:
         self.element_evaluations = 0
         #: number of full matrix-vector style sweeps performed
         self.matvec_sweeps = 0
+        # The counters are mutated from BlockExecutor worker threads during
+        # parallel block assembly; ``+=`` on an int is not atomic, so updates
+        # go through this lock.
+        self._counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------ shape
     @property
@@ -79,7 +84,8 @@ class KernelOperator:
         """Extract the sub-block ``K[rows, cols]`` (element extraction)."""
         rows = np.asarray(rows, dtype=np.intp)
         cols = np.asarray(cols, dtype=np.intp)
-        self.element_evaluations += int(rows.size) * int(cols.size)
+        with self._counter_lock:
+            self.element_evaluations += int(rows.size) * int(cols.size)
         return self.kernel.block(self.X, rows, cols)
 
     def diag(self) -> np.ndarray:
@@ -110,7 +116,8 @@ class KernelOperator:
         out = np.empty((self.n, V.shape[1]), dtype=np.float64)
         for rows, sq in blockwise_sq_dists(self.X, block_size=self.block_size):
             out[rows] = self.kernel._evaluate_sq(sq) @ V
-        self.matvec_sweeps += 1
+        with self._counter_lock:
+            self.matvec_sweeps += 1
         return out
 
     def rmatmat(self, V: np.ndarray) -> np.ndarray:
@@ -175,6 +182,7 @@ class DenseMatrixOperator:
         self.A = A
         self.element_evaluations = 0
         self.matvec_sweeps = 0
+        self._counter_lock = threading.Lock()
 
     @property
     def shape(self) -> tuple:
@@ -191,7 +199,8 @@ class DenseMatrixOperator:
     def block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         rows = np.asarray(rows, dtype=np.intp)
         cols = np.asarray(cols, dtype=np.intp)
-        self.element_evaluations += int(rows.size) * int(cols.size)
+        with self._counter_lock:
+            self.element_evaluations += int(rows.size) * int(cols.size)
         return self.A[np.ix_(rows, cols)]
 
     def diag(self) -> np.ndarray:
@@ -200,20 +209,24 @@ class DenseMatrixOperator:
     def element(self, i: int, j: int) -> float:
         return float(self.A[i, j])
 
+    def _count_sweep(self) -> None:
+        with self._counter_lock:
+            self.matvec_sweeps += 1
+
     def matvec(self, v: np.ndarray) -> np.ndarray:
-        self.matvec_sweeps += 1
+        self._count_sweep()
         return self.A @ np.asarray(v, dtype=np.float64)
 
     def rmatvec(self, v: np.ndarray) -> np.ndarray:
-        self.matvec_sweeps += 1
+        self._count_sweep()
         return self.A.T @ np.asarray(v, dtype=np.float64)
 
     def matmat(self, V: np.ndarray) -> np.ndarray:
-        self.matvec_sweeps += 1
+        self._count_sweep()
         return self.A @ np.asarray(V, dtype=np.float64)
 
     def rmatmat(self, V: np.ndarray) -> np.ndarray:
-        self.matvec_sweeps += 1
+        self._count_sweep()
         return self.A.T @ np.asarray(V, dtype=np.float64)
 
     def to_dense(self) -> np.ndarray:

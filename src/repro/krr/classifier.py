@@ -164,6 +164,27 @@ class KernelRidgeClassifier:
         from .metrics import accuracy
         return accuracy(y_test, self.predict(X_test))
 
+    # ---------------------------------------------------------- persistence
+    def save(self, path: str, metadata: Optional[dict] = None,
+             include_factorization: bool = True):
+        """Persist the fitted classifier to a checksummed ``.npz`` artifact.
+
+        See :func:`repro.serving.save_model`; the returned
+        :class:`repro.serving.ModelArtifact` describes the written file.
+        """
+        from ..serving import save_model
+        return save_model(self, path, metadata=metadata,
+                          include_factorization=include_factorization)
+
+    @classmethod
+    def load(cls, path: str) -> "KernelRidgeClassifier":
+        """Load a classifier saved with :meth:`save` (checksum-verified).
+
+        The reloaded model reproduces the original's predictions exactly.
+        """
+        from ..serving import load_model_as
+        return load_model_as(path, cls)
+
     # ------------------------------------------------------------ reporting
     @property
     def report(self):

@@ -136,6 +136,23 @@ class OneVsAllClassifier:
         from .metrics import accuracy
         return accuracy(y_test, self.predict(X_test))
 
+    # ---------------------------------------------------------- persistence
+    def save(self, path: str, metadata: Optional[dict] = None,
+             include_factorization: bool = True):
+        """Persist the fitted ensemble to a checksummed ``.npz`` artifact.
+
+        See :func:`repro.serving.save_model`.
+        """
+        from ..serving import save_model
+        return save_model(self, path, metadata=metadata,
+                          include_factorization=include_factorization)
+
+    @classmethod
+    def load(cls, path: str) -> "OneVsAllClassifier":
+        """Load an ensemble saved with :meth:`save` (checksum-verified)."""
+        from ..serving import load_model_as
+        return load_model_as(path, cls)
+
     @property
     def report(self):
         """The :class:`repro.krr.SolveReport` of the shared training solve."""

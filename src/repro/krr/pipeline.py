@@ -113,6 +113,7 @@ class KRRPipeline:
         self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
         self.seed = seed
         self.classifier_: Optional[KernelRidgeClassifier] = None
+        self.report_: Optional[PipelineReport] = None
 
     def _build_solver(self) -> Union[str, KernelSystemSolver]:
         if self.solver_name == "hss":
@@ -160,4 +161,28 @@ class KRRPipeline:
         report.max_rank = solve_report.max_rank
         report.timings = dict(solve_report.timings)
         report.timings.update(log.as_dict())
+        self.report_ = report
         return report
+
+    # -------------------------------------------------------------- persistence
+    def save(self, path: str, metadata: Optional[dict] = None,
+             include_factorization: bool = True):
+        """Persist the classifier trained by the last :meth:`run`.
+
+        The :class:`PipelineReport` of that run (dataset, accuracy, memory,
+        maximum rank, timings) is flattened into the artifact metadata, so
+        a :class:`repro.serving.ModelStore` listing shows the headline
+        numbers without opening the archive.
+        """
+        if self.classifier_ is None:
+            raise RuntimeError("pipeline must run() before save()")
+        from ..serving import metadata_from_report
+        meta = metadata_from_report(self.report_) if self.report_ is not None else {}
+        meta.update(metadata or {})
+        return self.classifier_.save(path, metadata=meta,
+                                     include_factorization=include_factorization)
+
+    @staticmethod
+    def load(path: str) -> KernelRidgeClassifier:
+        """Load a classifier saved by :meth:`save` (ready to predict/serve)."""
+        return KernelRidgeClassifier.load(path)

@@ -1,0 +1,579 @@
+"""Versioned, checksummed binary serialization of trained models.
+
+The expensive artifacts of the pipeline — the cluster tree, the compressed
+HSS representation, its ULV factorization and the fitted classifier weights
+— are all collections of plain NumPy arrays plus a small amount of scalar
+configuration.  They are persisted as a single ``.npz`` archive (no code is
+ever pickled, so artifacts are safe to load from untrusted storage and
+stable across library versions) together with a JSON header describing the
+payload:
+
+* every array is stored under a dotted hierarchical key
+  (``tree.perm``, ``hss.7.D``, ``ulv.3.omega``, ``model.weights``),
+* the header records a format tag, a schema version, the model kind, the
+  scalar configuration (kernel name and parameters, ``h``, ``lambda``,
+  solver) and a SHA-256 checksum over all array payloads,
+* the checksum is verified on load, so a truncated or corrupted artifact
+  raises :class:`ArtifactError` instead of silently mispredicting.
+
+Round-trip fidelity is exact: float64 arrays survive ``save``/``load``
+bitwise, so a reloaded classifier reproduces the original's predictions
+down to the last bit.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..clustering.api import ClusteringResult
+from ..clustering.tree import ClusterNode, ClusterTree
+from ..hss.generators import HSSNodeData
+from ..hss.hss_matrix import HSSMatrix
+from ..hss.ulv import ULVFactorization, _NodeFactors
+from ..kernels.base import Kernel, get_kernel
+from ..krr.classifier import KernelRidgeClassifier
+from ..krr.multiclass import OneVsAllClassifier
+from ..krr.solvers import CGSolver, DenseSolver, HSSSolver, KernelSystemSolver
+from ..utils.timing import TimingLog
+
+#: format tag written into every artifact header
+FORMAT_TAG = "repro.serving/model"
+#: current schema version; bump on incompatible layout changes
+FORMAT_VERSION = 1
+
+KIND_BINARY = "kernel_ridge_classifier"
+KIND_MULTICLASS = "one_vs_all_classifier"
+
+
+class ArtifactError(RuntimeError):
+    """Raised when an artifact is missing, corrupted or incompatible."""
+
+
+@dataclass
+class ModelArtifact:
+    """Self-describing metadata of one persisted model.
+
+    Attributes
+    ----------
+    path:
+        Location of the ``.npz`` archive on disk.
+    kind:
+        Model kind tag (:data:`KIND_BINARY` or :data:`KIND_MULTICLASS`).
+    version:
+        Schema version the artifact was written with.
+    created:
+        ISO-8601 UTC timestamp of the save.
+    checksum:
+        SHA-256 hex digest over all array payloads.
+    config:
+        Scalar model configuration (kernel, ``h``, ``lambda``, solver, ...).
+    metadata:
+        Free-form user metadata attached at save time (dataset name,
+        accuracy, memory, ... — see :class:`repro.serving.ModelStore`).
+    """
+
+    path: str
+    kind: str
+    version: int = FORMAT_VERSION
+    created: str = ""
+    checksum: str = ""
+    config: Dict[str, object] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the archive on disk in bytes."""
+        return os.path.getsize(self.path)
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (f"{self.kind} [{self.checksum[:12]}] "
+                f"h={self.config.get('h')} lam={self.config.get('lam')} "
+                f"solver={self.config.get('solver')} ({self.nbytes} bytes)")
+
+
+# --------------------------------------------------------------------------
+# array-level round trips
+# --------------------------------------------------------------------------
+
+def tree_to_arrays(tree: ClusterTree, prefix: str = "tree.") -> Dict[str, np.ndarray]:
+    """Flatten a :class:`ClusterTree` into a dictionary of arrays."""
+    nodes = np.array(
+        [[nd.start, nd.stop, nd.left, nd.right, nd.parent, nd.level]
+         for nd in tree.nodes], dtype=np.int64)
+    return {
+        f"{prefix}perm": np.asarray(tree.perm, dtype=np.int64),
+        f"{prefix}nodes": nodes,
+        f"{prefix}root": np.array([tree.root], dtype=np.int64),
+    }
+
+
+def tree_from_arrays(arrays: Dict[str, np.ndarray], prefix: str = "tree.") -> ClusterTree:
+    """Rebuild a :class:`ClusterTree` from :func:`tree_to_arrays` output."""
+    try:
+        perm = np.asarray(arrays[f"{prefix}perm"], dtype=np.intp)
+        node_table = np.asarray(arrays[f"{prefix}nodes"], dtype=np.int64)
+        root = int(arrays[f"{prefix}root"][0])
+    except KeyError as exc:
+        raise ArtifactError(f"artifact is missing cluster-tree array {exc}") from exc
+    nodes = [ClusterNode(start=int(r[0]), stop=int(r[1]), left=int(r[2]),
+                         right=int(r[3]), parent=int(r[4]), level=int(r[5]))
+             for r in node_table]
+    return ClusterTree(perm, nodes, root=root)
+
+
+#: HSSNodeData array attributes persisted per node
+_HSS_FIELDS = ("D", "U", "V", "B12", "B21", "row_skeleton", "col_skeleton")
+
+
+def hss_to_arrays(hss: HSSMatrix, prefix: str = "hss.") -> Dict[str, np.ndarray]:
+    """Flatten the per-node generators of an :class:`HSSMatrix`.
+
+    The partition tree is *not* included; serialize it separately with
+    :func:`tree_to_arrays` (the classifier artifact stores it once and
+    shares it between the clustering result and the HSS matrix).
+    """
+    out: Dict[str, np.ndarray] = {
+        f"{prefix}n_nodes": np.array([len(hss.node_data)], dtype=np.int64)}
+    for i, data in enumerate(hss.node_data):
+        for name in _HSS_FIELDS:
+            a = getattr(data, name)
+            if a is not None:
+                out[f"{prefix}{i}.{name}"] = np.asarray(a)
+    return out
+
+
+def hss_from_arrays(arrays: Dict[str, np.ndarray], tree: ClusterTree,
+                    prefix: str = "hss.") -> HSSMatrix:
+    """Rebuild an :class:`HSSMatrix` over ``tree`` from flattened arrays."""
+    key = f"{prefix}n_nodes"
+    if key not in arrays:
+        raise ArtifactError("artifact does not contain an HSS matrix")
+    n_nodes = int(arrays[key][0])
+    if n_nodes != tree.n_nodes:
+        raise ArtifactError(
+            f"HSS payload has {n_nodes} nodes but the tree has {tree.n_nodes}")
+    node_data: List[HSSNodeData] = []
+    for i in range(n_nodes):
+        kwargs = {}
+        for name in _HSS_FIELDS:
+            a = arrays.get(f"{prefix}{i}.{name}")
+            if a is not None and name in ("row_skeleton", "col_skeleton"):
+                a = np.asarray(a, dtype=np.intp)
+            kwargs[name] = a
+        node_data.append(HSSNodeData(**kwargs))
+    return HSSMatrix(tree, node_data)
+
+
+#: _NodeFactors array attributes persisted per node
+_ULV_FIELDS = ("omega", "q", "lower", "d_hat1", "d_hat2", "u_hat", "g1", "g2")
+
+
+def ulv_to_arrays(ulv: ULVFactorization, prefix: str = "ulv.") -> Dict[str, np.ndarray]:
+    """Flatten a :class:`ULVFactorization` (factors + root LU) into arrays."""
+    factors = ulv._factors
+    meta = np.array([[f.n_loc, f.n_elim] for f in factors], dtype=np.int64)
+    out: Dict[str, np.ndarray] = {
+        f"{prefix}meta": meta,
+        f"{prefix}root_size": np.array([ulv._root_size], dtype=np.int64),
+    }
+    if ulv._root_lu is not None:
+        out[f"{prefix}root_lu"] = np.asarray(ulv._root_lu[0])
+        out[f"{prefix}root_piv"] = np.asarray(ulv._root_lu[1], dtype=np.int64)
+    for i, fac in enumerate(factors):
+        for name in _ULV_FIELDS:
+            a = getattr(fac, name)
+            if a is not None:
+                out[f"{prefix}{i}.{name}"] = np.asarray(a)
+    return out
+
+
+def ulv_from_arrays(arrays: Dict[str, np.ndarray], hss: HSSMatrix,
+                    prefix: str = "ulv.") -> ULVFactorization:
+    """Rebuild a :class:`ULVFactorization` without re-factoring.
+
+    The factors are restored exactly as saved, so subsequent
+    :meth:`~repro.hss.ULVFactorization.solve` calls are bitwise identical
+    to the original factorization's solves.
+    """
+    key = f"{prefix}meta"
+    if key not in arrays:
+        raise ArtifactError("artifact does not contain a ULV factorization")
+    meta = np.asarray(arrays[key], dtype=np.int64)
+    if meta.shape[0] != hss.tree.n_nodes:
+        raise ArtifactError(
+            f"ULV payload has {meta.shape[0]} nodes but the tree has "
+            f"{hss.tree.n_nodes}")
+    factors: List[_NodeFactors] = []
+    for i, (n_loc, n_elim) in enumerate(meta):
+        fac = _NodeFactors(n_loc=int(n_loc), n_elim=int(n_elim))
+        for name in _ULV_FIELDS:
+            a = arrays.get(f"{prefix}{i}.{name}")
+            if a is not None:
+                setattr(fac, name, np.asarray(a, dtype=np.float64))
+        factors.append(fac)
+    ulv = ULVFactorization.__new__(ULVFactorization)
+    ulv.hss = hss
+    ulv.timing = TimingLog()
+    ulv._factors = factors
+    ulv._root_size = int(arrays[f"{prefix}root_size"][0])
+    if f"{prefix}root_lu" in arrays:
+        ulv._root_lu = (np.asarray(arrays[f"{prefix}root_lu"], dtype=np.float64),
+                        np.asarray(arrays[f"{prefix}root_piv"], dtype=np.int32))
+    else:
+        ulv._root_lu = None
+    return ulv
+
+
+# --------------------------------------------------------------------------
+# kernel round trip
+# --------------------------------------------------------------------------
+
+def kernel_to_spec(kernel: Kernel) -> Dict[str, object]:
+    """JSON-serializable description of a kernel (name + scalar parameters)."""
+    name = type(kernel).name
+    if name == "linear":  # LinearKernel's constructor takes no parameters
+        return {"name": name, "params": {}}
+    params = {}
+    for k, v in kernel.__dict__.items():
+        if isinstance(v, (bool, int, float, str)) or v is None:
+            params[k] = v
+        elif isinstance(v, np.generic):
+            params[k] = v.item()
+        else:
+            raise ArtifactError(
+                f"kernel parameter {k!r} of {type(kernel).__name__} is not a "
+                f"scalar and cannot be serialized")
+    spec = {"name": name, "params": params}
+    # Fail at save time, not load time: a kernel whose __init__ caches
+    # derived attributes (e.g. self._inv2 = 1/h**2) would otherwise
+    # produce an artifact that get_kernel can never reconstruct.
+    try:
+        kernel_from_spec(spec)
+    except Exception as exc:
+        raise ArtifactError(
+            f"kernel {type(kernel).__name__} cannot be reconstructed from "
+            f"its scalar attributes ({exc}); its constructor must accept "
+            f"exactly the parameters it stores") from exc
+    return spec
+
+
+def kernel_from_spec(spec: Dict[str, object]) -> Kernel:
+    """Instantiate a kernel from :func:`kernel_to_spec` output."""
+    return get_kernel(str(spec["name"]), **dict(spec.get("params") or {}))
+
+
+# --------------------------------------------------------------------------
+# archive plumbing
+# --------------------------------------------------------------------------
+
+_HEADER_KEY = "__artifact__"
+
+
+def _payload_checksum(arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over every array's key, dtype, shape and raw bytes."""
+    digest = hashlib.sha256()
+    for key in sorted(arrays):
+        a = np.ascontiguousarray(arrays[key])
+        digest.update(f"{key}|{a.dtype.str}|{a.shape}".encode("utf-8"))
+        digest.update(a.tobytes())
+    return digest.hexdigest()
+
+
+def _write_archive(path: str, header: Dict[str, object],
+                   arrays: Dict[str, np.ndarray]) -> None:
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    payload = dict(arrays)
+    payload[_HEADER_KEY] = np.frombuffer(header_bytes, dtype=np.uint8)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    # Write to a temp file and publish atomically, so saving over an
+    # existing artifact can never leave a truncated archive behind if the
+    # process dies mid-write.
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as fh:
+        np.savez(fh, **payload)
+    os.replace(tmp_path, path)
+
+
+def read_artifact(path: str) -> ModelArtifact:
+    """Read and validate only the header of an artifact (cheap).
+
+    Only the small JSON header entry is decompressed; the array payload
+    (which may be hundreds of MB) is not touched, so this is safe to call
+    when listing large model catalogs.
+    """
+    if not os.path.exists(path):
+        raise ArtifactError(f"model artifact {path!r} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            if _HEADER_KEY not in npz.files:
+                raise ArtifactError(
+                    f"{path!r} is not a repro model artifact (no header)")
+            header_raw = npz[_HEADER_KEY]
+    except ArtifactError:
+        raise
+    except Exception as exc:
+        raise ArtifactError(f"cannot read model artifact {path!r}: {exc}") from exc
+    header = _parse_header(path, header_raw)
+    return _artifact_from_header(path, header)
+
+
+def _parse_header(path: str, header_raw: np.ndarray) -> Dict[str, object]:
+    """Decode the JSON header and validate format tag / schema version."""
+    try:
+        header = json.loads(bytes(header_raw).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"{path!r} has a corrupted header: {exc}") from exc
+    if header.get("format") != FORMAT_TAG:
+        raise ArtifactError(
+            f"{path!r} has format tag {header.get('format')!r}, "
+            f"expected {FORMAT_TAG!r}")
+    version = int(header.get("version", -1))
+    if version > FORMAT_VERSION:
+        raise ArtifactError(
+            f"{path!r} was written with schema version {version}; this "
+            f"library only reads versions <= {FORMAT_VERSION}")
+    return header
+
+
+def _artifact_from_header(path: str, header: Dict[str, object]) -> ModelArtifact:
+    return ModelArtifact(
+        path=os.path.abspath(path),
+        kind=str(header.get("kind", "")),
+        version=int(header.get("version", -1)),
+        created=str(header.get("created", "")),
+        checksum=str(header.get("checksum", "")),
+        config=dict(header.get("config") or {}),
+        metadata=dict(header.get("metadata") or {}),
+    )
+
+
+def _read_archive(path: str, verify: bool = True):
+    if not os.path.exists(path):
+        raise ArtifactError(f"model artifact {path!r} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            arrays = {k: npz[k] for k in npz.files}
+    except ArtifactError:
+        raise
+    except Exception as exc:
+        # A truncated / bit-flipped archive can fail in many layers
+        # (zipfile, the npy reader, zlib); all of them mean "corrupted".
+        raise ArtifactError(f"cannot read model artifact {path!r}: {exc}") from exc
+    header_raw = arrays.pop(_HEADER_KEY, None)
+    if header_raw is None:
+        raise ArtifactError(f"{path!r} is not a repro model artifact (no header)")
+    header = _parse_header(path, header_raw)
+    if verify:
+        expected = header.get("checksum")
+        actual = _payload_checksum(arrays)
+        if expected != actual:
+            raise ArtifactError(
+                f"{path!r} failed checksum verification (stored "
+                f"{str(expected)[:12]}..., computed {actual[:12]}...); the "
+                f"artifact is corrupted or was modified")
+    return header, arrays
+
+
+# --------------------------------------------------------------------------
+# fitted classifier <-> artifact
+# --------------------------------------------------------------------------
+
+def _json_safe_seed(seed) -> Optional[object]:
+    return seed if isinstance(seed, (bool, int, float, str, type(None))) else None
+
+
+def _solver_arrays(solver: Optional[KernelSystemSolver],
+                   include_factorization: bool):
+    """Per-solver persisted state: (state tag, extra config, arrays)."""
+    if solver is None or not include_factorization:
+        return "none", {}, {}
+    if isinstance(solver, HSSSolver) and solver.hss_ is not None:
+        arrays = hss_to_arrays(solver.hss_)
+        if solver.factorization_ is not None:
+            arrays.update(ulv_to_arrays(solver.factorization_))
+        return "hss", {}, arrays
+    if isinstance(solver, DenseSolver) and hasattr(solver, "_cho"):
+        c, lower = solver._cho
+        return "dense", {"cho_lower": bool(lower)}, {"solver.cho_c": np.asarray(c)}
+    if isinstance(solver, CGSolver):
+        max_iter = solver.max_iter
+        return "cg", {"cg_tol": solver.tol,
+                      "cg_max_iter": None if max_iter is None else int(max_iter)}, {}
+    return "none", {}, {}
+
+
+def _restore_solver(config: Dict[str, object], arrays: Dict[str, np.ndarray],
+                    tree: ClusterTree, X_train: np.ndarray, kernel: Kernel,
+                    lam: float) -> Optional[KernelSystemSolver]:
+    state = config.get("solver_state", "none")
+    if state == "hss":
+        hss = hss_from_arrays(arrays, tree)
+        solver = HSSSolver(seed=config.get("seed"))
+        solver.hss_ = hss
+        if "ulv.meta" in arrays:
+            solver.factorization_ = ulv_from_arrays(arrays, hss)
+        solver._fitted = solver.factorization_ is not None
+        return solver
+    if state == "dense":
+        solver = DenseSolver()
+        solver._cho = (np.asarray(arrays["solver.cho_c"], dtype=np.float64),
+                       bool(config.get("cho_lower", True)))
+        solver._fitted = True
+        return solver
+    if state == "cg":
+        max_iter = config.get("cg_max_iter")
+        solver = CGSolver(tol=float(config.get("cg_tol", 1e-6)),
+                          max_iter=None if max_iter is None else int(max_iter))
+        # CG keeps no factorization: refit just rebuilds the (cheap)
+        # matrix-free operator from the stored training points.
+        solver.fit(X_train, tree, kernel, lam)
+        return solver
+    return None
+
+
+def _model_config(model, include_factorization: bool):
+    if model.clustering_ is None or model.weights_ is None:
+        raise ArtifactError("only fitted models can be saved")
+    solver = model.solver_
+    solver_name = solver.name if solver is not None else str(model._solver_spec)
+    state, solver_cfg, solver_arrays = _solver_arrays(solver, include_factorization)
+    config: Dict[str, object] = {
+        "h": float(model.h),
+        "lam": float(model.lam),
+        "leaf_size": int(model.leaf_size),
+        "seed": _json_safe_seed(model.seed),
+        "clustering": model.clustering_.method,
+        "solver": solver_name,
+        "solver_state": state,
+        "kernel": kernel_to_spec(model.kernel),
+    }
+    config.update(solver_cfg)
+    return config, solver_arrays
+
+
+def save_model(model, path: str, metadata: Optional[Dict[str, object]] = None,
+               include_factorization: bool = True) -> ModelArtifact:
+    """Persist a fitted classifier to ``path`` (a single ``.npz`` file).
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`repro.krr.KernelRidgeClassifier` or
+        :class:`repro.krr.OneVsAllClassifier`.
+    path:
+        Destination file; parent directories are created as needed.
+    metadata:
+        Free-form JSON-serializable metadata stored in the header
+        (dataset name, accuracy, ... — :class:`repro.serving.ModelStore`
+        fills this from a :class:`repro.krr.PipelineReport`).
+    include_factorization:
+        If ``True`` (default) the solver's factorization (HSS generators +
+        ULV factors, or the dense Cholesky factor) is stored too, so the
+        loaded model can also solve for *new* right-hand sides.  Disable to
+        get a minimal predict-only artifact.
+
+    Returns
+    -------
+    ModelArtifact
+        Header describing the written archive.
+    """
+    if isinstance(model, KernelRidgeClassifier):
+        kind = KIND_BINARY
+    elif isinstance(model, OneVsAllClassifier):
+        kind = KIND_MULTICLASS
+    else:
+        raise ArtifactError(
+            f"cannot serialize object of type {type(model).__name__}; expected "
+            f"KernelRidgeClassifier or OneVsAllClassifier")
+
+    config, arrays = _model_config(model, include_factorization)
+    arrays.update(tree_to_arrays(model.clustering_.tree))
+    arrays["model.X_train"] = np.asarray(model.X_train_, dtype=np.float64)
+    arrays["model.weights"] = np.asarray(model.weights_, dtype=np.float64)
+    if kind == KIND_MULTICLASS:
+        classes = np.asarray(model.classes_)
+        if classes.dtype == object:
+            # np.savez would silently pickle an object array, producing an
+            # artifact that load_model (allow_pickle=False) cannot read.
+            raise ArtifactError(
+                "class labels have object dtype and cannot be serialized "
+                "without pickle; refit with numeric or fixed-width string "
+                "labels (e.g. y.astype(str))")
+        arrays["model.classes"] = classes
+
+    header = {
+        "format": FORMAT_TAG,
+        "version": FORMAT_VERSION,
+        "kind": kind,
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "checksum": _payload_checksum(arrays),
+        "config": config,
+        "metadata": dict(metadata or {}),
+    }
+    _write_archive(path, header, arrays)
+    return _artifact_from_header(path, header)
+
+
+def load_model(path: str):
+    """Load a classifier saved by :func:`save_model`.
+
+    The checksum is verified, arrays are restored bitwise and the solver
+    state (HSS + ULV, dense Cholesky, or CG operator) is reattached, so the
+    returned model predicts — and, when the factorization was included,
+    solves — exactly like the original.
+    """
+    header, arrays = _read_archive(path, verify=True)
+    kind = header.get("kind")
+    config = dict(header.get("config") or {})
+    try:
+        kernel = kernel_from_spec(config["kernel"])
+        tree = tree_from_arrays(arrays)
+        X_train = np.asarray(arrays["model.X_train"], dtype=np.float64)
+        weights = np.asarray(arrays["model.weights"], dtype=np.float64)
+        lam = float(config["lam"])
+
+        common = dict(h=float(config["h"]), lam=lam,
+                      solver=str(config["solver"]),
+                      clustering=str(config["clustering"]), kernel=kernel,
+                      leaf_size=int(config["leaf_size"]),
+                      seed=config.get("seed"))
+        if kind == KIND_BINARY:
+            model = KernelRidgeClassifier(**common)
+        elif kind == KIND_MULTICLASS:
+            model = OneVsAllClassifier(**common)
+            model.classes_ = np.asarray(arrays["model.classes"])
+        else:
+            raise ArtifactError(f"{path!r} has unknown model kind {kind!r}")
+    except KeyError as exc:
+        raise ArtifactError(
+            f"{path!r} is missing required entry {exc} and cannot be "
+            f"loaded") from exc
+
+    model.clustering_ = ClusteringResult(method=str(config["clustering"]),
+                                         tree=tree, X=X_train)
+    model.X_train_ = X_train
+    model.weights_ = weights
+    model.solver_ = _restore_solver(config, arrays, tree, X_train, kernel, lam)
+    return model
+
+
+def load_model_as(path: str, cls):
+    """Load an artifact and check it contains an instance of ``cls``.
+
+    Backs the classifiers' ``.load()`` classmethods so the
+    type-check-and-raise logic lives in one place.
+    """
+    model = load_model(path)
+    if not isinstance(model, cls):
+        raise ArtifactError(
+            f"{path!r} contains a {type(model).__name__}, not a {cls.__name__}")
+    return model

@@ -1,0 +1,219 @@
+"""Directory-backed registry of persisted models.
+
+A :class:`ModelStore` manages a flat directory of named model artifacts:
+
+.. code-block:: text
+
+    <root>/
+        susy-hss/
+            model.npz     # checksummed archive written by serialize.save_model
+            record.json   # name, kind, checksum, created, metadata
+        mnist-ova/
+            model.npz
+            record.json
+
+The record duplicates the artifact header so listing the store never has to
+open the (potentially large) archives.  Metadata is free-form JSON; the
+usual source is a :class:`repro.krr.PipelineReport`, whose headline numbers
+(dataset, ``h``, ``lambda``, accuracy, memory, maximum rank, timings) are
+flattened in via :func:`metadata_from_report` — the train-offline half of
+the train-offline / serve-online split.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .serialize import ArtifactError, ModelArtifact, load_model, save_model
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+ARCHIVE_FILENAME = "model.npz"
+RECORD_FILENAME = "record.json"
+
+
+def metadata_from_report(report) -> Dict[str, object]:
+    """Flatten a :class:`repro.krr.PipelineReport` into artifact metadata."""
+    return dict(report.row())
+
+
+@dataclass
+class ModelRecord:
+    """Catalog entry of one stored model."""
+
+    name: str
+    path: str
+    kind: str = ""
+    checksum: str = ""
+    created: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def archive_path(self) -> str:
+        return os.path.join(self.path, ARCHIVE_FILENAME)
+
+    def describe(self) -> str:
+        """One-line summary used by listings and the example scripts."""
+        acc = self.metadata.get("accuracy_percent")
+        acc_str = f" acc={acc}%" if acc is not None else ""
+        return f"{self.name}: {self.kind} [{self.checksum[:12]}]{acc_str}"
+
+
+class ModelStore:
+    """Save / load / list / delete named models under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with parents) if missing.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> import numpy as np
+    >>> from repro.datasets import gaussian_mixture
+    >>> from repro.krr import KernelRidgeClassifier
+    >>> from repro.serving import ModelStore
+    >>> X, y = gaussian_mixture(n=128, d=4, seed=0)
+    >>> clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="dense").fit(X, y)
+    >>> store = ModelStore(tempfile.mkdtemp())
+    >>> record = store.save(clf, "demo")
+    >>> reloaded = store.load("demo")
+    >>> bool(np.array_equal(reloaded.predict(X), clf.predict(X)))
+    True
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(str(root))
+        os.makedirs(self.root, exist_ok=True)
+
+    # ----------------------------------------------------------------- paths
+    def _model_dir(self, name: str) -> str:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}; use letters, digits, '.', '_' "
+                f"and '-' (must not start with a separator)")
+        return os.path.join(self.root, name)
+
+    # ------------------------------------------------------------------ save
+    def save(self, model, name: str,
+             report=None,
+             metadata: Optional[Dict[str, object]] = None,
+             overwrite: bool = False,
+             include_factorization: bool = True) -> ModelRecord:
+        """Persist a fitted model under ``name``.
+
+        Parameters
+        ----------
+        model:
+            Fitted classifier (binary or one-vs-all).
+        name:
+            Registry key; becomes the subdirectory name.
+        report:
+            Optional :class:`repro.krr.PipelineReport` whose headline
+            numbers are merged into the metadata.
+        metadata:
+            Extra free-form metadata (wins over report-derived keys).
+        overwrite:
+            Allow replacing an existing entry of the same name.
+        include_factorization:
+            Forwarded to :func:`repro.serving.save_model`.
+        """
+        path = self._model_dir(name)
+        # Existence is keyed on the record file, not the directory: a save
+        # that crashed before writing the record leaves no catalog entry
+        # and must not block the retry.
+        if name in self and not overwrite:
+            raise FileExistsError(
+                f"model {name!r} already exists in {self.root}; pass "
+                f"overwrite=True to replace it")
+        meta: Dict[str, object] = {}
+        if report is not None:
+            meta.update(metadata_from_report(report))
+        if metadata:
+            meta.update(metadata)
+        # save_model publishes the archive atomically; the record follows
+        # with its own atomic rename, so a crash mid-save never corrupts a
+        # previously good artifact (the archive header stays the source of
+        # truth if the crash lands between the two renames).
+        record_path = os.path.join(path, RECORD_FILENAME)
+        artifact = save_model(model, os.path.join(path, ARCHIVE_FILENAME),
+                              metadata=meta,
+                              include_factorization=include_factorization)
+        record = ModelRecord(name=name, path=path, kind=artifact.kind,
+                             checksum=artifact.checksum,
+                             created=artifact.created, metadata=meta)
+        with open(record_path + ".tmp", "w", encoding="utf-8") as fh:
+            json.dump({"name": record.name, "kind": record.kind,
+                       "checksum": record.checksum, "created": record.created,
+                       "metadata": record.metadata}, fh, indent=2, sort_keys=True)
+        os.replace(record_path + ".tmp", record_path)
+        return record
+
+    # ------------------------------------------------------------------ load
+    def load(self, name: str):
+        """Load the named model (checksum-verified)."""
+        record = self.record(name)
+        return load_model(record.archive_path)
+
+    def record(self, name: str) -> ModelRecord:
+        """Catalog entry of the named model (reads only the JSON record)."""
+        path = self._model_dir(name)
+        record_path = os.path.join(path, RECORD_FILENAME)
+        if not os.path.isdir(path) or not os.path.exists(record_path):
+            raise ArtifactError(f"no model named {name!r} in {self.root}")
+        with open(record_path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+        return ModelRecord(name=name, path=path, kind=raw.get("kind", ""),
+                           checksum=raw.get("checksum", ""),
+                           created=raw.get("created", ""),
+                           metadata=dict(raw.get("metadata") or {}))
+
+    def artifact(self, name: str) -> ModelArtifact:
+        """Full artifact header of the named model (opens the archive)."""
+        from .serialize import read_artifact
+        return read_artifact(self.record(name).archive_path)
+
+    # ------------------------------------------------------------- catalogue
+    def list_models(self) -> List[ModelRecord]:
+        """All catalog entries, sorted by name.
+
+        Stray directories that are not valid store entries (backup copies,
+        dot-directories dropped in by other tools) are ignored rather than
+        failing the whole listing.
+        """
+        out: List[ModelRecord] = []
+        for entry in sorted(os.listdir(self.root)):
+            if not _NAME_RE.match(entry):
+                continue
+            if os.path.exists(os.path.join(self.root, entry, RECORD_FILENAME)):
+                out.append(self.record(entry))
+        return out
+
+    def names(self) -> List[str]:
+        return [r.name for r in self.list_models()]
+
+    def delete(self, name: str) -> None:
+        """Remove the named model and its directory."""
+        path = self._model_dir(name)
+        if not os.path.isdir(path):
+            raise ArtifactError(f"no model named {name!r} in {self.root}")
+        shutil.rmtree(path)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            path = self._model_dir(str(name))
+        except ValueError:
+            return False
+        return os.path.exists(os.path.join(path, RECORD_FILENAME))
+
+    def __len__(self) -> int:
+        return len(self.list_models())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelStore(root={self.root!r}, models={len(self)})"

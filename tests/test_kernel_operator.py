@@ -114,3 +114,48 @@ class TestDenseMatrixOperator:
     def test_rejects_non_square(self):
         with pytest.raises(ValueError):
             DenseMatrixOperator(np.zeros((3, 4)))
+
+
+class TestCounterThreadSafety:
+    """The usage counters are updated from BlockExecutor worker threads
+    during parallel block assembly; increments must not be lost."""
+
+    def test_block_counter_exact_under_concurrency(self):
+        from repro.parallel import BlockExecutor
+
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((64, 3))
+        op = KernelOperator(X, GaussianKernel(h=1.0))
+        rows = np.arange(8)
+        cols = np.arange(8, 21)
+        n_tasks = 400
+        executor = BlockExecutor(workers=8, serial_threshold=0)
+        executor.map(lambda _i: op.block(rows, cols), range(n_tasks))
+        assert op.element_evaluations == n_tasks * rows.size * cols.size
+
+    def test_matvec_counter_exact_under_concurrency(self):
+        from repro.parallel import BlockExecutor
+
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((48, 3))
+        op = ShiftedKernelOperator(X, GaussianKernel(h=1.0), lam=0.5,
+                                   block_size=7)
+        v = rng.standard_normal(48)
+        n_tasks = 200
+        executor = BlockExecutor(workers=8, serial_threshold=0)
+        executor.map(lambda _i: op.matvec(v), range(n_tasks))
+        assert op.matvec_sweeps == n_tasks
+
+    def test_dense_operator_counters_under_concurrency(self):
+        from repro.parallel import BlockExecutor
+
+        rng = np.random.default_rng(2)
+        A = rng.standard_normal((32, 32))
+        op = DenseMatrixOperator(A)
+        v = rng.standard_normal(32)
+        rows = np.arange(4)
+        cols = np.arange(4, 9)
+        executor = BlockExecutor(workers=8, serial_threshold=0)
+        executor.map(lambda _i: (op.matvec(v), op.block(rows, cols)), range(300))
+        assert op.matvec_sweeps == 300
+        assert op.element_evaluations == 300 * rows.size * cols.size
