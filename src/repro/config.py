@@ -57,6 +57,13 @@ class HSSOptions:
         If ``True`` the builder assumes ``A == A.T`` and reuses the row
         compression for the columns, halving the work.  Kernel matrices are
         symmetric so this defaults to ``True``.
+    workers:
+        Worker threads used by the level-parallel construction and ULV
+        factorization.  ``None`` defers to the ``REPRO_WORKERS``
+        environment variable (serial when unset), ``0`` uses all visible
+        cores, positive values are taken literally — see
+        :func:`repro.parallel.resolve_workers`.  Parallel and serial runs
+        produce bitwise-identical factorizations.
     """
 
     leaf_size: int = 16
@@ -68,6 +75,7 @@ class HSSOptions:
     max_adaptive_rounds: int = 12
     oversampling: int = 8
     symmetric: bool = True
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.leaf_size < 1:
@@ -82,6 +90,8 @@ class HSSOptions:
             raise ValueError("sample_increment must be >= 1")
         if self.max_rank is not None and self.max_rank < 1:
             raise ValueError("max_rank must be >= 1 or None")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be >= 0 or None")
 
     def with_(self, **kwargs) -> "HSSOptions":
         """Return a copy with the given fields replaced."""
@@ -110,6 +120,9 @@ class HMatrixOptions:
         blocks.
     max_rank:
         Hard cap on the ACA rank of an admissible block.
+    workers:
+        Worker threads used by the parallel leaf-block assembly; same
+        semantics as :attr:`HSSOptions.workers`.
     """
 
     leaf_size: int = 64
@@ -117,6 +130,7 @@ class HMatrixOptions:
     admissibility: str = "centroid"
     rel_tol: float = 1e-2
     max_rank: Optional[int] = None
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.leaf_size < 1:
@@ -127,6 +141,8 @@ class HMatrixOptions:
             raise ValueError("admissibility must be 'centroid' or 'box'")
         if self.rel_tol <= 0:
             raise ValueError("rel_tol must be positive")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be >= 0 or None")
 
     def with_(self, **kwargs) -> "HMatrixOptions":
         """Return a copy with the given fields replaced."""

@@ -5,6 +5,11 @@ operator's element extraction — only a few rows and columns of each block
 are ever evaluated, which is what makes the H construction quasi-linear and
 is the reason the paper uses it to accelerate the HSS sampling stage.
 Inadmissible leaf blocks are extracted densely.
+
+Every leaf block is independent of every other, so the assembly is a single
+parallel map over the block-tree leaves (the operator's element counters
+are thread-safe); results are collected in leaf order, so parallel and
+serial builds produce identical H matrices.
 """
 
 from __future__ import annotations
@@ -16,11 +21,45 @@ import numpy as np
 from ..clustering.tree import ClusterTree
 from ..config import HMatrixOptions
 from ..lowrank.aca import aca
+from ..parallel.executor import BlockExecutor, resolve_workers
 from ..utils.timing import TimingLog
 from ..utils.validation import check_array_2d
 from .bbox import cluster_geometries
 from .block_tree import BlockClusterTree
 from .hmatrix import HBlock, HMatrix
+
+
+def _assemble_leaf(operator, btree: BlockClusterTree, block_id: int,
+                   opts: HMatrixOptions) -> HBlock:
+    """Extract (dense) or compress (ACA) one leaf block of the partition."""
+    rows, cols = btree.block_ranges(block_id)
+    row_idx = np.arange(rows.start, rows.stop, dtype=np.intp)
+    col_idx = np.arange(cols.start, cols.stop, dtype=np.intp)
+    node = btree.blocks[block_id]
+    if not node.admissible:
+        dense = np.asarray(operator.block(row_idx, col_idx), dtype=np.float64)
+        return HBlock(block_id, rows, cols, dense=dense)
+
+    def row_fn(i: int, _rows=row_idx, _cols=col_idx) -> np.ndarray:
+        return np.asarray(
+            operator.block(_rows[i:i + 1], _cols), dtype=np.float64).ravel()
+
+    def col_fn(j: int, _rows=row_idx, _cols=col_idx) -> np.ndarray:
+        return np.asarray(
+            operator.block(_rows, _cols[j:j + 1]), dtype=np.float64).ravel()
+
+    result = aca(row_idx.size, col_idx.size, row_fn, col_fn,
+                 rel_tol=opts.rel_tol, max_rank=opts.max_rank)
+    lowrank = result.lowrank
+    # If ACA did not converge within the rank budget, fall back to a
+    # dense block when that is actually cheaper; correctness first.
+    if not result.converged and opts.max_rank is None:
+        dense_bytes = row_idx.size * col_idx.size * 8
+        if lowrank.nbytes >= dense_bytes:
+            dense = np.asarray(operator.block(row_idx, col_idx),
+                               dtype=np.float64)
+            return HBlock(block_id, rows, cols, dense=dense)
+    return HBlock(block_id, rows, cols, lowrank=lowrank)
 
 
 def build_hmatrix(
@@ -29,6 +68,7 @@ def build_hmatrix(
     tree: ClusterTree,
     options: Optional[HMatrixOptions] = None,
     timing: Optional[TimingLog] = None,
+    executor: Optional[BlockExecutor] = None,
 ) -> HMatrix:
     """Compress the kernel matrix of ``X_permuted`` into an H matrix.
 
@@ -36,16 +76,22 @@ def build_hmatrix(
     ----------
     operator:
         Partially matrix-free operator (``block(rows, cols)``) representing
-        the matrix **in the permuted ordering** of ``tree``.
+        the matrix **in the permuted ordering** of ``tree``.  Its ``block``
+        method must be thread-safe when more than one worker is used.
     X_permuted:
         The reordered data points (used only for the geometric admissibility
         condition).
     tree:
         Cluster tree shared with the HSS construction.
     options:
-        :class:`repro.config.HMatrixOptions`.
+        :class:`repro.config.HMatrixOptions`; ``options.workers`` selects
+        the parallelism when no ``executor`` is passed.
     timing:
         Optional log; an ``h_construction`` phase is added.
+    executor:
+        Optional shared :class:`repro.parallel.BlockExecutor`; callers
+        running several training phases should pass one executor so the
+        thread pool is reused across phases.
 
     Returns
     -------
@@ -54,42 +100,20 @@ def build_hmatrix(
     opts = options if options is not None else HMatrixOptions()
     X_permuted = check_array_2d(X_permuted, "X_permuted")
     log = timing if timing is not None else TimingLog()
+    own_executor = executor is None
+    ex = executor if executor is not None else BlockExecutor(
+        workers=resolve_workers(opts.workers))
 
-    with log.phase("h_construction"):
-        geometries = cluster_geometries(X_permuted, tree)
-        btree = BlockClusterTree(tree, geometries, eta=opts.admissibility_eta,
-                                 leaf_size=opts.leaf_size,
-                                 criterion=opts.admissibility)
-        blocks = []
-        for block_id in btree.leaves():
-            rows, cols = btree.block_ranges(block_id)
-            row_idx = np.arange(rows.start, rows.stop, dtype=np.intp)
-            col_idx = np.arange(cols.start, cols.stop, dtype=np.intp)
-            node = btree.blocks[block_id]
-            if not node.admissible:
-                dense = np.asarray(operator.block(row_idx, col_idx), dtype=np.float64)
-                blocks.append(HBlock(block_id, rows, cols, dense=dense))
-                continue
-
-            def row_fn(i: int, _rows=row_idx, _cols=col_idx) -> np.ndarray:
-                return np.asarray(
-                    operator.block(_rows[i:i + 1], _cols), dtype=np.float64).ravel()
-
-            def col_fn(j: int, _rows=row_idx, _cols=col_idx) -> np.ndarray:
-                return np.asarray(
-                    operator.block(_rows, _cols[j:j + 1]), dtype=np.float64).ravel()
-
-            result = aca(row_idx.size, col_idx.size, row_fn, col_fn,
-                         rel_tol=opts.rel_tol, max_rank=opts.max_rank)
-            lowrank = result.lowrank
-            # If ACA did not converge within the rank budget, fall back to a
-            # dense block when that is actually cheaper; correctness first.
-            if not result.converged and opts.max_rank is None:
-                dense_bytes = row_idx.size * col_idx.size * 8
-                if lowrank.nbytes >= dense_bytes:
-                    dense = np.asarray(operator.block(row_idx, col_idx),
-                                       dtype=np.float64)
-                    blocks.append(HBlock(block_id, rows, cols, dense=dense))
-                    continue
-            blocks.append(HBlock(block_id, rows, cols, lowrank=lowrank))
+    try:
+        with log.phase("h_construction"):
+            geometries = cluster_geometries(X_permuted, tree)
+            btree = BlockClusterTree(tree, geometries, eta=opts.admissibility_eta,
+                                     leaf_size=opts.leaf_size,
+                                     criterion=opts.admissibility)
+            blocks = ex.map(
+                lambda block_id: _assemble_leaf(operator, btree, block_id, opts),
+                list(btree.leaves()))
+    finally:
+        if own_executor:
+            ex.shutdown()
     return HMatrix(btree, blocks)

@@ -5,6 +5,12 @@ compresses the off-diagonal block row / block column of every node with an
 interpolative decomposition, enforcing the nested-basis property by only
 compressing the *skeleton* rows/columns of the children at internal nodes.
 
+Within one tree level every node's compression is independent (it only
+reads the matrix and the children's skeletons, which belong to deeper
+levels), so the walk is level-synchronous: one parallel map per level,
+deepest level first.  Results are stored in node order, so the construction
+is bitwise identical for any worker count.
+
 It touches every matrix entry, so it costs ``O(n^2 r)`` and is meant for
 testing, for modest problem sizes and as the ground truth against which the
 randomized (partially matrix-free) builder of
@@ -13,13 +19,14 @@ randomized (partially matrix-free) builder of
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..clustering.tree import ClusterTree
 from ..config import HSSOptions
 from ..lowrank.interpolative import row_id
+from ..parallel.executor import BlockExecutor, resolve_workers
 from ..utils.validation import check_square
 from .generators import HSSNodeData
 from .hss_matrix import HSSMatrix
@@ -35,6 +42,7 @@ def build_hss_from_dense(
     A: np.ndarray,
     tree: ClusterTree,
     options: Optional[HSSOptions] = None,
+    executor: Optional[BlockExecutor] = None,
 ) -> HSSMatrix:
     """Compress a dense (already permuted) matrix into HSS form.
 
@@ -48,7 +56,11 @@ def build_hss_from_dense(
     options:
         Compression options; ``rel_tol`` controls the ID truncation,
         ``max_rank`` caps the ranks.  The ``symmetric`` flag reuses the row
-        compression for the columns when ``A`` is symmetric.
+        compression for the columns when ``A`` is symmetric, and
+        ``workers`` selects the level parallelism when no ``executor`` is
+        passed.
+    executor:
+        Optional shared :class:`repro.parallel.BlockExecutor`.
 
     Returns
     -------
@@ -61,11 +73,11 @@ def build_hss_from_dense(
         raise ValueError(f"tree covers {tree.n} points but A has dimension {n}")
     symmetric = opts.symmetric and np.allclose(A, A.T, atol=1e-12)
 
-    node_data: List[HSSNodeData] = [HSSNodeData() for _ in range(tree.n_nodes)]
+    node_data: List[Optional[HSSNodeData]] = [None] * tree.n_nodes
 
-    for node_id in tree.postorder():
+    def process_node(node_id: int) -> HSSNodeData:
         nd = tree.node(node_id)
-        data = node_data[node_id]
+        data = HSSNodeData()
         comp = _complement(n, nd.start, nd.stop)
 
         if nd.is_leaf:
@@ -77,7 +89,7 @@ def build_hss_from_dense(
                 data.V = np.zeros((nd.size, 0))
                 data.row_skeleton = rows[:0]
                 data.col_skeleton = rows[:0]
-                continue
+                return data
             # Row Hankel block A(I_i, I_i^c): select representative rows.
             hankel_row = A[np.ix_(rows, comp)]
             rid = row_id(hankel_row, rel_tol=opts.rel_tol, abs_tol=opts.abs_tol,
@@ -91,11 +103,11 @@ def build_hss_from_dense(
                 # Column Hankel block A(I_i^c, I_i): representative columns,
                 # obtained as a row ID of its transpose.
                 hankel_col_t = A[np.ix_(comp, rows)].T
-                cid = row_id(hankel_col_t, rel_tol=opts.rel_tol, abs_tol=opts.abs_tol,
-                             max_rank=opts.max_rank)
+                cid = row_id(hankel_col_t, rel_tol=opts.rel_tol,
+                             abs_tol=opts.abs_tol, max_rank=opts.max_rank)
                 data.V = cid.interp
                 data.col_skeleton = rows[cid.skeleton]
-            continue
+            return data
 
         # ----- internal node
         c1, c2 = nd.left, nd.right
@@ -106,7 +118,7 @@ def build_hss_from_dense(
         if node_id == tree.root:
             data.row_skeleton = np.zeros(0, dtype=np.intp)
             data.col_skeleton = np.zeros(0, dtype=np.intp)
-            continue
+            return data
 
         merged_rows = np.concatenate([d1.row_skeleton, d2.row_skeleton])
         hankel_row = A[np.ix_(merged_rows, comp)]
@@ -124,5 +136,18 @@ def build_hss_from_dense(
                          max_rank=opts.max_rank)
             data.V = cid.interp
             data.col_skeleton = merged_cols[cid.skeleton]
+        return data
+
+    own_executor = executor is None
+    ex = executor if executor is not None else BlockExecutor(
+        workers=resolve_workers(opts.workers))
+    try:
+        for level_nodes in reversed(tree.levels()):
+            results = ex.map(process_node, level_nodes)
+            for node_id, data in zip(level_nodes, results):
+                node_data[node_id] = data
+    finally:
+        if own_executor:
+            ex.shutdown()
 
     return HSSMatrix(tree, node_data)

@@ -37,6 +37,7 @@ import numpy as np
 from ..clustering.tree import ClusterTree
 from ..config import HSSOptions
 from ..lowrank.interpolative import row_id
+from ..parallel.executor import BlockExecutor, resolve_workers
 from ..utils.random import as_generator
 from ..utils.timing import TimingLog
 from .generators import HSSNodeData
@@ -104,6 +105,7 @@ def build_hss_randomized(
     options: Optional[HSSOptions] = None,
     rng=None,
     timing: Optional[TimingLog] = None,
+    executor: Optional[BlockExecutor] = None,
 ) -> Tuple[HSSMatrix, SamplingStats]:
     """Build an HSS approximation of ``operator`` using randomized sampling.
 
@@ -124,6 +126,12 @@ def build_hss_randomized(
     timing:
         Optional :class:`repro.utils.TimingLog`; phases ``hss_sampling`` and
         ``hss_other`` are accumulated into it.
+    executor:
+        Optional shared :class:`repro.parallel.BlockExecutor` used for the
+        level-parallel node compression; when absent one is created from
+        ``options.workers``.  The construction is bitwise identical for any
+        worker count (the random sample is drawn once up front and node
+        results are committed in deterministic tree order).
 
     Returns
     -------
@@ -139,37 +147,45 @@ def build_hss_randomized(
     n_random = min(max(opts.initial_samples, 2 * opts.oversampling + 2), n)
     stats = SamplingStats()
     start_elements = getattr(operator, "element_evaluations", 0)
+    own_executor = executor is None
+    ex = executor if executor is not None else BlockExecutor(
+        workers=resolve_workers(opts.workers))
 
-    for round_idx in range(opts.max_adaptive_rounds):
-        stats.rounds = round_idx + 1
-        stats.random_vectors = n_random
-        try:
-            hss = _attempt_build(operator, tree, opts, rng, n_random, log, stats)
-            stats.element_evaluations = getattr(operator, "element_evaluations",
-                                                0) - start_elements
-            log.add("hss_sampling", 0.0)
-            return hss, stats
-        except _SaturatedSample:
-            if n_random >= n:
-                # Cannot enlarge further: accept whatever rank the full
-                # sample gives by disabling the saturation check.
+    try:
+        for round_idx in range(opts.max_adaptive_rounds):
+            stats.rounds = round_idx + 1
+            stats.random_vectors = n_random
+            try:
                 hss = _attempt_build(operator, tree, opts, rng, n_random, log,
-                                     stats, allow_saturated=True)
+                                     stats, executor=ex)
                 stats.element_evaluations = getattr(operator, "element_evaluations",
                                                     0) - start_elements
+                log.add("hss_sampling", 0.0)
                 return hss, stats
-            # Grow the sample geometrically (like STRUMPACK's doubling) so a
-            # high-rank problem is reached in O(log n) restart rounds; an
-            # additive increment would need too many rounds and could leave
-            # the compression short of its tolerance.
-            n_random = min(max(2 * n_random,
-                               n_random + opts.sample_increment), n)
-    # Final attempt with the saturation check disabled.
-    hss = _attempt_build(operator, tree, opts, rng, n_random, log, stats,
-                         allow_saturated=True)
-    stats.element_evaluations = getattr(operator, "element_evaluations",
-                                        0) - start_elements
-    return hss, stats
+            except _SaturatedSample:
+                if n_random >= n:
+                    # Cannot enlarge further: accept whatever rank the full
+                    # sample gives by disabling the saturation check.
+                    hss = _attempt_build(operator, tree, opts, rng, n_random, log,
+                                         stats, allow_saturated=True, executor=ex)
+                    stats.element_evaluations = getattr(
+                        operator, "element_evaluations", 0) - start_elements
+                    return hss, stats
+                # Grow the sample geometrically (like STRUMPACK's doubling) so a
+                # high-rank problem is reached in O(log n) restart rounds; an
+                # additive increment would need too many rounds and could leave
+                # the compression short of its tolerance.
+                n_random = min(max(2 * n_random,
+                                   n_random + opts.sample_increment), n)
+        # Final attempt with the saturation check disabled.
+        hss = _attempt_build(operator, tree, opts, rng, n_random, log, stats,
+                             allow_saturated=True, executor=ex)
+        stats.element_evaluations = getattr(operator, "element_evaluations",
+                                            0) - start_elements
+        return hss, stats
+    finally:
+        if own_executor:
+            ex.shutdown()
 
 
 def _attempt_build(
@@ -181,12 +197,22 @@ def _attempt_build(
     log: TimingLog,
     stats: SamplingStats,
     allow_saturated: bool = False,
+    executor: Optional[BlockExecutor] = None,
 ) -> HSSMatrix:
-    """One construction pass with a fixed number of random vectors."""
+    """One construction pass with a fixed number of random vectors.
+
+    The tree walk is level-synchronous: every node of one level only reads
+    the global sample and its children's results (which live one level
+    deeper), so the per-node compressions within a level run as one
+    parallel map.  Workers never touch shared state — each returns its
+    node's generators plus the skeleton-restricted sample / compressed
+    random blocks, which the calling thread commits in node order.
+    """
     import time
 
     n = tree.n
     symmetric = opts.symmetric
+    ex = executor if executor is not None else BlockExecutor(workers=1)
 
     t0 = time.perf_counter()
     R = rng.standard_normal((n, n_random))
@@ -217,88 +243,101 @@ def _attempt_build(
             return rid.interp, rid.skeleton, rid.rank
         return _compress_node(sample_loc, opts, n_random)
 
-    try:
-        for node_id in tree.postorder():
-            nd = tree.node(node_id)
-            data = node_data[node_id]
+    def process_node(node_id: int):
+        """Compute one node's generators; returns (data, srow, scol, rcol, rrow)."""
+        nd = tree.node(node_id)
+        data = node_data[node_id]
 
-            if nd.is_leaf:
-                rows = np.arange(nd.start, nd.stop, dtype=np.intp)
-                data.D = np.asarray(operator.block(rows, rows), dtype=np.float64)
-                if node_id == tree.root:
-                    data.U = np.zeros((nd.size, 0))
-                    data.V = np.zeros((nd.size, 0))
-                    data.row_skeleton = rows[:0]
-                    data.col_skeleton = rows[:0]
-                    continue
-                Ri = R[nd.start:nd.stop]
-                sample_row = S[nd.start:nd.stop] - data.D @ Ri
-                interp, skel, _ = compress(sample_row)
-                data.U = interp
-                data.row_skeleton = rows[skel]
-                Srow[node_id] = sample_row[skel]
-                if symmetric:
-                    data.V = interp.copy()
-                    data.col_skeleton = data.row_skeleton.copy()
-                    Scol[node_id] = Srow[node_id]
-                else:
-                    sample_col = St[nd.start:nd.stop] - data.D.T @ Ri
-                    interp_c, skel_c, _ = compress(sample_col)
-                    data.V = interp_c
-                    data.col_skeleton = rows[skel_c]
-                    Scol[node_id] = sample_col[skel_c]
-                Rcol[node_id] = data.V.T @ Ri
-                Rrow[node_id] = data.U.T @ Ri
-                continue
-
-            # ---------------- internal node
-            c1, c2 = nd.left, nd.right
-            d1, d2 = node_data[c1], node_data[c2]
-            data.B12 = np.asarray(
-                operator.block(d1.row_skeleton, d2.col_skeleton), dtype=np.float64)
-            if symmetric:
-                data.B21 = data.B12.T.copy()
-            else:
-                data.B21 = np.asarray(
-                    operator.block(d2.row_skeleton, d1.col_skeleton), dtype=np.float64)
-
+        if nd.is_leaf:
+            rows = np.arange(nd.start, nd.stop, dtype=np.intp)
+            data.D = np.asarray(operator.block(rows, rows), dtype=np.float64)
             if node_id == tree.root:
-                data.row_skeleton = np.zeros(0, dtype=np.intp)
-                data.col_skeleton = np.zeros(0, dtype=np.intp)
-                continue
-
-            sample_row = np.vstack([
-                Srow[c1] - data.B12 @ Rcol[c2],
-                Srow[c2] - data.B21 @ Rcol[c1],
-            ])
+                data.U = np.zeros((nd.size, 0))
+                data.V = np.zeros((nd.size, 0))
+                data.row_skeleton = rows[:0]
+                data.col_skeleton = rows[:0]
+                return data, None, None, None, None
+            Ri = R[nd.start:nd.stop]
+            sample_row = S[nd.start:nd.stop] - data.D @ Ri
             interp, skel, _ = compress(sample_row)
             data.U = interp
-            merged_rows = np.concatenate([d1.row_skeleton, d2.row_skeleton])
-            data.row_skeleton = merged_rows[skel]
-            Srow[node_id] = sample_row[skel]
-
+            data.row_skeleton = rows[skel]
+            srow = sample_row[skel]
             if symmetric:
                 data.V = interp.copy()
                 data.col_skeleton = data.row_skeleton.copy()
-                Scol[node_id] = Srow[node_id]
+                scol = srow
             else:
-                sample_col = np.vstack([
-                    Scol[c1] - data.B21.T @ Rrow[c2],
-                    Scol[c2] - data.B12.T @ Rrow[c1],
-                ])
+                sample_col = St[nd.start:nd.stop] - data.D.T @ Ri
                 interp_c, skel_c, _ = compress(sample_col)
                 data.V = interp_c
-                merged_cols = np.concatenate([d1.col_skeleton, d2.col_skeleton])
-                data.col_skeleton = merged_cols[skel_c]
-                Scol[node_id] = sample_col[skel_c]
+                data.col_skeleton = rows[skel_c]
+                scol = sample_col[skel_c]
+            return data, srow, scol, data.V.T @ Ri, data.U.T @ Ri
 
-            Rcol[node_id] = data.V.T @ np.vstack([Rcol[c1], Rcol[c2]])
-            Rrow[node_id] = data.U.T @ np.vstack([Rrow[c1], Rrow[c2]])
+        # ---------------- internal node
+        c1, c2 = nd.left, nd.right
+        d1, d2 = node_data[c1], node_data[c2]
+        data.B12 = np.asarray(
+            operator.block(d1.row_skeleton, d2.col_skeleton), dtype=np.float64)
+        if symmetric:
+            data.B21 = data.B12.T.copy()
+        else:
+            data.B21 = np.asarray(
+                operator.block(d2.row_skeleton, d1.col_skeleton), dtype=np.float64)
 
-            # Children's working arrays are no longer needed.
-            for cache in (Srow, Scol, Rcol, Rrow):
-                cache.pop(c1, None)
-                cache.pop(c2, None)
+        if node_id == tree.root:
+            data.row_skeleton = np.zeros(0, dtype=np.intp)
+            data.col_skeleton = np.zeros(0, dtype=np.intp)
+            return data, None, None, None, None
+
+        sample_row = np.vstack([
+            Srow[c1] - data.B12 @ Rcol[c2],
+            Srow[c2] - data.B21 @ Rcol[c1],
+        ])
+        interp, skel, _ = compress(sample_row)
+        data.U = interp
+        merged_rows = np.concatenate([d1.row_skeleton, d2.row_skeleton])
+        data.row_skeleton = merged_rows[skel]
+        srow = sample_row[skel]
+
+        if symmetric:
+            data.V = interp.copy()
+            data.col_skeleton = data.row_skeleton.copy()
+            scol = srow
+        else:
+            sample_col = np.vstack([
+                Scol[c1] - data.B21.T @ Rrow[c2],
+                Scol[c2] - data.B12.T @ Rrow[c1],
+            ])
+            interp_c, skel_c, _ = compress(sample_col)
+            data.V = interp_c
+            merged_cols = np.concatenate([d1.col_skeleton, d2.col_skeleton])
+            data.col_skeleton = merged_cols[skel_c]
+            scol = sample_col[skel_c]
+
+        rcol = data.V.T @ np.vstack([Rcol[c1], Rcol[c2]])
+        rrow = data.U.T @ np.vstack([Rrow[c1], Rrow[c2]])
+        return data, srow, scol, rcol, rrow
+
+    try:
+        for level_nodes in reversed(tree.levels()):
+            results = ex.map(process_node, level_nodes)
+            for node_id, (data, srow, scol, rcol, rrow) in zip(level_nodes,
+                                                               results):
+                if srow is not None:
+                    Srow[node_id] = srow
+                    Scol[node_id] = scol
+                    Rcol[node_id] = rcol
+                    Rrow[node_id] = rrow
+            # Children's working arrays are no longer needed once their
+            # parents' level has been committed.
+            for node_id in level_nodes:
+                nd = tree.node(node_id)
+                if not nd.is_leaf:
+                    for cache in (Srow, Scol, Rcol, Rrow):
+                        cache.pop(nd.left, None)
+                        cache.pop(nd.right, None)
     finally:
         other_seconds = time.perf_counter() - t1
         stats.other_time += other_seconds

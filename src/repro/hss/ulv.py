@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 import numpy as np
 import scipy.linalg
 
+from ..parallel.executor import BlockExecutor, SERIAL_EXECUTOR
 from ..utils.timing import TimingLog
 from .hss_matrix import HSSMatrix
 
@@ -96,6 +97,13 @@ class ULVFactorization:
     timing:
         Optional :class:`repro.utils.TimingLog`; the constructor adds a
         ``factorization`` phase and :meth:`solve` adds ``solve`` phases.
+    executor:
+        Optional shared :class:`repro.parallel.BlockExecutor`.  Both the
+        factorization and the two solve sweeps are level-synchronous
+        (Figure 8's parallelization): nodes within a tree level are
+        eliminated / swept concurrently, with results committed in node
+        order so any worker count produces bitwise-identical factors and
+        solutions.
 
     Notes
     -----
@@ -105,12 +113,25 @@ class ULVFactorization:
     solver whose residual is governed by the compression tolerance.
     """
 
-    def __init__(self, hss: HSSMatrix, timing: Optional[TimingLog] = None):
+    def __init__(self, hss: HSSMatrix, timing: Optional[TimingLog] = None,
+                 executor: Optional[BlockExecutor] = None):
         self.hss = hss
+        self._executor = executor
         log = timing if timing is not None else TimingLog()
         with log.phase("factorization"):
             self._factor()
         self.timing = log
+
+    @property
+    def executor(self) -> BlockExecutor:
+        """Executor used for the level-parallel sweeps (serial fallback).
+
+        ``getattr`` guards deserialized instances
+        (:func:`repro.serving.serialize.ulv_from_arrays` bypasses
+        ``__init__``), which solve serially unless an executor is attached.
+        """
+        ex = getattr(self, "_executor", None)
+        return ex if ex is not None else SERIAL_EXECUTOR
 
     # ---------------------------------------------------------------- factor
     def _eliminate(self, node_id: int, D: np.ndarray, U: np.ndarray,
@@ -168,7 +189,8 @@ class ULVFactorization:
         # Reduced (D, U, V) passed from children to parents.
         reduced: Dict[int, Dict[str, np.ndarray]] = {}
 
-        for node_id in tree.postorder():
+        def factor_node(node_id: int):
+            """Eliminate one node; returns (factors, reduced_entry, root_lu)."""
             nd = tree.node(node_id)
             d = data[node_id]
 
@@ -179,7 +201,7 @@ class ULVFactorization:
             else:
                 c1, c2 = nd.left, nd.right
                 f1, f2 = self._factors[c1], self._factors[c2]
-                r1, r2 = reduced.pop(c1), reduced.pop(c2)
+                r1, r2 = reduced[c1], reduced[c2]
                 top_right = f1.u_hat @ d.B12 @ r2["V"].T
                 bottom_left = f2.u_hat @ d.B21 @ r1["V"].T
                 D = np.block([[r1["D"], top_right], [bottom_left, r2["D"]]])
@@ -194,9 +216,7 @@ class ULVFactorization:
 
             if node_id == tree.root:
                 # Final dense system of the surviving unknowns.
-                self._root_size = D.shape[0]
-                if D.shape[0] > 0:
-                    self._root_lu = scipy.linalg.lu_factor(D)
+                root_lu = scipy.linalg.lu_factor(D) if D.shape[0] > 0 else None
                 fac = _NodeFactors(n_loc=D.shape[0], n_elim=0)
                 fac.d_hat2 = D
                 fac.u_hat = np.zeros((D.shape[0], 0))
@@ -204,12 +224,29 @@ class ULVFactorization:
                 fac.g2 = np.zeros((D.shape[0], 0))
                 fac.lower = np.zeros((0, 0))
                 fac.d_hat1 = np.zeros((D.shape[0], 0))
-                self._factors[node_id] = fac
-                continue
+                return fac, None, root_lu
 
             fac = self._eliminate(node_id, D, U, V)
-            self._factors[node_id] = fac
-            reduced[node_id] = {"D": fac.d_hat2, "V": fac.g2}
+            return fac, {"D": fac.d_hat2, "V": fac.g2}, None
+
+        # Level-synchronous bottom-up elimination: nodes of one level only
+        # read their children's (already committed) factors, so each level
+        # is one parallel map.
+        for level_nodes in reversed(tree.levels()):
+            results = self.executor.map(factor_node, level_nodes)
+            for node_id, (fac, red, root_lu) in zip(level_nodes, results):
+                self._factors[node_id] = fac
+                if red is not None:
+                    reduced[node_id] = red
+                if node_id == tree.root:
+                    self._root_size = fac.n_loc
+                    self._root_lu = root_lu
+            # Children's reduced blocks have been consumed by this level.
+            for node_id in level_nodes:
+                nd = tree.node(node_id)
+                if not nd.is_leaf:
+                    reduced.pop(nd.left, None)
+                    reduced.pop(nd.right, None)
 
     # ----------------------------------------------------------------- solve
     def solve(self, b: np.ndarray, timing: Optional[TimingLog] = None) -> np.ndarray:
@@ -244,13 +281,14 @@ class ULVFactorization:
 
         state: List[_SolveState] = [
             _SolveState() for _ in range(tree.n_nodes)]
+        levels = tree.levels()
 
         # ------------------------------ forward (bottom-up) sweep
-        for node_id in tree.postorder():
+        def forward_node(node_id: int) -> _SolveState:
             nd = tree.node(node_id)
             d = data[node_id]
             fac = self._factors[node_id]
-            st = state[node_id]
+            st = _SolveState()
 
             if nd.is_leaf:
                 b_loc = B[nd.start:nd.stop]
@@ -261,16 +299,13 @@ class ULVFactorization:
                 rhs1 = st1.b_hat - f1.u_hat @ (d.B12 @ st2.beta)
                 rhs2 = st2.b_hat - f2.u_hat @ (d.B21 @ st1.beta)
                 b_loc = np.vstack([rhs1, rhs2])
-                # children right-hand-side buffers are no longer needed
-                st1.b_hat = None
-                st2.b_hat = None
 
             if node_id == tree.root:
                 if self._root_lu is not None and b_loc.shape[0] > 0:
                     st.b_hat = scipy.linalg.lu_solve(self._root_lu, b_loc)
                 else:
                     st.b_hat = np.zeros((0, nrhs))
-                continue
+                return st
 
             if fac.n_elim > 0:
                 b_tilde = fac.omega @ b_loc
@@ -294,30 +329,44 @@ class ULVFactorization:
                     # Shapes agree by construction (both are col_rank of node).
                     raise AssertionError("inconsistent beta dimensions")
                 st.beta = carried + beta_local
+            return st
+
+        for level_nodes in reversed(levels):
+            results = self.executor.map(forward_node, level_nodes)
+            for node_id, st in zip(level_nodes, results):
+                state[node_id] = st
+            for node_id in level_nodes:
+                nd = tree.node(node_id)
+                if not nd.is_leaf:
+                    # children right-hand-side buffers are no longer needed
+                    state[nd.left].b_hat = None
+                    state[nd.right].b_hat = None
 
         # ------------------------------ backward (top-down) sweep
         X = np.zeros((self.hss.n, nrhs))
         z2: Dict[int, np.ndarray] = {tree.root: state[tree.root].b_hat}
-        for node_id in reversed(list(tree.postorder())):
-            nd = tree.node(node_id)
+
+        def backward_node(node_id: int) -> np.ndarray:
             fac = self._factors[node_id]
             st = state[node_id]
-
             if node_id == tree.root:
-                x_local = z2.pop(node_id)
-            else:
-                mine = z2.pop(node_id)
-                if fac.n_elim > 0:
-                    x_local = fac.q @ np.vstack([st.z1, mine])
-                else:
-                    x_local = mine
+                return z2[node_id]
+            mine = z2[node_id]
+            if fac.n_elim > 0:
+                return fac.q @ np.vstack([st.z1, mine])
+            return mine
 
-            if nd.is_leaf:
-                X[nd.start:nd.stop] = x_local
-            else:
-                f1 = self._factors[nd.left]
-                z2[nd.left] = x_local[:f1.n_keep]
-                z2[nd.right] = x_local[f1.n_keep:]
+        for level_nodes in levels:
+            results = self.executor.map(backward_node, level_nodes)
+            for node_id, x_local in zip(level_nodes, results):
+                nd = tree.node(node_id)
+                z2.pop(node_id, None)
+                if nd.is_leaf:
+                    X[nd.start:nd.stop] = x_local
+                else:
+                    f1 = self._factors[nd.left]
+                    z2[nd.left] = x_local[:f1.n_keep]
+                    z2[nd.right] = x_local[f1.n_keep:]
 
         return X.ravel() if single else X
 

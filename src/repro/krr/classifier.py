@@ -51,6 +51,13 @@ class KernelRidgeClassifier:
         Leaf size of the cluster / HSS tree (paper default 16).
     seed:
         Seed controlling the random parts (two-means seeding, HSS sampling).
+    workers:
+        Worker threads for the training phases when ``solver`` is the
+        ``"hss"`` name (the only solver with a threaded training path;
+        ignored for ``"dense"`` / ``"cg"`` and for pre-constructed solver
+        instances, which carry their own setting).  ``None`` defers to
+        ``REPRO_WORKERS`` / serial; see
+        :func:`repro.parallel.resolve_workers`.
     solver_options:
         Extra keyword arguments forwarded to :func:`make_solver` when
         ``solver`` is given by name.
@@ -76,12 +83,14 @@ class KernelRidgeClassifier:
         kernel: Union[str, Kernel, None] = None,
         leaf_size: int = 16,
         seed=0,
+        workers: Optional[int] = None,
         solver_options: Optional[dict] = None,
     ):
         self.h = check_positive(h, "h")
         self.lam = check_non_negative(lam, "lam")
         self.leaf_size = int(leaf_size)
         self.seed = seed
+        self.workers = workers
         if isinstance(kernel, Kernel):
             self.kernel = kernel
         elif kernel is None:
@@ -102,8 +111,10 @@ class KernelRidgeClassifier:
         if isinstance(self._solver_spec, KernelSystemSolver):
             return self._solver_spec
         opts = dict(self._solver_options)
-        if str(self._solver_spec).lower() == "hss" and "seed" not in opts:
-            opts["seed"] = self.seed
+        if str(self._solver_spec).lower() == "hss":
+            opts.setdefault("seed", self.seed)
+            if self.workers is not None:
+                opts.setdefault("workers", self.workers)
         return make_solver(self._solver_spec, **opts)
 
     def _run_clustering(self, X: np.ndarray) -> ClusteringResult:
@@ -134,6 +145,12 @@ class KernelRidgeClassifier:
         self.solver_.fit(X_perm, self.clustering_.tree, self.kernel, self.lam)
         self.weights_ = self.solver_.solve(y_perm)
         self.X_train_ = X_perm
+        # Training is done: release any solver worker threads.  A later
+        # solver_.solve() (e.g. re-solving for a new right-hand side)
+        # lazily re-creates the pool.
+        close = getattr(self.solver_, "close", None)
+        if close is not None:
+            close()
         return self
 
     # -------------------------------------------------------------- predict

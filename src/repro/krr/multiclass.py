@@ -106,6 +106,11 @@ class OneVsAllClassifier:
         self.weights_ = np.column_stack(
             [self.solver_.solve(targets[:, c]) for c in range(self.classes_.size)])
         self.X_train_ = X_perm
+        # Training is done: release any solver worker threads (a later
+        # solver_.solve() lazily re-creates the pool).
+        close = getattr(self.solver_, "close", None)
+        if close is not None:
+            close()
         return self
 
     def decision_function(self, X_test: np.ndarray, block_size: int = 1024) -> np.ndarray:

@@ -39,6 +39,8 @@ class PipelineReport:
     hss_memory_mb: float = 0.0
     hmatrix_memory_mb: float = 0.0
     max_rank: int = 0
+    #: worker threads used by the training phases (1 = serial)
+    workers: int = 1
     timings: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -62,7 +64,10 @@ class PipelineReport:
             "dim": self.dim,
             "accuracy_percent": round(self.accuracy_percent, 2),
             "memory_mb": round(self.memory_mb, 3),
+            "hss_memory_mb": round(self.hss_memory_mb, 3),
+            "hmatrix_memory_mb": round(self.hmatrix_memory_mb, 3),
             "max_rank": self.max_rank,
+            "workers": self.workers,
         }
         for name, sec in sorted(self.timings.items()):
             out[f"time_{name}_s"] = round(sec, 4)
@@ -89,6 +94,11 @@ class KRRPipeline:
         Whether the HSS sampling goes through the H matrix (paper default).
     seed:
         Seed shared by all random components.
+    workers:
+        Worker threads for the training phases of the HSS solver (parallel
+        and serial runs produce identical reports apart from timings).
+        ``None`` defers to the option objects / ``REPRO_WORKERS``; see
+        :func:`repro.parallel.resolve_workers`.
     """
 
     def __init__(
@@ -102,6 +112,7 @@ class KRRPipeline:
         hmatrix_options: Optional[HMatrixOptions] = None,
         use_hmatrix_sampling: bool = True,
         seed=0,
+        workers: Optional[int] = None,
     ):
         self.h = float(h)
         self.lam = float(lam)
@@ -112,6 +123,7 @@ class KRRPipeline:
         self.hmatrix_options = hmatrix_options
         self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
         self.seed = seed
+        self.workers = workers
         self.classifier_: Optional[KernelRidgeClassifier] = None
         self.report_: Optional[PipelineReport] = None
 
@@ -120,7 +132,8 @@ class KRRPipeline:
             return HSSSolver(hss_options=self.hss_options,
                              hmatrix_options=self.hmatrix_options,
                              use_hmatrix_sampling=self.use_hmatrix_sampling,
-                             seed=self.seed)
+                             seed=self.seed,
+                             workers=self.workers)
         return make_solver(self.solver_name)
 
     def run(
@@ -159,6 +172,7 @@ class KRRPipeline:
         report.hss_memory_mb = solve_report.hss_memory_mb
         report.hmatrix_memory_mb = solve_report.hmatrix_memory_mb
         report.max_rank = solve_report.max_rank
+        report.workers = solve_report.workers
         report.timings = dict(solve_report.timings)
         report.timings.update(log.as_dict())
         self.report_ = report

@@ -39,6 +39,7 @@ from ..hss.build_random import build_hss_randomized
 from ..hss.ulv import ULVFactorization
 from ..kernels.base import Kernel
 from ..kernels.operator import ShiftedKernelOperator
+from ..parallel.executor import BlockExecutor, resolve_workers
 from ..utils.bytes import megabytes
 from ..utils.timing import TimingLog
 from ..utils.validation import check_array_2d, check_non_negative
@@ -56,6 +57,8 @@ class SolveReport:
     max_rank: int = 0
     random_vectors: int = 0
     iterations: int = 0
+    #: worker threads used by the training phases (1 = serial)
+    workers: int = 1
 
     def phase(self, name: str) -> float:
         """Accumulated seconds of the named phase (0.0 if absent)."""
@@ -158,6 +161,13 @@ class HSSSolver(KernelSystemSolver):
         Options of the auxiliary H matrix.
     seed:
         Seed of the random sampling.
+    workers:
+        Worker threads shared by every training phase (H assembly, HSS
+        compression, ULV factorization and solve).  ``None`` falls back to
+        ``hss_options.workers``; see :func:`repro.parallel.resolve_workers`
+        for the resolution rules.  One persistent
+        :class:`repro.parallel.BlockExecutor` spans the solver's lifetime,
+        so the thread pool is reused across the many per-level maps.
     """
 
     name = "hss"
@@ -166,32 +176,57 @@ class HSSSolver(KernelSystemSolver):
                  hss_options: Optional[HSSOptions] = None,
                  use_hmatrix_sampling: bool = True,
                  hmatrix_options: Optional[HMatrixOptions] = None,
-                 seed=0):
+                 seed=0,
+                 workers: Optional[int] = None):
         super().__init__()
         self.hss_options = hss_options if hss_options is not None else HSSOptions()
         self.hmatrix_options = (hmatrix_options if hmatrix_options is not None
                                 else HMatrixOptions())
         self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
         self.seed = seed
+        self.workers = workers
         self.hss_ = None
         self.hmatrix_ = None
         self.factorization_ = None
+        self._executor: Optional[BlockExecutor] = None
+
+    def _resolve_workers(self) -> int:
+        spec = self.workers
+        if spec is None:
+            spec = self.hss_options.workers
+        if spec is None:
+            spec = self.hmatrix_options.workers
+        return resolve_workers(spec)
 
     def _fit_impl(self, X_permuted, tree, kernel, lam) -> None:
         if tree is None:
             raise ValueError("HSSSolver requires the cluster tree of the reordering")
         log = TimingLog()
-        operator = ShiftedKernelOperator(X_permuted, kernel, lam)
-        sampler = operator
-        if self.use_hmatrix_sampling:
-            self.hmatrix_ = build_hmatrix(operator, X_permuted, tree,
-                                          options=self.hmatrix_options, timing=log)
-            sampler = HMatrixSampler(self.hmatrix_, operator)
-            self.report.hmatrix_memory_mb = megabytes(self.hmatrix_.nbytes)
-        self.hss_, stats = build_hss_randomized(sampler, tree,
-                                                options=self.hss_options,
-                                                rng=self.seed, timing=log)
-        self.factorization_ = ULVFactorization(self.hss_, timing=log)
+        n_workers = self._resolve_workers()
+        self.report.workers = n_workers
+        if self._executor is not None:
+            self._executor.shutdown()
+        self._executor = BlockExecutor(workers=n_workers)
+        try:
+            operator = ShiftedKernelOperator(X_permuted, kernel, lam)
+            sampler = operator
+            if self.use_hmatrix_sampling:
+                self.hmatrix_ = build_hmatrix(operator, X_permuted, tree,
+                                              options=self.hmatrix_options,
+                                              timing=log,
+                                              executor=self._executor)
+                sampler = HMatrixSampler(self.hmatrix_, operator)
+                self.report.hmatrix_memory_mb = megabytes(self.hmatrix_.nbytes)
+            self.hss_, stats = build_hss_randomized(sampler, tree,
+                                                    options=self.hss_options,
+                                                    rng=self.seed, timing=log,
+                                                    executor=self._executor)
+            self.factorization_ = ULVFactorization(self.hss_, timing=log,
+                                                   executor=self._executor)
+        except BaseException:
+            # Failed fits must not orphan a live thread pool.
+            self._executor.shutdown()
+            raise
         hss_stats = self.hss_.statistics()
         self.report.timings = log.as_dict()
         self.report.hss_memory_mb = hss_stats.memory_mb
@@ -205,6 +240,11 @@ class HSSSolver(KernelSystemSolver):
         for name, sec in log.as_dict().items():
             self.report.timings[name] = self.report.timings.get(name, 0.0) + sec
         return w
+
+    def close(self) -> None:
+        """Release the worker threads (later solves re-create them lazily)."""
+        if self._executor is not None:
+            self._executor.shutdown()
 
 
 class CGSolver(KernelSystemSolver):

@@ -26,7 +26,8 @@ from .work_model import (
 )
 from .cost_model import DistributedCostModel, PhaseTimes
 from .strong_scaling import simulate_strong_scaling, StrongScalingPoint
-from .executor import BlockExecutor, parallel_map
+from .executor import (BlockExecutor, SERIAL_EXECUTOR, default_worker_count,
+                       parallel_map, resolve_workers)
 
 __all__ = [
     "MachineModel",
@@ -40,5 +41,8 @@ __all__ = [
     "simulate_strong_scaling",
     "StrongScalingPoint",
     "BlockExecutor",
+    "SERIAL_EXECUTOR",
+    "default_worker_count",
+    "resolve_workers",
     "parallel_map",
 ]

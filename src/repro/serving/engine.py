@@ -283,6 +283,21 @@ class PredictionEngine:
         with self._stats_lock:
             self.stats = EngineStats()
 
+    def close(self) -> None:
+        """Release the executor's worker threads (idempotent).
+
+        The pool is lazily re-created by a later prediction, so a closed
+        engine remains usable; closing just bounds thread lifetime for
+        engines built with ``workers > 1``.
+        """
+        self.executor.shutdown()
+
+    def __enter__(self) -> "PredictionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cache = self.cache.capacity if self.cache is not None else 0
         return (f"PredictionEngine(n_train={self.n_train}, "

@@ -163,6 +163,11 @@ class PredictionService:
                 # the handle so a later start() can wait on it.
                 return
             self._thread = None
+        # Backlog drained: release the engine's worker threads too (the
+        # engine lazily re-creates its pool if served again).
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
 
     def __enter__(self) -> "PredictionService":
         return self.start()

@@ -8,6 +8,20 @@ import pytest
 from repro.clustering import cluster
 from repro.datasets import gas_like, susy_like
 from repro.kernels import GaussianKernel
+from repro.parallel import resolve_workers
+
+#: Worker-thread count of the current suite run.  ``REPRO_WORKERS`` is
+#: consumed both here (for tests that look at the suite's worker count) and
+#: by :func:`repro.parallel.resolve_workers`, which makes every
+#: default-configured solver/pipeline in the suite run its threaded paths
+#: when the variable is set (the CI matrix sets ``REPRO_WORKERS=2``).
+SUITE_WORKERS = resolve_workers(None)
+
+
+@pytest.fixture(scope="session")
+def suite_workers() -> int:
+    """Worker-thread count the suite is running with (1 = serial leg)."""
+    return SUITE_WORKERS
 
 
 @pytest.fixture(scope="session")

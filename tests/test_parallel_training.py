@@ -1,0 +1,209 @@
+"""Parallel-vs-serial determinism of the training path.
+
+The level-parallel HSS builders and the ULV factorization promise bitwise
+identical results for any worker count: the random sample is drawn once up
+front, tasks are partitioned identically, and per-node results are
+committed in deterministic tree order.  These tests pin that contract for
+the dense builder, the randomized builder (with and without H-matrix
+sampling), the ULV factor/solve sweeps and the full `KRRPipeline.run()`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import cluster
+from repro.config import HMatrixOptions, HSSOptions
+from repro.datasets import gas_like, standardize, susy_like
+from repro.hmatrix import HMatrixSampler, build_hmatrix
+from repro.hss import ULVFactorization, build_hss_from_dense, build_hss_randomized
+from repro.kernels import GaussianKernel, ShiftedKernelOperator
+from repro.krr import KernelRidgeClassifier, KRRPipeline
+from repro.parallel import BlockExecutor
+
+WORKERS = 4
+
+
+def _assert_hss_equal(a, b):
+    assert a.n == b.n
+    for da, db in zip(a.node_data, b.node_data):
+        for name in ("D", "U", "V", "B12", "B21", "row_skeleton",
+                     "col_skeleton"):
+            xa, xb = getattr(da, name), getattr(db, name)
+            assert (xa is None) == (xb is None), name
+            if xa is not None:
+                assert np.array_equal(xa, xb), f"{name} differs"
+
+
+def _assert_factors_equal(fa, fb):
+    for f1, f2 in zip(fa._factors, fb._factors):
+        assert f1.n_loc == f2.n_loc and f1.n_elim == f2.n_elim
+        for name in ("omega", "q", "lower", "d_hat1", "d_hat2", "u_hat",
+                     "g1", "g2"):
+            xa, xb = getattr(f1, name), getattr(f2, name)
+            assert (xa is None) == (xb is None), name
+            if xa is not None:
+                assert np.array_equal(xa, xb), f"{name} differs"
+
+
+@pytest.fixture(scope="module", params=["susy", "gas"])
+def problem(request):
+    if request.param == "susy":
+        X, y = susy_like(384, seed=5)
+    else:
+        X, y = gas_like(256, seed=5)
+    X = standardize(X)
+    result = cluster(X, method="two_means", leaf_size=16, seed=2)
+    operator = ShiftedKernelOperator(result.X, GaussianKernel(h=1.0), 2.0)
+    return result, operator, y
+
+
+class TestBuilderDeterminism:
+    def test_dense_builder(self, problem):
+        result, operator, _ = problem
+        A = GaussianKernel(h=1.0).matrix(result.X)
+        A[np.diag_indices_from(A)] += 2.0
+        opts = HSSOptions(rel_tol=1e-2)
+        serial = build_hss_from_dense(A, result.tree, opts)
+        with BlockExecutor(workers=WORKERS) as ex:
+            parallel = build_hss_from_dense(A, result.tree, opts, executor=ex)
+        _assert_hss_equal(serial, parallel)
+
+    def test_dense_builder_nonsymmetric_path(self, problem):
+        result, operator, _ = problem
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((result.tree.n, result.tree.n))
+        opts = HSSOptions(rel_tol=1e-2, symmetric=False, max_rank=24)
+        serial = build_hss_from_dense(A, result.tree, opts)
+        parallel = build_hss_from_dense(A, result.tree,
+                                        opts.with_(workers=WORKERS))
+        _assert_hss_equal(serial, parallel)
+
+    def test_randomized_builder_exact_sampling(self, problem):
+        result, operator, _ = problem
+        opts = HSSOptions(rel_tol=1e-1)
+        serial, s_stats = build_hss_randomized(operator, result.tree, opts,
+                                               rng=0)
+        with BlockExecutor(workers=WORKERS) as ex:
+            parallel, p_stats = build_hss_randomized(operator, result.tree,
+                                                     opts, rng=0, executor=ex)
+        _assert_hss_equal(serial, parallel)
+        assert s_stats.random_vectors == p_stats.random_vectors
+        assert s_stats.rounds == p_stats.rounds
+
+    def test_randomized_builder_hmatrix_sampling(self, problem):
+        result, operator, _ = problem
+        h_opts = HMatrixOptions(rel_tol=1e-3)
+        hss_opts = HSSOptions(rel_tol=1e-1)
+
+        def build(workers):
+            with BlockExecutor(workers=workers) as ex:
+                hm = build_hmatrix(operator, result.X, result.tree,
+                                   options=h_opts, executor=ex)
+                sampler = HMatrixSampler(hm, operator)
+                hss, _ = build_hss_randomized(sampler, result.tree, hss_opts,
+                                              rng=0, executor=ex)
+            return hm, hss
+
+        hm_serial, hss_serial = build(1)
+        hm_parallel, hss_parallel = build(WORKERS)
+        assert len(hm_serial.blocks) == len(hm_parallel.blocks)
+        for ba, bb in zip(hm_serial.blocks, hm_parallel.blocks):
+            assert ba.block_id == bb.block_id
+            assert (ba.dense is None) == (bb.dense is None)
+        assert np.array_equal(hm_serial.to_dense(), hm_parallel.to_dense())
+        _assert_hss_equal(hss_serial, hss_parallel)
+
+    def test_workers_option_matches_explicit_executor(self, problem):
+        result, operator, _ = problem
+        opts = HSSOptions(rel_tol=1e-1)
+        via_option, _ = build_hss_randomized(operator, result.tree,
+                                             opts.with_(workers=WORKERS), rng=0)
+        serial, _ = build_hss_randomized(operator, result.tree, opts, rng=0)
+        _assert_hss_equal(via_option, serial)
+
+
+class TestULVDeterminism:
+    def test_factor_and_solve(self, problem):
+        result, operator, _ = problem
+        opts = HSSOptions(rel_tol=1e-1)
+        hss, _ = build_hss_randomized(operator, result.tree, opts, rng=0)
+        serial = ULVFactorization(hss)
+        with BlockExecutor(workers=WORKERS) as ex:
+            parallel = ULVFactorization(hss, executor=ex)
+            _assert_factors_equal(serial, parallel)
+            rhs = np.random.default_rng(3).standard_normal((result.tree.n, 3))
+            assert np.array_equal(serial.solve(rhs), parallel.solve(rhs))
+
+    def test_solve_accuracy_unchanged(self, problem):
+        result, operator, _ = problem
+        opts = HSSOptions(rel_tol=1e-4)
+        hss, _ = build_hss_randomized(operator, result.tree, opts, rng=0)
+        with BlockExecutor(workers=WORKERS) as ex:
+            ulv = ULVFactorization(hss, executor=ex)
+            rhs = np.random.default_rng(4).standard_normal(result.tree.n)
+            x = ulv.solve(rhs)
+        K = GaussianKernel(h=1.0).matrix(result.X)
+        K[np.diag_indices_from(K)] += 2.0
+        assert np.linalg.norm(K @ x - rhs) / np.linalg.norm(rhs) < 1e-2
+
+
+class TestPipelineDeterminism:
+    def test_pipeline_reports_identical(self):
+        X, y = susy_like(320, seed=9)
+        X = standardize(X)
+        X_train, y_train = X[:256], y[:256]
+        X_test, y_test = X[256:], y[256:]
+
+        reports = {}
+        predictions = {}
+        for workers in (1, WORKERS):
+            pipe = KRRPipeline(h=1.0, lam=4.0, solver="hss", seed=0,
+                               workers=workers)
+            reports[workers] = pipe.run(X_train, y_train, X_test, y_test,
+                                        dataset_name="susy")
+            predictions[workers] = pipe.classifier_.predict(X_test)
+
+        r1, r4 = reports[1], reports[WORKERS]
+        assert r4.workers == WORKERS and r1.workers == 1
+        assert r1.accuracy == r4.accuracy
+        assert r1.memory_mb == r4.memory_mb
+        assert r1.hss_memory_mb == r4.hss_memory_mb
+        assert r1.hmatrix_memory_mb == r4.hmatrix_memory_mb
+        assert r1.max_rank == r4.max_rank
+        assert np.array_equal(predictions[1], predictions[WORKERS])
+
+    def test_classifier_workers_knob(self, suite_workers):
+        X, y = susy_like(256, seed=13)
+        X = standardize(X)
+        serial = KernelRidgeClassifier(h=1.0, lam=4.0, solver="hss", seed=0)
+        threaded = KernelRidgeClassifier(h=1.0, lam=4.0, solver="hss", seed=0,
+                                         workers=WORKERS)
+        serial.fit(X, y)
+        threaded.fit(X, y)
+        assert threaded.solver_.report.workers == WORKERS
+        # the default-configured classifier follows the suite's env leg
+        assert serial.solver_.report.workers == suite_workers
+        assert np.array_equal(serial.weights_, threaded.weights_)
+        assert np.array_equal(serial.predict(X), threaded.predict(X))
+
+    def test_suite_workers_leg_reaches_default_solvers(self, suite_workers):
+        """The REPRO_WORKERS env leg flows into default-configured solvers."""
+        X, y = susy_like(160, seed=3)
+        X = standardize(X)
+        clf = KernelRidgeClassifier(h=1.0, lam=4.0, solver="hss", seed=0)
+        clf.fit(X, y)
+        assert clf.solver_.report.workers == suite_workers
+
+    def test_report_row_includes_memory_and_workers(self):
+        X, y = susy_like(200, seed=1)
+        X = standardize(X)
+        pipe = KRRPipeline(h=1.0, lam=4.0, solver="hss", seed=0)
+        report = pipe.run(X[:160], y[:160], X[160:], y[160:],
+                          dataset_name="susy")
+        row = report.row()
+        assert row["hss_memory_mb"] == round(report.hss_memory_mb, 3)
+        assert row["hmatrix_memory_mb"] == round(report.hmatrix_memory_mb, 3)
+        assert row["workers"] == report.workers
+        assert report.hss_memory_mb > 0
