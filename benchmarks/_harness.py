@@ -1,0 +1,91 @@
+"""Machine-readable benchmark results: ``BENCH_<name>.json`` writer.
+
+Every benchmark that produces headline numbers (wall times, speedups,
+throughput) records them through :func:`write_bench_json` so the repo's
+perf trajectory is tracked in version-controlled JSON instead of scrollback.
+Each file carries enough context to compare runs across commits and hosts:
+the git revision, the python/numpy versions, the visible core count, the
+problem sizes and the worker/shard configuration.
+
+Output lands in ``REPRO_BENCH_DIR`` when set, else next to the repository
+root (the parent of ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+from typing import Dict, Optional
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def git_revision() -> str:
+    """Current short git revision (``"unknown"`` outside a work tree)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=_REPO_ROOT,
+            capture_output=True, text=True, timeout=10)
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def visible_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def bench_output_dir() -> str:
+    return os.environ.get("REPRO_BENCH_DIR", "").strip() or _REPO_ROOT
+
+
+def write_bench_json(name: str, results: Dict[str, object],
+                     sizes: Optional[Dict[str, int]] = None,
+                     workers: Optional[int] = None,
+                     shards: Optional[int] = None) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name; becomes the file suffix.
+    results:
+        The headline numbers (wall-clock seconds, speedups, QPS, ...).
+        Must be JSON-serializable.
+    sizes:
+        Problem sizes (``n_train``, ``dim``, ...).
+    workers, shards:
+        Thread / process configuration of the run, when applicable.
+    """
+    import numpy
+
+    record = {
+        "name": str(name),
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "git_rev": git_revision(),
+        "host": {
+            "python": sys.version.split()[0],
+            "numpy": numpy.__version__,
+            "platform": platform.platform(),
+            "visible_cores": visible_cores(),
+        },
+        "sizes": dict(sizes or {}),
+        "workers": workers,
+        "shards": shards,
+        "results": results,
+    }
+    path = os.path.join(bench_output_dir(), f"BENCH_{name}.json")
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path

@@ -27,6 +27,7 @@ import time
 
 import numpy as np
 import pytest
+from _harness import write_bench_json
 from conftest import scaled
 
 from repro.clustering import cluster
@@ -95,6 +96,13 @@ def test_parallel_training_speedup(benchmark, training_problem):
     benchmark.extra_info["parallel_s"] = round(parallel_time, 4)
     benchmark.extra_info["workers"] = parallel_workers
     benchmark.extra_info["speedup"] = round(serial_time / parallel_time, 3)
+    write_bench_json(
+        "parallel_training",
+        results={"serial_s": round(serial_time, 4),
+                 "parallel_s": round(parallel_time, 4),
+                 "speedup": round(serial_time / parallel_time, 3)},
+        sizes={"n_train": int(hss_serial.n), "leaf_size": LEAF_SIZE},
+        workers=parallel_workers)
     print(f"\nserial={serial_time:.3f}s  parallel({parallel_workers}w)="
           f"{parallel_time:.3f}s  speedup={serial_time / parallel_time:.2f}x")
 

@@ -17,6 +17,7 @@ import time
 
 import numpy as np
 import pytest
+from _harness import write_bench_json
 from conftest import scaled
 
 from repro.datasets import standardize, susy_like
@@ -112,6 +113,13 @@ def test_batched_beats_one_at_a_time(served_model):
 
     qps_serial = queries.shape[0] / serial_s
     qps_batched = queries.shape[0] / batched_s
+    write_bench_json(
+        "serving_throughput",
+        results={"one_at_a_time_qps": round(qps_serial, 1),
+                 "micro_batched_qps": round(qps_batched, 1),
+                 "speedup": round(qps_batched / qps_serial, 3)},
+        sizes={"n_train": int(clf.X_train_.shape[0]),
+               "n_queries": int(queries.shape[0])})
     print(f"\none-at-a-time : {qps_serial:10.1f} qps")
     print(f"micro-batched : {qps_batched:10.1f} qps "
           f"({qps_batched / qps_serial:.1f}x)")

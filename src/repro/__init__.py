@@ -28,7 +28,12 @@ The library provides:
 * model persistence (checksummed ``.npz`` artifacts, a directory-backed
   :class:`repro.serving.ModelStore`) and batched online prediction serving
   (:class:`repro.serving.PredictionEngine`,
-  :class:`repro.serving.PredictionService`) — :mod:`repro.serving`.
+  :class:`repro.serving.PredictionService`) — :mod:`repro.serving`;
+* process-sharded training and serving over subtree ownership, mirroring
+  the paper's rank-per-subtree MPI runs
+  (:class:`repro.distributed.DistributedKRRPipeline`,
+  :class:`repro.distributed.ShardedPredictionService`) —
+  :mod:`repro.distributed`.
 
 Quickstart
 ----------
@@ -42,6 +47,7 @@ Quickstart
 
 from . import clustering, datasets, hmatrix, hss, kernels, krr, lowrank, utils
 from . import serving
+from . import distributed
 from .config import (ClusteringOptions, HMatrixOptions, HSSOptions, KRROptions)
 from .clustering import ClusterTree, cluster
 from .hss import HSSMatrix, ULVFactorization, build_hss_from_dense, build_hss_randomized
@@ -52,6 +58,8 @@ from .krr import (KernelRidgeClassifier, KernelRidgeRegressor, KRRPipeline,
 from .datasets import load_dataset
 from .serving import (ModelStore, PredictionEngine, PredictionService,
                       load_model, save_model)
+from .distributed import (DistributedKRRPipeline, ShardPlan,
+                          ShardedPredictionService)
 
 __version__ = "1.0.0"
 
@@ -82,5 +90,8 @@ __all__ = [
     "PredictionService",
     "save_model",
     "load_model",
+    "DistributedKRRPipeline",
+    "ShardPlan",
+    "ShardedPredictionService",
     "__version__",
 ]

@@ -1,0 +1,53 @@
+"""Process-sharded training and serving over subtree ownership.
+
+The paper's strong-scaling results come from distributed-memory runs where
+every MPI rank owns a subtree of the cluster tree.  This package is the
+shared-memory-machine reproduction of that architecture with
+``multiprocessing`` — true process-level parallelism past the GIL:
+
+* :mod:`repro.distributed.plan` — :class:`ShardPlan`, the bitwise
+  deterministic cut of the cluster tree into ``P`` contiguous subtree
+  shards (plus :func:`resolve_shards` / ``REPRO_SHARDS``);
+* :mod:`repro.distributed.comm` — shared-memory numpy transport
+  (:class:`SharedArray`, :class:`BlockChannel`): only tiny handles ride
+  the queues, payloads are never pickled;
+* :mod:`repro.distributed.worker` — shard worker processes building their
+  local HSS / H-matrix pieces and partial ULV factors with the existing
+  level-parallel builders;
+* :mod:`repro.distributed.coordinator` — :class:`Coordinator`, which
+  merges the top separator levels (the low-rank inter-shard coupling) into
+  a small capacitance system and drives the distributed factor / solve;
+* :mod:`repro.distributed.solver` — :class:`DistributedSolver`, the
+  drop-in ``KernelSystemSolver`` wired into
+  :class:`repro.krr.KernelRidgeClassifier` / :class:`repro.krr.KRRPipeline`
+  through their ``shards=`` knob;
+* :mod:`repro.distributed.pipeline` — :class:`DistributedKRRPipeline`;
+* :mod:`repro.distributed.service` — :class:`ShardedPredictionService`,
+  fanning prediction batches across per-shard
+  :class:`repro.serving.PredictionEngine`\\ s.
+"""
+
+from .comm import (ArraySpec, BlockChannel, DistributedError, SharedArray,
+                   WorkerCrashedError, WorkerTimeoutError)
+from .coordinator import Coordinator
+from .pipeline import DistributedKRRPipeline
+from .plan import ShardPlan, resolve_shards
+from .service import ShardedPredictionService
+from .solver import DistributedSolver
+from .worker import WorkerConfig
+
+__all__ = [
+    "ArraySpec",
+    "BlockChannel",
+    "Coordinator",
+    "DistributedError",
+    "DistributedKRRPipeline",
+    "DistributedSolver",
+    "ShardPlan",
+    "SharedArray",
+    "ShardedPredictionService",
+    "WorkerConfig",
+    "WorkerCrashedError",
+    "WorkerTimeoutError",
+    "resolve_shards",
+]

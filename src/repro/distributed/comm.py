@@ -1,0 +1,216 @@
+"""Shared-memory transport for numpy blocks between processes.
+
+The distributed training path moves two kinds of data between the
+coordinator and its shard workers:
+
+* **control messages** — tiny tagged tuples (command names, scalar stats)
+  that travel over ordinary :class:`multiprocessing.Queue`\\ s, and
+* **numpy payloads** — the permuted training points, right-hand sides,
+  coupling factors and partial solutions.  These never go through pickle:
+  the sending side copies each array into a POSIX shared-memory segment
+  (:class:`multiprocessing.shared_memory.SharedMemory`) and only the tiny
+  :class:`ArraySpec` handle (name, shape, dtype) rides on the queue; the
+  receiver maps the segment, copies the block out and detaches.
+
+Segment lifetime follows a strict creator-owns rule: whoever created a
+segment unlinks it (receivers only ever attach + close), so no process
+ever destroys memory another process might still map, and the resource
+tracker of each process only sees segments that process created.
+:class:`BlockChannel` keeps the per-message bookkeeping: ``send`` returns
+the created segments so the caller can unlink them once the (synchronous)
+protocol guarantees the peer has consumed the message.
+
+:func:`recv_with_liveness` is the coordinator's fail-fast receive: it polls
+the queue in small slices and raises :class:`WorkerCrashedError` as soon as
+the peer process is observed dead, instead of blocking forever on a queue
+that will never be fed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class DistributedError(RuntimeError):
+    """Base error of the distributed training path."""
+
+
+class WorkerCrashedError(DistributedError):
+    """A shard worker process died while the coordinator was waiting on it."""
+
+
+class WorkerTimeoutError(DistributedError):
+    """A shard worker did not answer within the protocol deadline."""
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Picklable handle of one shared-memory array (no payload)."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedArray:
+    """A numpy array backed by a named shared-memory segment.
+
+    Create on the sending side with :meth:`from_array` (or :meth:`create`
+    plus a write through :attr:`array`), ship the :attr:`spec`, and attach
+    on the receiving side with :meth:`attach`.  ``close`` detaches the
+    local mapping; ``unlink`` destroys the segment and must only be called
+    by the creator.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 shape: Tuple[int, ...], dtype: np.dtype, owner: bool):
+        self._shm = shm
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.owner = bool(owner)
+        self._closed = False
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def create(cls, shape: Tuple[int, ...],
+               dtype=np.float64) -> "SharedArray":
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        return cls(shm, shape, dtype, owner=True)
+
+    @classmethod
+    def from_array(cls, a: np.ndarray) -> "SharedArray":
+        a = np.ascontiguousarray(a)
+        sa = cls.create(a.shape, a.dtype)
+        if a.size:
+            sa.array[...] = a
+        return sa
+
+    @classmethod
+    def attach(cls, spec: ArraySpec) -> "SharedArray":
+        shm = shared_memory.SharedMemory(name=spec.name)
+        return cls(shm, spec.shape, np.dtype(spec.dtype), owner=False)
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def array(self) -> np.ndarray:
+        """A numpy view of the segment (valid until :meth:`close`)."""
+        if self._closed:
+            raise RuntimeError("shared array has been closed")
+        return np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
+
+    @property
+    def spec(self) -> ArraySpec:
+        return ArraySpec(name=self._shm.name, shape=self.shape,
+                         dtype=self.dtype.str)
+
+    # -------------------------------------------------------------- lifetime
+    def close(self) -> None:
+        """Detach the local mapping (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; idempotent, close first)."""
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked (e.g. double shutdown)
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SharedArray(name={self._shm.name!r}, shape={self.shape}, "
+                f"dtype={self.dtype}, owner={self.owner})")
+
+
+def recv_with_liveness(queue, timeout: float,
+                       alive: Optional[Callable[[], bool]] = None,
+                       poll: float = 0.05):
+    """Receive from ``queue`` with a deadline and a peer-liveness check.
+
+    Raises :class:`WorkerCrashedError` if ``alive()`` turns false while
+    waiting (the peer died without answering) and
+    :class:`WorkerTimeoutError` when ``timeout`` elapses.
+    """
+    import queue as queue_mod
+
+    deadline = time.monotonic() + timeout
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise WorkerTimeoutError(
+                f"no message within {timeout:.1f}s (worker deadlocked or "
+                f"overloaded)")
+        try:
+            return queue.get(timeout=min(poll, remaining))
+        except queue_mod.Empty:
+            if alive is not None and not alive():
+                # One final non-blocking drain: the worker may have
+                # answered and exited between the timeout and the check.
+                try:
+                    return queue.get_nowait()
+                except queue_mod.Empty:
+                    raise WorkerCrashedError(
+                        "worker process died while the coordinator was "
+                        "waiting for its reply") from None
+
+
+class BlockChannel:
+    """One direction of the coordinator <-> worker message protocol.
+
+    Messages are ``(tag, payload, {key: ArraySpec})`` tuples on a
+    :class:`multiprocessing.Queue`; array payloads ride in shared memory.
+    The channel tracks the segments it created and releases them when the
+    synchronous protocol guarantees the peer consumed them (every new
+    ``send`` retires the previous message's segments; ``drain`` retires
+    everything, e.g. at shutdown).
+    """
+
+    def __init__(self, queue):
+        self.queue = queue
+        self._inflight: List[SharedArray] = []
+
+    def send(self, tag: str, payload=None,
+             arrays: Optional[Dict[str, np.ndarray]] = None) -> None:
+        """Publish a message; payload arrays are copied into shared memory."""
+        self.retire()
+        specs: Dict[str, ArraySpec] = {}
+        for key, a in (arrays or {}).items():
+            sa = SharedArray.from_array(np.asarray(a))
+            self._inflight.append(sa)
+            specs[key] = sa.spec
+        self.queue.put((tag, payload, specs))
+
+    def recv(self, timeout: float,
+             alive: Optional[Callable[[], bool]] = None):
+        """Receive ``(tag, payload, {key: np.ndarray})``; arrays are copied.
+
+        The returned arrays are private copies — the underlying segments
+        are detached before returning, so the sender is free to retire
+        them at its next ``send``.
+        """
+        tag, payload, specs = recv_with_liveness(self.queue, timeout, alive)
+        arrays: Dict[str, np.ndarray] = {}
+        for key, spec in specs.items():
+            sa = SharedArray.attach(spec)
+            try:
+                arrays[key] = np.array(sa.array, copy=True)
+            finally:
+                sa.close()
+        return tag, payload, arrays
+
+    def retire(self) -> None:
+        """Unlink the segments of the previously sent message."""
+        for sa in self._inflight:
+            sa.unlink()
+        self._inflight = []
+
+    # ``drain`` reads better than ``retire`` at shutdown call sites.
+    drain = retire

@@ -1,0 +1,404 @@
+"""Coordinator: spawns shard workers and merges the top separator levels.
+
+The distributed factorization follows the paper's rank-per-subtree model.
+With the permuted kernel system ``M = K + lambda I`` cut into ``P``
+contiguous shards, write
+
+.. math::
+
+    M = D + E,
+
+where ``D = blockdiag(M_11, ..., M_PP)`` collects the diagonal (subtree)
+blocks and ``E`` the inter-shard coupling.  Every worker compresses and
+ULV-factors its own ``M_ss`` with the existing level-parallel builders
+(that is the bulk of the work, fully parallel across processes), and the
+coupling blocks ``M_st`` — the *top separator levels* of the global
+hierarchy, low-rank by the same clustering argument that makes HSS work —
+are ACA-compressed as ``U_st V_st^T``.
+
+Stacking the coupling factors into ``E = P_f Q_f^T`` (each pair
+contributes its ``U`` and ``V`` once on each side), the global solve is a
+Woodbury correction around the block-diagonal solves:
+
+.. math::
+
+    M^{-1} y = z - H \\, C^{-1} Q_f^T z, \\qquad
+    z = D^{-1} y, \\; H = D^{-1} P_f, \\; C = I + Q_f^T D^{-1} P_f.
+
+``D^{-1}`` applications are embarrassingly parallel across shards (each is
+a local multi-RHS ULV solve); only the small dense *capacitance* system
+``C`` — whose dimension is the total coupling rank — is assembled and
+LU-factored once on the coordinator.  That merge is the shared-memory
+analogue of the paper's top-of-the-tree communication phase, and its cost
+is independent of ``n``.
+
+Accuracy: the distributed solve approximates the same system as the serial
+HSS solver, with the coupling ACA tolerance playing the role of the HSS
+compression tolerance for the top off-diagonal blocks.  Predictions of the
+sharded and serial pipelines therefore agree to the compression tolerance
+(see ``tests/test_distributed.py``, which pins a tight tolerance and
+checks label-exact agreement).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.linalg
+
+from ..config import HMatrixOptions, HSSOptions
+from ..kernels.base import Kernel
+from .comm import (BlockChannel, DistributedError, SharedArray,
+                   WorkerCrashedError)
+from .plan import ShardPlan
+from .worker import WorkerConfig, worker_main
+
+
+def _start_method(override: Optional[str] = None) -> str:
+    """Process start method: ``REPRO_SHARD_START_METHOD`` or ``spawn``.
+
+    ``spawn`` is the safe default everywhere (no fork-while-threaded
+    hazards with BLAS or live executors); ``fork`` can be opted into on
+    Linux for faster worker startup.
+    """
+    method = override or os.environ.get("REPRO_SHARD_START_METHOD", "").strip()
+    if method:
+        return method
+    return "spawn"
+
+
+class _WorkerHandle:
+    """One worker process plus its two message channels."""
+
+    def __init__(self, process, request: BlockChannel, response: BlockChannel):
+        self.process = process
+        self.request = request
+        self.response = response
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class Coordinator:
+    """Drives ``P`` shard worker processes through fit / solve.
+
+    Parameters
+    ----------
+    plan:
+        The :class:`repro.distributed.ShardPlan` cutting the cluster tree.
+    X_permuted:
+        Training points in the permuted ordering of ``plan.tree``; copied
+        once into shared memory for all workers.
+    kernel, lam:
+        Kernel and ridge shift of the training system.
+    hss_options, hmatrix_options, use_hmatrix_sampling, seed:
+        Per-shard build options, matching :class:`repro.krr.HSSSolver`.
+    worker_threads:
+        ``BlockExecutor`` threads *inside* each worker process (default 1;
+        the process grid is the primary parallel axis).
+    coupling_rel_tol, coupling_max_rank:
+        ACA tolerance / rank cap of the inter-shard coupling blocks;
+        the tolerance defaults to ``hss_options.rel_tol``.
+    response_timeout:
+        Hard per-reply deadline in seconds.  A worker that neither answers
+        nor dies within it fails the whole session (fail-fast, no hang).
+    start_method:
+        ``multiprocessing`` start method override (default ``spawn``, or
+        the ``REPRO_SHARD_START_METHOD`` environment variable).
+    """
+
+    def __init__(self, plan: ShardPlan, X_permuted: np.ndarray,
+                 kernel: Kernel, lam: float,
+                 hss_options: Optional[HSSOptions] = None,
+                 hmatrix_options: Optional[HMatrixOptions] = None,
+                 use_hmatrix_sampling: bool = True,
+                 seed: Optional[int] = 0,
+                 worker_threads: int = 1,
+                 coupling_rel_tol: Optional[float] = None,
+                 coupling_max_rank: Optional[int] = None,
+                 response_timeout: float = 900.0,
+                 start_method: Optional[str] = None):
+        from ..serving.serialize import kernel_to_spec
+
+        self.plan = plan
+        self.X = np.ascontiguousarray(X_permuted, dtype=np.float64)
+        if self.X.shape[0] != plan.n:
+            raise ValueError(
+                f"X has {self.X.shape[0]} rows but the plan covers {plan.n}")
+        self.kernel_spec = kernel_to_spec(kernel)
+        self.lam = float(lam)
+        self.hss_options = hss_options if hss_options is not None else HSSOptions()
+        self.hmatrix_options = (hmatrix_options if hmatrix_options is not None
+                                else HMatrixOptions())
+        self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
+        self.seed = seed
+        self.worker_threads = int(worker_threads)
+        self.coupling_rel_tol = (float(coupling_rel_tol)
+                                 if coupling_rel_tol is not None
+                                 else self.hss_options.rel_tol)
+        self.coupling_max_rank = coupling_max_rank
+        self.response_timeout = float(response_timeout)
+        self._start_method = _start_method(start_method)
+
+        self._workers: List[_WorkerHandle] = []
+        self._segments: List[SharedArray] = []
+        self._fitted = False
+        # Capacitance bookkeeping (see module docstring)
+        self._cap_lu = None
+        self._cap_rank = 0
+        self._pg_idx: List[np.ndarray] = []
+        self._qg_idx: List[np.ndarray] = []
+        self.fit_info: Dict[str, object] = {}
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def running(self) -> bool:
+        return bool(self._workers) and all(w.alive for w in self._workers)
+
+    def start(self) -> "Coordinator":
+        """Spawn the worker processes and publish the shared dataset."""
+        if self._workers:
+            return self
+        ctx = multiprocessing.get_context(self._start_method)
+        x_shm = SharedArray.from_array(self.X)
+        self._segments.append(x_shm)
+
+        plan = self.plan
+        for shard in range(plan.n_shards):
+            local_tree = plan.subtree(shard)
+            table = np.array(
+                [[nd.start, nd.stop, nd.left, nd.right, nd.parent, nd.level]
+                 for nd in local_tree.nodes], dtype=np.int64)
+            tree_shm = SharedArray.from_array(table)
+            self._segments.append(tree_shm)
+            config = WorkerConfig(
+                shard_id=shard,
+                n_shards=plan.n_shards,
+                boundaries=tuple(int(b) for b in plan.boundaries),
+                kernel_spec=self.kernel_spec,
+                lam=self.lam,
+                hss_options=self.hss_options,
+                hmatrix_options=self.hmatrix_options,
+                use_hmatrix_sampling=self.use_hmatrix_sampling,
+                seed=(int(self.seed)
+                      if isinstance(self.seed, (int, np.integer)) else None),
+                workers=self.worker_threads,
+                coupling_rel_tol=self.coupling_rel_tol,
+                coupling_max_rank=self.coupling_max_rank,
+                owned_pairs=tuple(plan.owned_pairs(shard)),
+            )
+            request_q, response_q = ctx.Queue(), ctx.Queue()
+            process = ctx.Process(
+                target=worker_main,
+                args=(config, x_shm.spec, tree_shm.spec, local_tree.root,
+                      request_q, response_q),
+                name=f"repro-shard-{shard}", daemon=True)
+            process.start()
+            self._workers.append(_WorkerHandle(
+                process, BlockChannel(request_q), BlockChannel(response_q)))
+        return self
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop all workers and release every shared segment (idempotent)."""
+        workers, self._workers = self._workers, []
+        for w in workers:
+            if w.alive:
+                try:
+                    w.request.send("stop")
+                except Exception:  # queue already broken; terminate below
+                    pass
+        deadline = time.monotonic() + timeout
+        for w in workers:
+            w.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if w.process.is_alive():
+                w.process.terminate()
+                w.process.join(timeout=2.0)
+            if w.process.is_alive():  # pragma: no cover - last resort
+                w.process.kill()
+                w.process.join(timeout=1.0)
+            w.request.drain()
+        for seg in self._segments:
+            seg.unlink()
+        self._segments = []
+        self._fitted = False
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # --------------------------------------------------------------- protocol
+    def _fail_fast(self, shard: int, exc: Exception) -> None:
+        """Terminate the whole grid and re-raise on any worker failure."""
+        self.shutdown()
+        if isinstance(exc, DistributedError):
+            raise type(exc)(f"shard {shard}: {exc}") from None
+        raise exc
+
+    def _recv(self, shard: int, expected: str):
+        w = self._workers[shard]
+        try:
+            tag, payload, arrays = w.response.recv(
+                self.response_timeout, alive=lambda: w.alive)
+        except DistributedError as exc:
+            self._fail_fast(shard, exc)
+        if tag == "error":
+            tb = (payload or {}).get("traceback", "")
+            err = DistributedError(
+                f"worker failed: {(payload or {}).get('error')}\n{tb}")
+            self._fail_fast(shard, err)
+        if tag != expected:
+            self._fail_fast(shard, DistributedError(
+                f"protocol error: expected {expected!r}, got {tag!r}"))
+        return payload, arrays
+
+    def _broadcast(self, tag: str, per_shard_arrays=None, payload=None):
+        if not self._workers:
+            raise RuntimeError("coordinator is not running; call start()")
+        for shard, w in enumerate(self._workers):
+            arrays = None if per_shard_arrays is None else per_shard_arrays[shard]
+            if not w.alive:
+                self._fail_fast(shard, WorkerCrashedError(
+                    "worker process is dead"))
+            w.request.send(tag, payload, arrays=arrays)
+
+    # -------------------------------------------------------------------- fit
+    def fit(self) -> Dict[str, object]:
+        """Distributed build: local HSS/ULV per shard + capacitance merge."""
+        if not self._workers:
+            self.start()
+        plan = self.plan
+        t0 = time.perf_counter()
+        self._broadcast("fit")
+        infos: List[dict] = []
+        factors: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        for shard in range(plan.n_shards):
+            payload, arrays = self._recv(shard, "fitted")
+            infos.append(payload)
+            for (s, t) in plan.owned_pairs(shard):
+                factors[(s, t)] = (arrays[f"pair.{s}.{t}.U"],
+                                   arrays[f"pair.{s}.{t}.V"])
+        build_seconds = time.perf_counter() - t0
+
+        # ---- capacitance bookkeeping --------------------------------------
+        # Column groups: pair p = (s, t) contributes g1(p) (U lives in s on
+        # the P side, V in t on the Q side) and g2(p) (the transpose block).
+        t1 = time.perf_counter()
+        pairs = plan.pairs()
+        offsets: Dict[Tuple[int, int], int] = {}
+        R = 0
+        for p in pairs:
+            offsets[p] = R
+            R += 2 * factors[p][0].shape[1]
+        self._cap_rank = R
+
+        per_shard_F: List[np.ndarray] = []
+        self._pg_idx, self._qg_idx = [], []
+        for shard in range(plan.n_shards):
+            start, stop = plan.shard_range(shard)
+            blocks, pg, qg = [], [], []
+            for p in pairs:
+                s, t = p
+                if shard not in (s, t):
+                    continue
+                U, V = factors[p]
+                r = U.shape[1]
+                g1 = np.arange(offsets[p], offsets[p] + r, dtype=np.intp)
+                g2 = g1 + r
+                if shard == s:
+                    blocks.append(U)
+                    pg.append(g1)
+                    qg.append(g2)
+                else:
+                    blocks.append(V)
+                    pg.append(g2)
+                    qg.append(g1)
+            F = (np.hstack(blocks) if blocks
+                 else np.zeros((stop - start, 0)))
+            per_shard_F.append(np.ascontiguousarray(F))
+            self._pg_idx.append(np.concatenate(pg) if pg
+                                else np.zeros(0, dtype=np.intp))
+            self._qg_idx.append(np.concatenate(qg) if qg
+                                else np.zeros(0, dtype=np.intp))
+
+        self._broadcast("couple",
+                        per_shard_arrays=[{"F": F} for F in per_shard_F])
+        C = np.eye(R)
+        for shard in range(plan.n_shards):
+            _, arrays = self._recv(shard, "coupled")
+            M = arrays["M"]
+            if M.size:
+                C[np.ix_(self._qg_idx[shard], self._pg_idx[shard])] += M
+        self._cap_lu = scipy.linalg.lu_factor(C) if R > 0 else None
+        merge_seconds = time.perf_counter() - t1
+        self._fitted = True
+
+        # ---- aggregate fit report -----------------------------------------
+        timings: Dict[str, float] = {}
+        for info in infos:
+            for name, sec in (info.get("timings") or {}).items():
+                timings[name] = max(timings.get(name, 0.0), float(sec))
+        timings["coupling_merge"] = merge_seconds
+        coupling_mb = sum((U.nbytes + V.nbytes) / 2.0 ** 20
+                          for U, V in factors.values())
+        self.fit_info = {
+            "shards": plan.n_shards,
+            "timings": timings,
+            "build_seconds": build_seconds,
+            "merge_seconds": merge_seconds,
+            "hss_memory_mb": sum(i["hss_memory_mb"] for i in infos),
+            "hmatrix_memory_mb": sum(i["hmatrix_memory_mb"] for i in infos),
+            "coupling_memory_mb": coupling_mb + (C.nbytes / 2.0 ** 20),
+            "max_rank": max(i["max_rank"] for i in infos),
+            "random_vectors": max(i["random_vectors"] for i in infos),
+            "coupling_rank": R,
+            "coupling_ranks": {p: factors[p][0].shape[1] for p in pairs},
+        }
+        return self.fit_info
+
+    # ------------------------------------------------------------------ solve
+    def solve(self, y: np.ndarray) -> np.ndarray:
+        """Distributed Woodbury solve for one or more right-hand sides."""
+        if not self._fitted:
+            raise RuntimeError("coordinator must fit() before solve()")
+        y = np.asarray(y, dtype=np.float64)
+        single = y.ndim == 1
+        Y = y[:, None] if single else y
+        if Y.shape[0] != self.plan.n:
+            raise ValueError(
+                f"y has {Y.shape[0]} rows, expected {self.plan.n}")
+        nrhs = Y.shape[1]
+        plan = self.plan
+
+        slices = [Y[slice(*plan.shard_range(s))]
+                  for s in range(plan.n_shards)]
+        self._broadcast("solve",
+                        per_shard_arrays=[{"y": ys} for ys in slices])
+        u = np.zeros((self._cap_rank, nrhs))
+        for shard in range(plan.n_shards):
+            _, arrays = self._recv(shard, "partial")
+            g = arrays["g"]
+            if g.size:
+                u[self._qg_idx[shard]] = g
+        v = (scipy.linalg.lu_solve(self._cap_lu, u)
+             if self._cap_lu is not None else u)
+        self._broadcast("correct", per_shard_arrays=[
+            {"c": np.ascontiguousarray(v[self._pg_idx[shard]])}
+            for shard in range(plan.n_shards)])
+        W = np.empty((plan.n, nrhs))
+        for shard in range(plan.n_shards):
+            _, arrays = self._recv(shard, "solved")
+            start, stop = plan.shard_range(shard)
+            W[start:stop] = arrays["w"]
+        return W.ravel() if single else W
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self.running else "stopped"
+        return (f"Coordinator({state}, shards={self.plan.n_shards}, "
+                f"n={self.plan.n})")

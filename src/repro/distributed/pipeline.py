@@ -1,0 +1,81 @@
+"""`DistributedKRRPipeline`: the sharded end-to-end experiment driver.
+
+A thin specialization of :class:`repro.krr.KRRPipeline` that always trains
+through the process-sharded :class:`repro.distributed.DistributedSolver`
+and exposes the sharded serving front-end.  The prediction contract is the
+one the tests pin down: for a fixed dataset, clustering and seed, the
+sharded pipeline reproduces the serial pipeline's predictions within the
+compression tolerance (the coupling ACA tolerance bounds the deviation;
+see :mod:`repro.distributed.coordinator`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import HMatrixOptions, HSSOptions
+from ..krr.pipeline import KRRPipeline
+from .plan import ShardPlan
+from .service import ShardedPredictionService
+
+
+class DistributedKRRPipeline(KRRPipeline):
+    """Sharded variant of :class:`repro.krr.KRRPipeline`.
+
+    Parameters
+    ----------
+    shards:
+        Worker process count (default 2; ``None`` defers to
+        ``REPRO_SHARDS``, ``0`` means one per visible core).
+    coupling_rel_tol, coupling_max_rank, cut_level:
+        Forwarded to :class:`repro.distributed.DistributedSolver`.
+    h, lam, clustering, leaf_size, hss_options, hmatrix_options,
+    use_hmatrix_sampling, seed, workers:
+        Same meaning as on :class:`repro.krr.KRRPipeline` (``workers`` are
+        the threads *inside* each shard process).
+    """
+
+    def __init__(self,
+                 h: float = 1.0,
+                 lam: float = 1.0,
+                 clustering: str = "two_means",
+                 leaf_size: int = 16,
+                 hss_options: Optional[HSSOptions] = None,
+                 hmatrix_options: Optional[HMatrixOptions] = None,
+                 use_hmatrix_sampling: bool = True,
+                 seed=0,
+                 workers: Optional[int] = None,
+                 shards: Optional[int] = 2,
+                 coupling_rel_tol: Optional[float] = None,
+                 coupling_max_rank: Optional[int] = None,
+                 cut_level: Optional[int] = None):
+        super().__init__(h=h, lam=lam, clustering=clustering, solver="hss",
+                         leaf_size=leaf_size, hss_options=hss_options,
+                         hmatrix_options=hmatrix_options,
+                         use_hmatrix_sampling=use_hmatrix_sampling,
+                         seed=seed, workers=workers, shards=shards,
+                         coupling_rel_tol=coupling_rel_tol,
+                         coupling_max_rank=coupling_max_rank,
+                         cut_level=cut_level)
+
+    @property
+    def plan_(self) -> Optional[ShardPlan]:
+        """The shard plan of the last :meth:`run` (``None`` before)."""
+        if self.classifier_ is None or self.classifier_.solver_ is None:
+            return None
+        return getattr(self.classifier_.solver_, "plan_", None)
+
+    def sharded_service(self, batch_size: int = 1024, cache_size: int = 0,
+                        cache_rows: bool = False,
+                        workers: Optional[int] = None
+                        ) -> ShardedPredictionService:
+        """A :class:`ShardedPredictionService` over the trained classifier.
+
+        The engines are cut at the training shard boundaries, so each
+        serves exactly the rows its training worker owned.
+        """
+        if self.classifier_ is None:
+            raise RuntimeError("pipeline must run() before serving")
+        return ShardedPredictionService(
+            self.classifier_, plan=self.plan_, batch_size=batch_size,
+            cache_size=cache_size, cache_rows=cache_rows, workers=workers)

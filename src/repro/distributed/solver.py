@@ -1,0 +1,151 @@
+"""`DistributedSolver`: the process-sharded drop-in HSS training solver.
+
+Implements the :class:`repro.krr.solvers.KernelSystemSolver` interface on
+top of a :class:`repro.distributed.Coordinator`, so the existing
+classifiers and pipelines gain process-level sharding through the ordinary
+``solver`` slot: ``fit`` cuts the cluster tree with a
+:class:`repro.distributed.ShardPlan`, spawns one worker process per shard
+and runs the distributed build; ``solve`` runs the distributed Woodbury
+solve; ``close`` tears the process grid down (training results — the
+weight vector — live in the parent, so prediction needs no workers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import HMatrixOptions, HSSOptions
+from ..krr.solvers import KernelSystemSolver
+from ..utils.timing import TimingLog
+from .coordinator import Coordinator
+from .plan import ShardPlan, resolve_shards
+
+
+class DistributedSolver(KernelSystemSolver):
+    """Process-sharded HSS solver (the paper's rank-per-subtree model).
+
+    Parameters
+    ----------
+    shards:
+        Number of worker processes / subtree shards.  ``None`` defers to
+        the ``REPRO_SHARDS`` environment variable (1 when unset), ``0``
+        means one shard per visible core — see
+        :func:`repro.distributed.resolve_shards`.
+    hss_options, hmatrix_options, use_hmatrix_sampling, seed:
+        Per-shard build options (same meaning as on
+        :class:`repro.krr.HSSSolver`); each shard seeds its random sample
+        from ``(seed, shard_id)``, so runs are deterministic for a fixed
+        plan.
+    workers:
+        ``BlockExecutor`` threads inside each worker process (default 1).
+    coupling_rel_tol, coupling_max_rank:
+        ACA tolerance / rank cap of the inter-shard coupling blocks
+        (tolerance defaults to ``hss_options.rel_tol``); this is the knob
+        that bounds the sharded-vs-serial deviation.
+    cut_level:
+        Optional explicit tree level for the shard cut.
+    response_timeout, start_method:
+        Forwarded to :class:`repro.distributed.Coordinator`.
+    """
+
+    name = "distributed"
+
+    def __init__(self,
+                 shards: Optional[int] = None,
+                 hss_options: Optional[HSSOptions] = None,
+                 hmatrix_options: Optional[HMatrixOptions] = None,
+                 use_hmatrix_sampling: bool = True,
+                 seed=0,
+                 workers: Optional[int] = None,
+                 coupling_rel_tol: Optional[float] = None,
+                 coupling_max_rank: Optional[int] = None,
+                 cut_level: Optional[int] = None,
+                 response_timeout: float = 900.0,
+                 start_method: Optional[str] = None):
+        super().__init__()
+        self.shards = shards
+        self.hss_options = hss_options if hss_options is not None else HSSOptions()
+        self.hmatrix_options = (hmatrix_options if hmatrix_options is not None
+                                else HMatrixOptions())
+        self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
+        self.seed = seed
+        self.workers = workers
+        self.coupling_rel_tol = coupling_rel_tol
+        self.coupling_max_rank = coupling_max_rank
+        self.cut_level = cut_level
+        self.response_timeout = float(response_timeout)
+        self.start_method = start_method
+        self.plan_: Optional[ShardPlan] = None
+        self.coordinator_: Optional[Coordinator] = None
+
+    # ------------------------------------------------------------------- fit
+    def _fit_impl(self, X_permuted, tree, kernel, lam) -> None:
+        if tree is None:
+            raise ValueError(
+                "DistributedSolver requires the cluster tree of the reordering")
+        n_shards = resolve_shards(self.shards)
+        self.plan_ = ShardPlan.from_tree(tree, n_shards,
+                                         cut_level=self.cut_level)
+        if self.coordinator_ is not None:
+            self.coordinator_.shutdown()
+        self.coordinator_ = Coordinator(
+            self.plan_, X_permuted, kernel, lam,
+            hss_options=self.hss_options,
+            hmatrix_options=self.hmatrix_options,
+            use_hmatrix_sampling=self.use_hmatrix_sampling,
+            seed=self.seed,
+            worker_threads=max(1, int(self.workers or 1)),
+            coupling_rel_tol=self.coupling_rel_tol,
+            coupling_max_rank=self.coupling_max_rank,
+            response_timeout=self.response_timeout,
+            start_method=self.start_method)
+        try:
+            info = self.coordinator_.fit()
+        except BaseException:
+            # A failed fit must not leave worker processes behind.
+            self.coordinator_.shutdown()
+            raise
+        self.report.shards = self.plan_.n_shards
+        self.report.workers = max(1, int(self.workers or 1))
+        self.report.timings = dict(info["timings"])
+        self.report.hss_memory_mb = float(info["hss_memory_mb"])
+        self.report.hmatrix_memory_mb = float(info["hmatrix_memory_mb"])
+        self.report.memory_mb = (float(info["hss_memory_mb"])
+                                 + float(info["hmatrix_memory_mb"])
+                                 + float(info["coupling_memory_mb"]))
+        self.report.max_rank = int(info["max_rank"])
+        self.report.random_vectors = int(info["random_vectors"])
+
+    # ----------------------------------------------------------------- solve
+    def _solve_impl(self, y: np.ndarray) -> np.ndarray:
+        if self.coordinator_ is None or not self.coordinator_.running:
+            raise RuntimeError(
+                "distributed workers are not running (close() shuts them "
+                "down after training); refit to solve for new right-hand "
+                "sides")
+        log = TimingLog()
+        with log.phase("solve"):
+            w = self.coordinator_.solve(y)
+        for name, sec in log.phases.items():
+            self.report.timings[name] = self.report.timings.get(name, 0.0) + sec
+        return w
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent).
+
+        Unlike the threaded :class:`repro.krr.HSSSolver`, the factors live
+        inside the worker processes, so a closed distributed solver cannot
+        solve for new right-hand sides without refitting — but the trained
+        weights and predictions are unaffected.
+        """
+        if self.coordinator_ is not None:
+            self.coordinator_.shutdown()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

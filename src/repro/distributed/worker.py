@@ -1,0 +1,278 @@
+"""Shard worker process: local HSS/ULV build + partial distributed solves.
+
+Each worker owns one contiguous shard of the permuted training set — a
+subtree of the global cluster tree, exactly like a rank in the paper's MPI
+runs.  The worker
+
+* attaches the full permuted dataset from shared memory (no copy of its
+  own rows, no pickling),
+* builds the local diagonal block's H matrix (optional), randomized HSS
+  compression and ULV factorization with the **existing level-parallel
+  builders** over its own :class:`repro.parallel.BlockExecutor`,
+* ACA-compresses the inter-shard coupling blocks it owns (it sees the full
+  dataset, so any pair it is assigned is computable locally), and
+* answers the coordinator's solve-phase requests: multi-RHS applications
+  of its local inverse (``D_s^{-1}``), the small Gram pieces of the
+  capacitance system, and the final low-rank correction.
+
+The command protocol is strictly synchronous (one request, one response),
+which is what makes the creator-owns shared-memory lifetime rule of
+:mod:`repro.distributed.comm` safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..clustering.tree import ClusterNode, ClusterTree
+from ..config import HMatrixOptions, HSSOptions
+from ..hmatrix.build import build_hmatrix
+from ..hmatrix.sampler import HMatrixSampler
+from ..hss.build_random import build_hss_randomized
+from ..hss.ulv import ULVFactorization
+from ..kernels.operator import ShiftedKernelOperator
+from ..lowrank.aca import aca
+from ..parallel.executor import BlockExecutor
+from ..utils.timing import TimingLog
+from .comm import ArraySpec, BlockChannel, SharedArray, WorkerTimeoutError
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Scalar configuration shipped to a shard worker at spawn time.
+
+    Only small scalars and option dataclasses live here — array payloads
+    (dataset, local tree) travel through shared memory.
+    """
+
+    shard_id: int
+    n_shards: int
+    #: permuted-position boundaries of all shards (len ``n_shards + 1``)
+    boundaries: Tuple[int, ...]
+    #: kernel spec as produced by :func:`repro.serving.kernel_to_spec`
+    kernel_spec: dict
+    lam: float
+    hss_options: HSSOptions
+    hmatrix_options: HMatrixOptions
+    use_hmatrix_sampling: bool
+    seed: Optional[int]
+    #: worker *threads* inside this process (1 = serial BLAS tasks)
+    workers: int
+    #: ACA tolerance / rank cap of the inter-shard coupling blocks
+    coupling_rel_tol: float
+    coupling_max_rank: Optional[int]
+    #: pairs (s, t) whose coupling block this shard compresses
+    owned_pairs: Tuple[Tuple[int, int], ...]
+
+
+def _tree_from_table(table: np.ndarray, root: int) -> ClusterTree:
+    """Rebuild a local :class:`ClusterTree` from its shipped node table."""
+    nodes = [ClusterNode(start=int(r[0]), stop=int(r[1]), left=int(r[2]),
+                         right=int(r[3]), parent=int(r[4]), level=int(r[5]))
+             for r in table]
+    n = nodes[root].stop
+    return ClusterTree(np.arange(n, dtype=np.intp), nodes, root=root)
+
+
+class _ShardState:
+    """Everything a worker holds between commands."""
+
+    def __init__(self, config: WorkerConfig, X: np.ndarray,
+                 tree: ClusterTree):
+        self.config = config
+        self.X = X                    # full permuted dataset (shared view)
+        self.tree = tree              # local subtree, positions [0, size)
+        start, stop = (config.boundaries[config.shard_id],
+                       config.boundaries[config.shard_id + 1])
+        self.start, self.stop = int(start), int(stop)
+        self.ulv: Optional[ULVFactorization] = None
+        self.executor: Optional[BlockExecutor] = None
+        #: located coupling factors F_s (n_s x R_s) and H_s = D_s^{-1} F_s
+        self.F: Optional[np.ndarray] = None
+        self.H: Optional[np.ndarray] = None
+        #: cached local solution of the last "solve" request
+        self.z: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ fit
+    def fit(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        cfg = self.config
+        from ..serving.serialize import kernel_from_spec
+        kernel = kernel_from_spec(cfg.kernel_spec)
+        X_local = self.X[self.start:self.stop]
+        log = TimingLog()
+
+        if self.executor is not None:  # refit: release the previous pool
+            self.executor.shutdown()
+        self.executor = BlockExecutor(workers=max(1, int(cfg.workers)))
+        operator = ShiftedKernelOperator(X_local, kernel, cfg.lam)
+        sampler = operator
+        hmatrix_memory_mb = 0.0
+        if cfg.use_hmatrix_sampling:
+            hmatrix = build_hmatrix(operator, X_local, self.tree,
+                                    options=cfg.hmatrix_options, timing=log,
+                                    executor=self.executor)
+            sampler = HMatrixSampler(hmatrix, operator,
+                                     executor=self.executor)
+            hmatrix_memory_mb = hmatrix.nbytes / 2.0 ** 20
+        rng = np.random.default_rng(
+            [cfg.shard_id] if cfg.seed is None else [cfg.seed, cfg.shard_id])
+        hss, stats = build_hss_randomized(sampler, self.tree,
+                                          options=cfg.hss_options,
+                                          rng=rng, timing=log,
+                                          executor=self.executor)
+        self.ulv = ULVFactorization(hss, timing=log, executor=self.executor)
+
+        arrays: Dict[str, np.ndarray] = {}
+        coupling_ranks: Dict[Tuple[int, int], int] = {}
+        with log.phase("coupling_aca"):
+            for (s, t) in cfg.owned_pairs:
+                U, V = self._compress_pair(kernel, s, t)
+                arrays[f"pair.{s}.{t}.U"] = U
+                arrays[f"pair.{s}.{t}.V"] = V
+                coupling_ranks[(s, t)] = U.shape[1]
+
+        hss_stats = hss.statistics()
+        info = {
+            "timings": dict(log.phases),
+            "hss_memory_mb": hss_stats.memory_mb,
+            "hmatrix_memory_mb": hmatrix_memory_mb,
+            "max_rank": hss_stats.max_rank,
+            "random_vectors": stats.random_vectors,
+            "coupling_ranks": coupling_ranks,
+            "n_local": self.stop - self.start,
+        }
+        return info, arrays
+
+    def _compress_pair(self, kernel, s: int,
+                       t: int) -> Tuple[np.ndarray, np.ndarray]:
+        """ACA-compress the kernel block between shards ``s`` and ``t``."""
+        cfg = self.config
+        rows = np.arange(cfg.boundaries[s], cfg.boundaries[s + 1],
+                         dtype=np.intp)
+        cols = np.arange(cfg.boundaries[t], cfg.boundaries[t + 1],
+                         dtype=np.intp)
+        X = self.X
+
+        def row_fn(i: int) -> np.ndarray:
+            return np.asarray(kernel.block(X, rows[i:i + 1], cols),
+                              dtype=np.float64).ravel()
+
+        def col_fn(j: int) -> np.ndarray:
+            return np.asarray(kernel.block(X, rows, cols[j:j + 1]),
+                              dtype=np.float64).ravel()
+
+        result = aca(rows.size, cols.size, row_fn, col_fn,
+                     rel_tol=cfg.coupling_rel_tol,
+                     max_rank=cfg.coupling_max_rank)
+        return (np.ascontiguousarray(result.lowrank.U, dtype=np.float64),
+                np.ascontiguousarray(result.lowrank.V, dtype=np.float64))
+
+    # ------------------------------------------------------- solve protocol
+    def couple(self, F: np.ndarray) -> np.ndarray:
+        """Receive the located factors; return the local Gram piece."""
+        if self.ulv is None:
+            raise RuntimeError("worker received 'couple' before 'fit'")
+        self.F = np.asarray(F, dtype=np.float64)
+        if self.F.shape[1] == 0:
+            self.H = np.zeros_like(self.F)
+        else:
+            self.H = self.ulv.solve(self.F)
+        return self.F.T @ self.H
+
+    def solve(self, y: np.ndarray) -> np.ndarray:
+        """Apply the local inverse; return the capacitance right-hand side."""
+        if self.ulv is None or self.F is None:
+            raise RuntimeError("worker received 'solve' before 'couple'")
+        self.z = self.ulv.solve(np.asarray(y, dtype=np.float64))
+        return self.F.T @ self.z
+
+    def correct(self, c: np.ndarray) -> np.ndarray:
+        """Apply the low-rank correction; return the local solution block."""
+        if self.z is None:
+            raise RuntimeError("worker received 'correct' before 'solve'")
+        w = self.z - self.H @ np.asarray(c, dtype=np.float64)
+        self.z = None
+        return w
+
+    def close(self) -> None:
+        if self.executor is not None:
+            self.executor.shutdown()
+
+
+def worker_main(config: WorkerConfig, x_spec: ArraySpec,
+                tree_spec: ArraySpec, tree_root: int,
+                request_queue, response_queue) -> None:
+    """Entry point of one shard worker process.
+
+    Runs the synchronous command loop until a ``stop`` message (or a
+    ``_crash`` test hook).  Any exception inside a command is reported back
+    as an ``error`` message with the formatted traceback so the coordinator
+    can re-raise it with full context.
+    """
+    request = BlockChannel(request_queue)
+    response = BlockChannel(response_queue)
+    x_shm = SharedArray.attach(x_spec)
+    tree_shm = SharedArray.attach(tree_spec)
+    state: Optional[_ShardState] = None
+    parent = multiprocessing.parent_process()
+
+    def recv_request():
+        # Idle workers wait indefinitely for the next command (a fitted
+        # grid may legitimately sit idle between solves); the only exit
+        # conditions are a "stop" message or the coordinator process
+        # dying, which orphaned workers detect via the parent handle.
+        while True:
+            try:
+                return request.recv(timeout=60.0)
+            except WorkerTimeoutError:
+                if parent is not None and not parent.is_alive():
+                    return ("stop", None, {})
+
+    try:
+        tree = _tree_from_table(np.asarray(tree_shm.array, dtype=np.int64),
+                                tree_root)
+        state = _ShardState(config, x_shm.array, tree)
+        while True:
+            tag, payload, arrays = recv_request()
+            try:
+                if tag == "fit":
+                    info, out = state.fit()
+                    response.send("fitted", info, arrays=out)
+                elif tag == "couple":
+                    M = state.couple(arrays["F"])
+                    response.send("coupled", arrays={"M": M})
+                elif tag == "solve":
+                    g = state.solve(arrays["y"])
+                    response.send("partial", arrays={"g": g})
+                elif tag == "correct":
+                    w = state.correct(arrays["c"])
+                    response.send("solved", arrays={"w": w})
+                elif tag == "ping":
+                    response.send("pong", payload)
+                elif tag == "_crash":
+                    # Test hook for the fail-fast path: die without replying.
+                    os._exit(17)
+                elif tag == "stop":
+                    break
+                else:
+                    response.send("error", {
+                        "error": f"unknown command {tag!r}", "traceback": ""})
+            except Exception as exc:  # report, keep serving
+                response.send("error", {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc()})
+    finally:
+        # "stop" sends no reply and the coordinator consumes every response
+        # before issuing the next request, so the segments of the last
+        # response are no longer mapped anywhere and can be destroyed.
+        response.drain()
+        if state is not None:
+            state.close()
+        x_shm.close()
+        tree_shm.close()

@@ -51,6 +51,24 @@ class MeasuredPoint:
 
 
 @dataclass
+class MeasuredShardPoint:
+    """Measured wall-clock of one real process-sharded training run.
+
+    This is the measured analogue of the paper's distributed runs: the
+    full distributed build (per-shard H/HSS/ULV plus the coordinator's
+    coupling merge) and one distributed solve, at a fixed process count.
+    """
+
+    shards: int
+    build_time: float = 0.0
+    solve_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        return self.build_time + self.solve_time
+
+
+@dataclass
 class Fig8Curve:
     """One dataset's strong-scaling curve."""
 
@@ -61,6 +79,8 @@ class Fig8Curve:
     points: List[StrongScalingPoint] = field(default_factory=list)
     #: real (measured) runs of the threaded training path, per worker count
     measured: List[MeasuredPoint] = field(default_factory=list)
+    #: real (measured) runs of the process-sharded path, per shard count
+    measured_shards: List[MeasuredShardPoint] = field(default_factory=list)
 
     def factorization_times(self) -> Dict[int, float]:
         return {pt.cores: pt.factorization_time for pt in self.points}
@@ -73,6 +93,10 @@ class Fig8Curve:
     def measured_times(self) -> Dict[int, float]:
         """Measured compression+factorization seconds keyed by worker count."""
         return {pt.workers: pt.total_time for pt in self.measured}
+
+    def measured_shard_times(self) -> Dict[int, float]:
+        """Measured distributed build+solve seconds keyed by shard count."""
+        return {pt.shards: pt.total_time for pt in self.measured_shards}
 
 
 @dataclass
@@ -94,6 +118,8 @@ class Fig8Result:
                 row[f"{pt.cores} cores"] = f"{pt.factorization_time:.3g}"
             for pt in curve.measured:
                 row[f"measured {pt.workers}w"] = f"{pt.total_time:.3g}"
+            for pt in curve.measured_shards:
+                row[f"measured {pt.shards}p"] = f"{pt.total_time:.3g}"
             table.rows.append(row)
         return table
 
@@ -114,6 +140,28 @@ def _measure_training(operator, tree, opts: HSSOptions, seed: int,
     return point
 
 
+def _measure_sharded_training(X_perm, tree, kernel, lam, opts: HSSOptions,
+                              seed: int, shards: int) -> MeasuredShardPoint:
+    """Time one real process-sharded build + solve at ``shards`` processes."""
+    import numpy as np
+
+    from ..distributed.solver import DistributedSolver
+
+    point = MeasuredShardPoint(shards=int(shards))
+    solver = DistributedSolver(shards=shards, hss_options=opts, seed=seed)
+    try:
+        t0 = time.perf_counter()
+        solver.fit(X_perm, tree, kernel, lam)
+        point.build_time = time.perf_counter() - t0
+        rhs = np.random.default_rng(seed).standard_normal(tree.n)
+        t1 = time.perf_counter()
+        solver.solve(rhs)
+        point.solve_time = time.perf_counter() - t1
+    finally:
+        solver.close()
+    return point
+
+
 def run_fig8_strong_scaling(
     datasets: Sequence[str] = ("mnist", "covtype", "hepmass", "susy"),
     n_train: int = 4096,
@@ -122,12 +170,17 @@ def run_fig8_strong_scaling(
     seed: int = 0,
     mnist_ambient_dim: Optional[int] = 196,
     measure_worker_counts: Sequence[int] = (),
+    measure_shard_counts: Sequence[int] = (),
 ) -> Fig8Result:
     """Build each dataset's HSS matrix and model its factorization scaling.
 
     ``measure_worker_counts`` (e.g. ``(1, 2, 4)``) additionally times the
     real threaded training path at each worker count; the measured points
     land in :attr:`Fig8Curve.measured` and extra table columns.
+    ``measure_shard_counts`` (e.g. ``(1, 2)``) does the same for the real
+    **process-sharded** path of :mod:`repro.distributed` — the measured
+    side of the paper's distributed strong-scaling experiment, reported
+    next to the cost model's prediction.
     """
     opts = hss_options if hss_options is not None else HSSOptions()
     result = Fig8Result(core_counts=tuple(int(c) for c in core_counts))
@@ -147,7 +200,13 @@ def run_fig8_strong_scaling(
         points = simulate_strong_scaling(work, core_counts=core_counts)
         measured = [_measure_training(operator, clustering.tree, opts, seed, w)
                     for w in measure_worker_counts]
+        measured_shards = [
+            _measure_sharded_training(clustering.X, clustering.tree,
+                                      GaussianKernel(h=data.h), data.lam,
+                                      opts, seed, p)
+            for p in measure_shard_counts]
         result.curves.append(Fig8Curve(
             dataset=name, n=hss.n, dim=data.dim,
-            max_rank=hss.max_rank, points=points, measured=measured))
+            max_rank=hss.max_rank, points=points, measured=measured,
+            measured_shards=measured_shards))
     return result

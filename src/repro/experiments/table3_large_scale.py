@@ -43,6 +43,8 @@ class Table3Row:
     dense_memory_mb: float
     max_rank: int
     paper_accuracy: float
+    #: worker processes (subtree shards) the training ran with
+    shards: int = 1
 
     @property
     def compression_ratio(self) -> float:
@@ -69,6 +71,7 @@ class Table3Result:
                 dense_memory_mb=round(row.dense_memory_mb, 1),
                 compression=f"{row.compression_ratio:.0f}x",
                 max_rank=row.max_rank,
+                shards=row.shards,
             )
         return table
 
@@ -82,6 +85,7 @@ def run_table3_large_scale(
     use_hmatrix_sampling: bool = True,
     seed: int = 0,
     mnist_ambient_dim: Optional[int] = 196,
+    shards: Optional[int] = None,
 ) -> Table3Result:
     """Run the large-scale prediction experiment at reduced sizes.
 
@@ -92,6 +96,11 @@ def run_table3_large_scale(
         datasets; on the smaller synthetic analogues the Table 2 values
         generalise better, so by default those are used and the paper's
         values are only reported for reference.
+    shards:
+        Worker processes for the training solve (the paper ran this table
+        on distributed-memory MPI grids; ``shards > 1`` uses the
+        process-sharded path of :mod:`repro.distributed`).  ``None``
+        defers to ``REPRO_SHARDS`` / single process.
     """
     opts = hss_options if hss_options is not None else HSSOptions()
     result = Table3Result()
@@ -105,7 +114,8 @@ def run_table3_large_scale(
         h, lam = (paper_h, paper_lam) if use_paper_hyperparameters else (data.h, data.lam)
         pipeline = KRRPipeline(h=h, lam=lam, clustering="two_means", solver="hss",
                                hss_options=opts,
-                               use_hmatrix_sampling=use_hmatrix_sampling, seed=seed)
+                               use_hmatrix_sampling=use_hmatrix_sampling, seed=seed,
+                               shards=shards)
         rep = pipeline.run(data.X_train, data.y_train, data.X_test, data.y_test,
                            dataset_name=name)
         result.rows.append(Table3Row(
@@ -119,5 +129,6 @@ def run_table3_large_scale(
             dense_memory_mb=megabytes(dense_matrix_bytes(data.n_train)),
             max_rank=rep.max_rank,
             paper_accuracy=paper_acc,
+            shards=rep.shards,
         ))
     return result

@@ -40,13 +40,13 @@ def _assemble_leaf(operator, btree: BlockClusterTree, block_id: int,
         dense = np.asarray(operator.block(row_idx, col_idx), dtype=np.float64)
         return HBlock(block_id, rows, cols, dense=dense)
 
-    def row_fn(i: int, _rows=row_idx, _cols=col_idx) -> np.ndarray:
+    def row_fn(i: int) -> np.ndarray:
         return np.asarray(
-            operator.block(_rows[i:i + 1], _cols), dtype=np.float64).ravel()
+            operator.block(row_idx[i:i + 1], col_idx), dtype=np.float64).ravel()
 
-    def col_fn(j: int, _rows=row_idx, _cols=col_idx) -> np.ndarray:
+    def col_fn(j: int) -> np.ndarray:
         return np.asarray(
-            operator.block(_rows, _cols[j:j + 1]), dtype=np.float64).ravel()
+            operator.block(row_idx, col_idx[j:j + 1]), dtype=np.float64).ravel()
 
     result = aca(row_idx.size, col_idx.size, row_fn, col_fn,
                  rel_tol=opts.rel_tol, max_rank=opts.max_rank)

@@ -58,6 +58,14 @@ class KernelRidgeClassifier:
         instances, which carry their own setting).  ``None`` defers to
         ``REPRO_WORKERS`` / serial; see
         :func:`repro.parallel.resolve_workers`.
+    shards:
+        Worker *processes* for the training phases when ``solver`` is the
+        ``"hss"`` name: the training solve then runs through
+        :class:`repro.distributed.DistributedSolver`, each process owning
+        a subtree of the cluster tree.  ``None`` defers to
+        ``REPRO_SHARDS`` (single process when unset); see
+        :func:`repro.distributed.resolve_shards`.  Prediction is
+        unaffected — the trained weights live in this process either way.
     solver_options:
         Extra keyword arguments forwarded to :func:`make_solver` when
         ``solver`` is given by name.
@@ -84,6 +92,7 @@ class KernelRidgeClassifier:
         leaf_size: int = 16,
         seed=0,
         workers: Optional[int] = None,
+        shards: Optional[int] = None,
         solver_options: Optional[dict] = None,
     ):
         self.h = check_positive(h, "h")
@@ -91,6 +100,7 @@ class KernelRidgeClassifier:
         self.leaf_size = int(leaf_size)
         self.seed = seed
         self.workers = workers
+        self.shards = shards
         if isinstance(kernel, Kernel):
             self.kernel = kernel
         elif kernel is None:
@@ -115,6 +125,15 @@ class KernelRidgeClassifier:
             opts.setdefault("seed", self.seed)
             if self.workers is not None:
                 opts.setdefault("workers", self.workers)
+            from ..distributed.plan import resolve_shards
+            n_shards = resolve_shards(self.shards)
+            if n_shards > 1:
+                # Same dispatch as KRRPipeline._build_solver: shards > 1
+                # routes the hss training solve through the process-sharded
+                # path (coupling knobs arrive via solver_options here).
+                from ..distributed.solver import DistributedSolver
+                opts.setdefault("shards", n_shards)
+                return DistributedSolver(**opts)
         return make_solver(self._solver_spec, **opts)
 
     def _run_clustering(self, X: np.ndarray) -> ClusteringResult:

@@ -41,6 +41,8 @@ class PipelineReport:
     max_rank: int = 0
     #: worker threads used by the training phases (1 = serial)
     workers: int = 1
+    #: worker processes (subtree shards) used by the training phases
+    shards: int = 1
     timings: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -68,6 +70,7 @@ class PipelineReport:
             "hmatrix_memory_mb": round(self.hmatrix_memory_mb, 3),
             "max_rank": self.max_rank,
             "workers": self.workers,
+            "shards": self.shards,
         }
         for name, sec in sorted(self.timings.items()):
             out[f"time_{name}_s"] = round(sec, 4)
@@ -99,6 +102,18 @@ class KRRPipeline:
         and serial runs produce identical reports apart from timings).
         ``None`` defers to the option objects / ``REPRO_WORKERS``; see
         :func:`repro.parallel.resolve_workers`.
+    shards:
+        Worker *processes* for the training phases, each owning a subtree
+        of the cluster tree as in the paper's MPI runs (requires the
+        ``"hss"`` solver).  ``None`` defers to ``REPRO_SHARDS`` (1 when
+        unset); with more than one shard the training solve goes through
+        :class:`repro.distributed.DistributedSolver` and the reported
+        ``shards`` field records the process count.  Sharded and serial
+        runs agree within the compression tolerance (see
+        :mod:`repro.distributed`).
+    coupling_rel_tol, coupling_max_rank, cut_level:
+        Inter-shard coupling compression knobs forwarded to the
+        distributed solver (ignored when ``shards`` resolves to 1).
     """
 
     def __init__(
@@ -113,6 +128,10 @@ class KRRPipeline:
         use_hmatrix_sampling: bool = True,
         seed=0,
         workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        coupling_rel_tol: Optional[float] = None,
+        coupling_max_rank: Optional[int] = None,
+        cut_level: Optional[int] = None,
     ):
         self.h = float(h)
         self.lam = float(lam)
@@ -124,10 +143,32 @@ class KRRPipeline:
         self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
         self.seed = seed
         self.workers = workers
+        self.shards = shards
+        self.coupling_rel_tol = coupling_rel_tol
+        self.coupling_max_rank = coupling_max_rank
+        self.cut_level = cut_level
         self.classifier_: Optional[KernelRidgeClassifier] = None
         self.report_: Optional[PipelineReport] = None
 
     def _build_solver(self) -> Union[str, KernelSystemSolver]:
+        from ..distributed.plan import resolve_shards
+        n_shards = resolve_shards(self.shards)
+        if n_shards > 1:
+            if self.solver_name != "hss":
+                raise ValueError(
+                    f"process sharding requires the 'hss' solver, got "
+                    f"{self.solver_name!r}")
+            from ..distributed.solver import DistributedSolver
+            return DistributedSolver(
+                shards=n_shards,
+                hss_options=self.hss_options,
+                hmatrix_options=self.hmatrix_options,
+                use_hmatrix_sampling=self.use_hmatrix_sampling,
+                seed=self.seed,
+                workers=self.workers,
+                coupling_rel_tol=self.coupling_rel_tol,
+                coupling_max_rank=self.coupling_max_rank,
+                cut_level=self.cut_level)
         if self.solver_name == "hss":
             return HSSSolver(hss_options=self.hss_options,
                              hmatrix_options=self.hmatrix_options,
@@ -173,6 +214,7 @@ class KRRPipeline:
         report.hmatrix_memory_mb = solve_report.hmatrix_memory_mb
         report.max_rank = solve_report.max_rank
         report.workers = solve_report.workers
+        report.shards = solve_report.shards
         report.timings = dict(solve_report.timings)
         report.timings.update(log.as_dict())
         self.report_ = report

@@ -59,6 +59,8 @@ class SolveReport:
     iterations: int = 0
     #: worker threads used by the training phases (1 = serial)
     workers: int = 1
+    #: worker processes (subtree shards) used by the training phases
+    shards: int = 1
 
     def phase(self, name: str) -> float:
         """Accumulated seconds of the named phase (0.0 if absent)."""
@@ -215,7 +217,8 @@ class HSSSolver(KernelSystemSolver):
                                               options=self.hmatrix_options,
                                               timing=log,
                                               executor=self._executor)
-                sampler = HMatrixSampler(self.hmatrix_, operator)
+                sampler = HMatrixSampler(self.hmatrix_, operator,
+                                         executor=self._executor)
                 self.report.hmatrix_memory_mb = megabytes(self.hmatrix_.nbytes)
             self.hss_, stats = build_hss_randomized(sampler, tree,
                                                     options=self.hss_options,

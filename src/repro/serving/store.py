@@ -26,8 +26,14 @@ import json
 import os
 import re
 import shutil
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+try:  # POSIX advisory locks; absent on some platforms (e.g. Windows)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from .serialize import ArtifactError, ModelArtifact, load_model, save_model
 
@@ -35,6 +41,34 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 ARCHIVE_FILENAME = "model.npz"
 RECORD_FILENAME = "record.json"
+LOCK_FILENAME = ".write.lock"
+
+
+@contextmanager
+def _exclusive_lock(lock_path: str):
+    """Block until the per-model write lock is held; release on exit.
+
+    Uses ``flock`` on the lock file, so concurrent *processes* (not just
+    threads) mutating the same entry are serialized and the
+    archive-then-record rename pair of one writer can never interleave
+    with another's.  The lock file itself is never unlinked — unlinking it
+    while a third writer is blocked on it would split the lock — which is
+    why it lives *next to* the model directory (``.<name>.write.lock`` in
+    the store root) rather than inside it: ``delete`` can then remove the
+    whole entry without destroying the lock other writers hold.  On
+    platforms without ``fcntl`` the lock degrades to a no-op (single
+    writers, the common case, are unaffected).
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
 
 
 def metadata_from_report(report) -> Dict[str, object]:
@@ -100,6 +134,11 @@ class ModelStore:
                 f"and '-' (must not start with a separator)")
         return os.path.join(self.root, name)
 
+    def _lock_path(self, name: str) -> str:
+        # Leading dot keeps lock files out of catalog listings (_NAME_RE
+        # requires names to start with an alphanumeric character).
+        return os.path.join(self.root, f".{name}{LOCK_FILENAME}")
+
     # ------------------------------------------------------------------ save
     def save(self, model, name: str,
              report=None,
@@ -125,34 +164,43 @@ class ModelStore:
             Forwarded to :func:`repro.serving.save_model`.
         """
         path = self._model_dir(name)
-        # Existence is keyed on the record file, not the directory: a save
-        # that crashed before writing the record leaves no catalog entry
-        # and must not block the retry.
-        if name in self and not overwrite:
-            raise FileExistsError(
-                f"model {name!r} already exists in {self.root}; pass "
-                f"overwrite=True to replace it")
         meta: Dict[str, object] = {}
         if report is not None:
             meta.update(metadata_from_report(report))
         if metadata:
             meta.update(metadata)
-        # save_model publishes the archive atomically; the record follows
-        # with its own atomic rename, so a crash mid-save never corrupts a
-        # previously good artifact (the archive header stays the source of
-        # truth if the crash lands between the two renames).
-        record_path = os.path.join(path, RECORD_FILENAME)
-        artifact = save_model(model, os.path.join(path, ARCHIVE_FILENAME),
-                              metadata=meta,
-                              include_factorization=include_factorization)
-        record = ModelRecord(name=name, path=path, kind=artifact.kind,
-                             checksum=artifact.checksum,
-                             created=artifact.created, metadata=meta)
-        with open(record_path + ".tmp", "w", encoding="utf-8") as fh:
-            json.dump({"name": record.name, "kind": record.kind,
-                       "checksum": record.checksum, "created": record.created,
-                       "metadata": record.metadata}, fh, indent=2, sort_keys=True)
-        os.replace(record_path + ".tmp", record_path)
+        # Concurrent writers under the same name are serialized by a
+        # per-model file lock, so one writer's archive/record rename pair
+        # can never interleave with another's (the catalog entry always
+        # describes the archive next to it).
+        with _exclusive_lock(self._lock_path(name)):
+            # Existence is keyed on the record file, not the directory: a
+            # save that crashed before writing the record leaves no catalog
+            # entry and must not block the retry.  Checked under the lock,
+            # so two racing non-overwrite writers cannot both pass.
+            if name in self and not overwrite:
+                raise FileExistsError(
+                    f"model {name!r} already exists in {self.root}; pass "
+                    f"overwrite=True to replace it")
+            # save_model publishes the archive atomically; the record
+            # follows with its own atomic rename, so a crash mid-save never
+            # corrupts a previously good artifact (the archive header stays
+            # the source of truth if the crash lands between the renames).
+            record_path = os.path.join(path, RECORD_FILENAME)
+            artifact = save_model(model, os.path.join(path, ARCHIVE_FILENAME),
+                                  metadata=meta,
+                                  include_factorization=include_factorization)
+            record = ModelRecord(name=name, path=path, kind=artifact.kind,
+                                 checksum=artifact.checksum,
+                                 created=artifact.created, metadata=meta)
+            tmp_path = f"{record_path}.{os.getpid()}.tmp"
+            with open(tmp_path, "w", encoding="utf-8") as fh:
+                json.dump({"name": record.name, "kind": record.kind,
+                           "checksum": record.checksum,
+                           "created": record.created,
+                           "metadata": record.metadata},
+                          fh, indent=2, sort_keys=True)
+            os.replace(tmp_path, record_path)
         return record
 
     # ------------------------------------------------------------------ load
@@ -199,11 +247,16 @@ class ModelStore:
         return [r.name for r in self.list_models()]
 
     def delete(self, name: str) -> None:
-        """Remove the named model and its directory."""
+        """Remove the named model and its directory.
+
+        Takes the same per-model lock as :meth:`save`, so a delete can
+        never tear an entry out from under a writer mid-publish.
+        """
         path = self._model_dir(name)
-        if not os.path.isdir(path):
-            raise ArtifactError(f"no model named {name!r} in {self.root}")
-        shutil.rmtree(path)
+        with _exclusive_lock(self._lock_path(name)):
+            if not os.path.isdir(path):
+                raise ArtifactError(f"no model named {name!r} in {self.root}")
+            shutil.rmtree(path)
 
     def __contains__(self, name: str) -> bool:
         try:

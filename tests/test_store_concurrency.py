@@ -1,0 +1,103 @@
+"""Regression test: concurrent writers to one `ModelStore` entry.
+
+Two processes repeatedly save (``overwrite=True``) under the same model
+name.  The per-model write lock must serialize them so the archive and the
+catalog record are always a consistent pair: after the dust settles the
+record's checksum matches the artifact header next to it and the model
+loads cleanly.  Without the lock, one writer's archive rename can land
+between another writer's archive and record renames, leaving a catalog
+entry that describes a different archive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.datasets import gaussian_mixture
+from repro.krr import KernelRidgeClassifier
+from repro.serving import ModelStore, read_artifact
+from repro.serving.store import LOCK_FILENAME, _exclusive_lock
+
+MODEL_NAME = "contended"
+SAVES_PER_WRITER = 4
+
+
+def _writer(root: str, writer_id: int, barrier, errors) -> None:
+    """Train a tiny model and save it repeatedly under the shared name."""
+    try:
+        X, y = gaussian_mixture(n=48, d=3, seed=writer_id)
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="dense").fit(X, y)
+        store = ModelStore(root)
+        barrier.wait(timeout=60)
+        for i in range(SAVES_PER_WRITER):
+            store.save(clf, MODEL_NAME, overwrite=True,
+                       metadata={"writer": writer_id, "iteration": i})
+    except Exception as exc:  # pragma: no cover - surfaced via assert below
+        errors.put(f"writer {writer_id}: {type(exc).__name__}: {exc}")
+
+
+def test_two_processes_saving_same_name(tmp_path):
+    ctx = multiprocessing.get_context("spawn")
+    barrier = ctx.Barrier(2)
+    errors = ctx.Queue()
+    procs = [ctx.Process(target=_writer,
+                         args=(str(tmp_path), i, barrier, errors))
+             for i in range(2)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=180)
+        assert not p.is_alive(), "writer process hung"
+        assert p.exitcode == 0
+    assert errors.empty(), errors.get()
+
+    # The surviving catalog entry and archive are a consistent pair.
+    store = ModelStore(str(tmp_path))
+    record = store.record(MODEL_NAME)
+    artifact = read_artifact(record.archive_path)
+    assert record.checksum == artifact.checksum
+    assert record.metadata == artifact.metadata
+    model = store.load(MODEL_NAME)  # checksum-verified load succeeds
+    winner = int(record.metadata["writer"])
+    X, y = gaussian_mixture(n=48, d=3, seed=winner)
+    reference = KernelRidgeClassifier(h=1.0, lam=1.0, solver="dense").fit(X, y)
+    assert np.array_equal(model.predict(X), reference.predict(X))
+
+
+def test_lock_serializes_in_process(tmp_path):
+    """The lock context blocks a second acquirer until released."""
+    fcntl = pytest.importorskip("fcntl")
+    del fcntl
+    import threading
+    import time
+
+    lock_path = str(tmp_path / LOCK_FILENAME)
+    order = []
+
+    def hold_then_release():
+        with _exclusive_lock(lock_path):
+            order.append("first-acquired")
+            time.sleep(0.3)
+            order.append("first-released")
+
+    t = threading.Thread(target=hold_then_release)
+    t.start()
+    time.sleep(0.1)  # let the thread take the lock
+    with _exclusive_lock(lock_path):
+        order.append("second-acquired")
+    t.join()
+    assert order == ["first-acquired", "first-released", "second-acquired"]
+
+
+def test_non_overwrite_save_still_raises(tmp_path):
+    """The lock does not change the overwrite=False contract."""
+    X, y = gaussian_mixture(n=48, d=3, seed=0)
+    clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="dense").fit(X, y)
+    store = ModelStore(str(tmp_path))
+    store.save(clf, "once")
+    with pytest.raises(FileExistsError):
+        store.save(clf, "once")
+    store.save(clf, "once", overwrite=True)  # explicit overwrite still works
