@@ -1,7 +1,8 @@
 """Process-sharded training and serving over subtree ownership.
 
 The paper's strong-scaling results come from distributed-memory runs where
-every MPI rank owns a subtree of the cluster tree.  This package is the
+every MPI rank owns a subtree of the cluster tree, ranks are launched once
+and per-rank factors stay resident across solves.  This package is the
 shared-memory-machine reproduction of that architecture with
 ``multiprocessing`` — true process-level parallelism past the GIL:
 
@@ -11,12 +12,22 @@ shared-memory-machine reproduction of that architecture with
 * :mod:`repro.distributed.comm` — shared-memory numpy transport
   (:class:`SharedArray`, :class:`BlockChannel`): only tiny handles ride
   the queues, payloads are never pickled;
+* :mod:`repro.distributed.grid` — :class:`WorkerGrid`, the persistent,
+  context-managed process grid: one worker per shard, spawned once and
+  reused warm across arbitrarily many fit / solve rounds (hyper-parameter
+  sweeps respawn nothing);
 * :mod:`repro.distributed.worker` — shard worker processes building their
   local HSS / H-matrix pieces and partial ULV factors with the existing
-  level-parallel builders;
+  level-parallel builders; spawn-time state in :class:`WorkerConfig`,
+  per-fit state in :class:`FitSpec`;
 * :mod:`repro.distributed.coordinator` — :class:`Coordinator`, which
   merges the top separator levels (the low-rank inter-shard coupling) into
-  a small capacitance system and drives the distributed factor / solve;
+  a small capacitance system and drives the distributed factor / solve
+  (multi-RHS in one round trip) over a grid;
+* :mod:`repro.distributed.factors` — :class:`ShardedFactors` /
+  :class:`ShardedULVSolver`: per-shard ULV factors shipped back from the
+  workers, persisted in version-2 model artifacts and re-solvable
+  in-process without any worker grid;
 * :mod:`repro.distributed.solver` — :class:`DistributedSolver`, the
   drop-in ``KernelSystemSolver`` wired into
   :class:`repro.krr.KernelRidgeClassifier` / :class:`repro.krr.KRRPipeline`
@@ -25,16 +36,21 @@ shared-memory-machine reproduction of that architecture with
 * :mod:`repro.distributed.service` — :class:`ShardedPredictionService`,
   fanning prediction batches across per-shard
   :class:`repro.serving.PredictionEngine`\\ s.
+
+See ``docs/architecture.md`` for the data-flow picture and
+``docs/api.md`` for the public API reference.
 """
 
 from .comm import (ArraySpec, BlockChannel, DistributedError, SharedArray,
                    WorkerCrashedError, WorkerTimeoutError)
 from .coordinator import Coordinator
+from .factors import ShardedFactors, ShardedULVSolver
+from .grid import WorkerGrid
 from .pipeline import DistributedKRRPipeline
 from .plan import ShardPlan, resolve_shards
 from .service import ShardedPredictionService
 from .solver import DistributedSolver
-from .worker import WorkerConfig
+from .worker import FitSpec, WorkerConfig
 
 __all__ = [
     "ArraySpec",
@@ -43,11 +59,15 @@ __all__ = [
     "DistributedError",
     "DistributedKRRPipeline",
     "DistributedSolver",
+    "FitSpec",
     "ShardPlan",
     "SharedArray",
+    "ShardedFactors",
     "ShardedPredictionService",
+    "ShardedULVSolver",
     "WorkerConfig",
     "WorkerCrashedError",
+    "WorkerGrid",
     "WorkerTimeoutError",
     "resolve_shards",
 ]

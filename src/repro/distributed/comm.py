@@ -50,7 +50,17 @@ class WorkerTimeoutError(DistributedError):
 
 @dataclass(frozen=True)
 class ArraySpec:
-    """Picklable handle of one shared-memory array (no payload)."""
+    """Picklable handle of one shared-memory array (no payload).
+
+    Parameters
+    ----------
+    name:
+        Name of the POSIX shared-memory segment holding the data.
+    shape:
+        Array shape.
+    dtype:
+        NumPy dtype string (``np.dtype.str``).
+    """
 
     name: str
     shape: Tuple[int, ...]
@@ -65,6 +75,17 @@ class SharedArray:
     on the receiving side with :meth:`attach`.  ``close`` detaches the
     local mapping; ``unlink`` destroys the segment and must only be called
     by the creator.
+
+    Parameters
+    ----------
+    shm:
+        The underlying :class:`multiprocessing.shared_memory.SharedMemory`
+        segment (use the factory classmethods rather than constructing
+        directly).
+    shape, dtype:
+        Array layout inside the segment.
+    owner:
+        Whether this process created the segment (and must unlink it).
     """
 
     def __init__(self, shm: shared_memory.SharedMemory,
@@ -79,6 +100,7 @@ class SharedArray:
     @classmethod
     def create(cls, shape: Tuple[int, ...],
                dtype=np.float64) -> "SharedArray":
+        """Allocate a fresh owned segment of the given layout."""
         dtype = np.dtype(dtype)
         nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
         shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
@@ -86,6 +108,7 @@ class SharedArray:
 
     @classmethod
     def from_array(cls, a: np.ndarray) -> "SharedArray":
+        """Allocate an owned segment and copy ``a`` into it."""
         a = np.ascontiguousarray(a)
         sa = cls.create(a.shape, a.dtype)
         if a.size:
@@ -94,6 +117,7 @@ class SharedArray:
 
     @classmethod
     def attach(cls, spec: ArraySpec) -> "SharedArray":
+        """Map an existing segment by its :class:`ArraySpec` (not owned)."""
         shm = shared_memory.SharedMemory(name=spec.name)
         return cls(shm, spec.shape, np.dtype(spec.dtype), owner=False)
 
@@ -107,6 +131,7 @@ class SharedArray:
 
     @property
     def spec(self) -> ArraySpec:
+        """The picklable :class:`ArraySpec` handle of this segment."""
         return ArraySpec(name=self._shm.name, shape=self.shape,
                          dtype=self.dtype.str)
 
@@ -171,11 +196,21 @@ class BlockChannel:
     synchronous protocol guarantees the peer consumed them (every new
     ``send`` retires the previous message's segments; ``drain`` retires
     everything, e.g. at shutdown).
+
+    Parameters
+    ----------
+    queue:
+        The ``multiprocessing`` queue carrying the control tuples (one
+        direction only; a worker has one channel per direction).
     """
 
     def __init__(self, queue):
         self.queue = queue
         self._inflight: List[SharedArray] = []
+        #: messages published through :meth:`send` over the channel lifetime
+        self.messages_sent = 0
+        #: total array payload bytes that rode through shared memory
+        self.bytes_sent = 0
 
     def send(self, tag: str, payload=None,
              arrays: Optional[Dict[str, np.ndarray]] = None) -> None:
@@ -186,6 +221,8 @@ class BlockChannel:
             sa = SharedArray.from_array(np.asarray(a))
             self._inflight.append(sa)
             specs[key] = sa.spec
+            self.bytes_sent += sa.array.nbytes
+        self.messages_sent += 1
         self.queue.put((tag, payload, specs))
 
     def recv(self, timeout: float,

@@ -1,4 +1,4 @@
-"""Coordinator: spawns shard workers and merges the top separator levels.
+"""Coordinator: drives a worker grid through fit / solve rounds.
 
 The distributed factorization follows the paper's rank-per-subtree model.
 With the permuted kernel system ``M = K + lambda I`` cut into ``P``
@@ -32,6 +32,14 @@ LU-factored once on the coordinator.  That merge is the shared-memory
 analogue of the paper's top-of-the-tree communication phase, and its cost
 is independent of ``n``.
 
+Process lifetime is owned by :class:`repro.distributed.WorkerGrid`, not by
+the coordinator: a coordinator constructed the classic way (plan + data)
+creates and owns a grid, while :meth:`Coordinator.on_grid` drives an
+existing *warm* grid — repeated fits then spawn zero new processes, and
+the grid outlives the coordinator.  Since worker processes are persistent,
+everything per-fit (kernel, ridge shift, options) travels with the ``fit``
+command as a :class:`repro.distributed.FitSpec`.
+
 Accuracy: the distributed solve approximates the same system as the serial
 HSS solver, with the coupling ACA tolerance playing the role of the HSS
 compression tolerance for the top off-diagonal blocks.  Predictions of the
@@ -42,8 +50,6 @@ checks label-exact agreement).
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -52,36 +58,10 @@ import scipy.linalg
 
 from ..config import HMatrixOptions, HSSOptions
 from ..kernels.base import Kernel
-from .comm import (BlockChannel, DistributedError, SharedArray,
-                   WorkerCrashedError)
+from .factors import ShardedFactors
+from .grid import WorkerGrid
 from .plan import ShardPlan
-from .worker import WorkerConfig, worker_main
-
-
-def _start_method(override: Optional[str] = None) -> str:
-    """Process start method: ``REPRO_SHARD_START_METHOD`` or ``spawn``.
-
-    ``spawn`` is the safe default everywhere (no fork-while-threaded
-    hazards with BLAS or live executors); ``fork`` can be opted into on
-    Linux for faster worker startup.
-    """
-    method = override or os.environ.get("REPRO_SHARD_START_METHOD", "").strip()
-    if method:
-        return method
-    return "spawn"
-
-
-class _WorkerHandle:
-    """One worker process plus its two message channels."""
-
-    def __init__(self, process, request: BlockChannel, response: BlockChannel):
-        self.process = process
-        self.request = request
-        self.response = response
-
-    @property
-    def alive(self) -> bool:
-        return self.process.is_alive()
+from .worker import FitSpec
 
 
 class Coordinator:
@@ -100,16 +80,29 @@ class Coordinator:
         Per-shard build options, matching :class:`repro.krr.HSSSolver`.
     worker_threads:
         ``BlockExecutor`` threads *inside* each worker process (default 1;
-        the process grid is the primary parallel axis).
+        the process grid is the primary parallel axis).  Ignored when an
+        external ``grid`` is given (the grid's setting wins).
     coupling_rel_tol, coupling_max_rank:
         ACA tolerance / rank cap of the inter-shard coupling blocks;
         the tolerance defaults to ``hss_options.rel_tol``.
     response_timeout:
         Hard per-reply deadline in seconds.  A worker that neither answers
         nor dies within it fails the whole session (fail-fast, no hang).
+        Ignored when an external ``grid`` is given.
     start_method:
         ``multiprocessing`` start method override (default ``spawn``, or
-        the ``REPRO_SHARD_START_METHOD`` environment variable).
+        the ``REPRO_SHARD_START_METHOD`` environment variable).  Ignored
+        when an external ``grid`` is given.
+    grid:
+        Optional warm :class:`repro.distributed.WorkerGrid` to drive
+        instead of spawning one.  The coordinator then does **not** own
+        the processes: :meth:`shutdown` leaves them running (prefer
+        :meth:`on_grid` over passing this directly).
+
+    Raises
+    ------
+    ValueError
+        If ``X_permuted`` does not cover exactly the ``plan.n`` points.
     """
 
     def __init__(self, plan: ShardPlan, X_permuted: np.ndarray,
@@ -122,14 +115,23 @@ class Coordinator:
                  coupling_rel_tol: Optional[float] = None,
                  coupling_max_rank: Optional[int] = None,
                  response_timeout: float = 900.0,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 grid: Optional[WorkerGrid] = None):
         from ..serving.serialize import kernel_to_spec
 
-        self.plan = plan
-        self.X = np.ascontiguousarray(X_permuted, dtype=np.float64)
-        if self.X.shape[0] != plan.n:
-            raise ValueError(
-                f"X has {self.X.shape[0]} rows but the plan covers {plan.n}")
+        if grid is not None:
+            self.grid = grid
+            self._owns_grid = False
+            self.plan = grid.plan
+            self.X = grid.X
+        else:
+            self.plan = plan
+            self.X = np.ascontiguousarray(X_permuted, dtype=np.float64)
+            self.grid = WorkerGrid(plan, self.X,
+                                   worker_threads=worker_threads,
+                                   response_timeout=response_timeout,
+                                   start_method=start_method)
+            self._owns_grid = True
         self.kernel_spec = kernel_to_spec(kernel)
         self.lam = float(lam)
         self.hss_options = hss_options if hss_options is not None else HSSOptions()
@@ -137,94 +139,81 @@ class Coordinator:
                                 else HMatrixOptions())
         self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
         self.seed = seed
-        self.worker_threads = int(worker_threads)
         self.coupling_rel_tol = (float(coupling_rel_tol)
                                  if coupling_rel_tol is not None
                                  else self.hss_options.rel_tol)
         self.coupling_max_rank = coupling_max_rank
-        self.response_timeout = float(response_timeout)
-        self._start_method = _start_method(start_method)
 
-        self._workers: List[_WorkerHandle] = []
-        self._segments: List[SharedArray] = []
         self._fitted = False
+        self._fit_generation = -1
         # Capacitance bookkeeping (see module docstring)
         self._cap_lu = None
+        self._cap_C: Optional[np.ndarray] = None
         self._cap_rank = 0
         self._pg_idx: List[np.ndarray] = []
         self._qg_idx: List[np.ndarray] = []
+        self._per_shard_F: List[np.ndarray] = []
         self.fit_info: Dict[str, object] = {}
+
+    # --------------------------------------------------------------- factory
+    @classmethod
+    def on_grid(cls, grid: WorkerGrid, kernel: Kernel, lam: float,
+                **options) -> "Coordinator":
+        """A coordinator driving an existing (typically warm) grid.
+
+        Parameters
+        ----------
+        grid:
+            The :class:`repro.distributed.WorkerGrid` to drive; it is not
+            shut down by this coordinator.
+        kernel, lam:
+            Kernel and ridge shift of this fit.
+        **options:
+            Per-fit options (``hss_options``, ``hmatrix_options``,
+            ``use_hmatrix_sampling``, ``seed``, ``coupling_rel_tol``,
+            ``coupling_max_rank``).
+
+        Returns
+        -------
+        Coordinator
+            Ready to :meth:`fit` without spawning any process.
+        """
+        return cls(grid.plan, grid.X, kernel, lam, grid=grid, **options)
 
     # ------------------------------------------------------------- lifecycle
     @property
     def running(self) -> bool:
-        return bool(self._workers) and all(w.alive for w in self._workers)
+        """``True`` while the underlying grid's workers are all alive."""
+        return self.grid.running
+
+    @property
+    def current(self) -> bool:
+        """Whether this coordinator's fit is the grid's resident state.
+
+        ``False`` when unfitted, when the grid is down, or when another
+        coordinator has since run its own fit on the same (shared) grid —
+        the workers' resident factors then belong to that newer fit and
+        no longer match this coordinator's capacitance state.
+        """
+        return (self._fitted and self.grid.running
+                and self.grid.fit_generation == self._fit_generation)
 
     def start(self) -> "Coordinator":
-        """Spawn the worker processes and publish the shared dataset."""
-        if self._workers:
-            return self
-        ctx = multiprocessing.get_context(self._start_method)
-        x_shm = SharedArray.from_array(self.X)
-        self._segments.append(x_shm)
-
-        plan = self.plan
-        for shard in range(plan.n_shards):
-            local_tree = plan.subtree(shard)
-            table = np.array(
-                [[nd.start, nd.stop, nd.left, nd.right, nd.parent, nd.level]
-                 for nd in local_tree.nodes], dtype=np.int64)
-            tree_shm = SharedArray.from_array(table)
-            self._segments.append(tree_shm)
-            config = WorkerConfig(
-                shard_id=shard,
-                n_shards=plan.n_shards,
-                boundaries=tuple(int(b) for b in plan.boundaries),
-                kernel_spec=self.kernel_spec,
-                lam=self.lam,
-                hss_options=self.hss_options,
-                hmatrix_options=self.hmatrix_options,
-                use_hmatrix_sampling=self.use_hmatrix_sampling,
-                seed=(int(self.seed)
-                      if isinstance(self.seed, (int, np.integer)) else None),
-                workers=self.worker_threads,
-                coupling_rel_tol=self.coupling_rel_tol,
-                coupling_max_rank=self.coupling_max_rank,
-                owned_pairs=tuple(plan.owned_pairs(shard)),
-            )
-            request_q, response_q = ctx.Queue(), ctx.Queue()
-            process = ctx.Process(
-                target=worker_main,
-                args=(config, x_shm.spec, tree_shm.spec, local_tree.root,
-                      request_q, response_q),
-                name=f"repro-shard-{shard}", daemon=True)
-            process.start()
-            self._workers.append(_WorkerHandle(
-                process, BlockChannel(request_q), BlockChannel(response_q)))
+        """Start the underlying grid (no-op when it is already running)."""
+        self.grid.start()
         return self
 
     def shutdown(self, timeout: float = 5.0) -> None:
-        """Stop all workers and release every shared segment (idempotent)."""
-        workers, self._workers = self._workers, []
-        for w in workers:
-            if w.alive:
-                try:
-                    w.request.send("stop")
-                except Exception:  # queue already broken; terminate below
-                    pass
-        deadline = time.monotonic() + timeout
-        for w in workers:
-            w.process.join(timeout=max(0.1, deadline - time.monotonic()))
-            if w.process.is_alive():
-                w.process.terminate()
-                w.process.join(timeout=2.0)
-            if w.process.is_alive():  # pragma: no cover - last resort
-                w.process.kill()
-                w.process.join(timeout=1.0)
-            w.request.drain()
-        for seg in self._segments:
-            seg.unlink()
-        self._segments = []
+        """Drop fit state; stop the grid too if this coordinator owns it.
+
+        Parameters
+        ----------
+        timeout:
+            Worker grace period, forwarded to
+            :meth:`repro.distributed.WorkerGrid.shutdown`.
+        """
+        if self._owns_grid:
+            self.grid.shutdown(timeout=timeout)
         self._fitted = False
 
     def __enter__(self) -> "Coordinator":
@@ -233,53 +222,36 @@ class Coordinator:
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
-    # --------------------------------------------------------------- protocol
-    def _fail_fast(self, shard: int, exc: Exception) -> None:
-        """Terminate the whole grid and re-raise on any worker failure."""
-        self.shutdown()
-        if isinstance(exc, DistributedError):
-            raise type(exc)(f"shard {shard}: {exc}") from None
-        raise exc
-
-    def _recv(self, shard: int, expected: str):
-        w = self._workers[shard]
-        try:
-            tag, payload, arrays = w.response.recv(
-                self.response_timeout, alive=lambda: w.alive)
-        except DistributedError as exc:
-            self._fail_fast(shard, exc)
-        if tag == "error":
-            tb = (payload or {}).get("traceback", "")
-            err = DistributedError(
-                f"worker failed: {(payload or {}).get('error')}\n{tb}")
-            self._fail_fast(shard, err)
-        if tag != expected:
-            self._fail_fast(shard, DistributedError(
-                f"protocol error: expected {expected!r}, got {tag!r}"))
-        return payload, arrays
-
-    def _broadcast(self, tag: str, per_shard_arrays=None, payload=None):
-        if not self._workers:
-            raise RuntimeError("coordinator is not running; call start()")
-        for shard, w in enumerate(self._workers):
-            arrays = None if per_shard_arrays is None else per_shard_arrays[shard]
-            if not w.alive:
-                self._fail_fast(shard, WorkerCrashedError(
-                    "worker process is dead"))
-            w.request.send(tag, payload, arrays=arrays)
-
     # -------------------------------------------------------------------- fit
     def fit(self) -> Dict[str, object]:
-        """Distributed build: local HSS/ULV per shard + capacitance merge."""
-        if not self._workers:
-            self.start()
+        """Distributed build: local HSS/ULV per shard + capacitance merge.
+
+        Returns
+        -------
+        dict
+            Aggregate fit report: per-phase timings (max over shards),
+            memory, ranks and the coupling-rank map.
+        """
+        grid = self.grid.start()
         plan = self.plan
+        spec = FitSpec(
+            kernel_spec=self.kernel_spec,
+            lam=self.lam,
+            hss_options=self.hss_options,
+            hmatrix_options=self.hmatrix_options,
+            use_hmatrix_sampling=self.use_hmatrix_sampling,
+            seed=(int(self.seed)
+                  if isinstance(self.seed, (int, np.integer)) else None),
+            coupling_rel_tol=self.coupling_rel_tol,
+            coupling_max_rank=self.coupling_max_rank,
+        )
         t0 = time.perf_counter()
-        self._broadcast("fit")
+        grid.broadcast("fit", payload=spec)
+        self._fit_generation = grid.fit_generation
         infos: List[dict] = []
         factors: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
         for shard in range(plan.n_shards):
-            payload, arrays = self._recv(shard, "fitted")
+            payload, arrays = grid.recv(shard, "fitted")
             infos.append(payload)
             for (s, t) in plan.owned_pairs(shard):
                 factors[(s, t)] = (arrays[f"pair.{s}.{t}.U"],
@@ -326,15 +298,17 @@ class Coordinator:
                                 else np.zeros(0, dtype=np.intp))
             self._qg_idx.append(np.concatenate(qg) if qg
                                 else np.zeros(0, dtype=np.intp))
+        self._per_shard_F = per_shard_F
 
-        self._broadcast("couple",
-                        per_shard_arrays=[{"F": F} for F in per_shard_F])
+        grid.broadcast("couple",
+                       per_shard_arrays=[{"F": F} for F in per_shard_F])
         C = np.eye(R)
         for shard in range(plan.n_shards):
-            _, arrays = self._recv(shard, "coupled")
+            _, arrays = grid.recv(shard, "coupled")
             M = arrays["M"]
             if M.size:
                 C[np.ix_(self._qg_idx[shard], self._pg_idx[shard])] += M
+        self._cap_C = C
         self._cap_lu = scipy.linalg.lu_factor(C) if R > 0 else None
         merge_seconds = time.perf_counter() - t1
         self._fitted = True
@@ -364,9 +338,32 @@ class Coordinator:
 
     # ------------------------------------------------------------------ solve
     def solve(self, y: np.ndarray) -> np.ndarray:
-        """Distributed Woodbury solve for one or more right-hand sides."""
+        """Distributed Woodbury solve for one or more right-hand sides.
+
+        Parameters
+        ----------
+        y:
+            Right-hand side(s) in the permuted ordering, shape ``(n,)`` or
+            ``(n, k)`` — a multi-RHS solve (e.g. all ``K`` one-vs-all
+            class targets) costs one protocol round trip, not ``k``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Solution with the same shape as ``y``.
+
+        Raises
+        ------
+        RuntimeError
+            If called before :meth:`fit`, or after another coordinator's
+            fit reused the shared grid (the workers' resident factors no
+            longer belong to this fit; see :attr:`current`).
+        ValueError
+            On a row-count mismatch with the plan.
+        """
         if not self._fitted:
             raise RuntimeError("coordinator must fit() before solve()")
+        self._check_current()
         y = np.asarray(y, dtype=np.float64)
         single = y.ndim == 1
         Y = y[:, None] if single else y
@@ -375,30 +372,78 @@ class Coordinator:
                 f"y has {Y.shape[0]} rows, expected {self.plan.n}")
         nrhs = Y.shape[1]
         plan = self.plan
+        grid = self.grid
 
         slices = [Y[slice(*plan.shard_range(s))]
                   for s in range(plan.n_shards)]
-        self._broadcast("solve",
-                        per_shard_arrays=[{"y": ys} for ys in slices])
+        grid.broadcast("solve",
+                       per_shard_arrays=[{"y": ys} for ys in slices])
         u = np.zeros((self._cap_rank, nrhs))
         for shard in range(plan.n_shards):
-            _, arrays = self._recv(shard, "partial")
+            _, arrays = grid.recv(shard, "partial")
             g = arrays["g"]
             if g.size:
                 u[self._qg_idx[shard]] = g
         v = (scipy.linalg.lu_solve(self._cap_lu, u)
              if self._cap_lu is not None else u)
-        self._broadcast("correct", per_shard_arrays=[
+        grid.broadcast("correct", per_shard_arrays=[
             {"c": np.ascontiguousarray(v[self._pg_idx[shard]])}
             for shard in range(plan.n_shards)])
         W = np.empty((plan.n, nrhs))
         for shard in range(plan.n_shards):
-            _, arrays = self._recv(shard, "solved")
+            _, arrays = grid.recv(shard, "solved")
             start, stop = plan.shard_range(shard)
             W[start:stop] = arrays["w"]
         return W.ravel() if single else W
 
+    # -------------------------------------------------------------- ship-back
+    def collect_factors(self) -> ShardedFactors:
+        """Ship every shard's HSS/ULV factors back for persistence.
+
+        One ``collect`` round trip per worker: the local HSS generators
+        and ULV factors travel through shared memory and are bundled with
+        the coordinator's coupling state (located factors, capacitance
+        matrix) into a :class:`repro.distributed.ShardedFactors` — the
+        payload of the version-2 sharded artifact section, and the input
+        of the in-process :class:`repro.distributed.ShardedULVSolver`.
+
+        Returns
+        -------
+        ShardedFactors
+            Everything needed to re-solve without worker processes.
+
+        Raises
+        ------
+        RuntimeError
+            If called before :meth:`fit`.
+        """
+        if not self._fitted:
+            raise RuntimeError(
+                "coordinator must fit() before collect_factors()")
+        self._check_current()
+        grid = self.grid
+        grid.broadcast("collect")
+        shard_arrays = [grid.recv(shard, "factors")[1]
+                        for shard in range(self.plan.n_shards)]
+        return ShardedFactors(
+            plan=self.plan,
+            shard_arrays=shard_arrays,
+            F=[np.asarray(F) for F in self._per_shard_F],
+            pg_idx=list(self._pg_idx),
+            qg_idx=list(self._qg_idx),
+            C=np.asarray(self._cap_C))
+
+    def _check_current(self) -> None:
+        """Refuse protocol rounds against factors of a newer fit."""
+        if self.grid.fit_generation != self._fit_generation:
+            raise RuntimeError(
+                "stale coordinator: another fit has since reused this "
+                "worker grid, so the workers' resident factors no longer "
+                "match this coordinator's capacitance state; refit, or "
+                "use the factors collected at fit time")
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "running" if self.running else "stopped"
+        owns = "owned" if self._owns_grid else "external"
         return (f"Coordinator({state}, shards={self.plan.n_shards}, "
-                f"n={self.plan.n})")
+                f"n={self.plan.n}, grid={owns})")

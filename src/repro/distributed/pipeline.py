@@ -29,6 +29,11 @@ class DistributedKRRPipeline(KRRPipeline):
         ``REPRO_SHARDS``, ``0`` means one per visible core).
     coupling_rel_tol, coupling_max_rank, cut_level:
         Forwarded to :class:`repro.distributed.DistributedSolver`.
+    grid:
+        Optional warm :class:`repro.distributed.WorkerGrid` reused across
+        repeated :meth:`run` calls (see
+        :meth:`repro.distributed.WorkerGrid.from_data`); never shut down
+        by the pipeline.
     h, lam, clustering, leaf_size, hss_options, hmatrix_options,
     use_hmatrix_sampling, seed, workers:
         Same meaning as on :class:`repro.krr.KRRPipeline` (``workers`` are
@@ -48,7 +53,8 @@ class DistributedKRRPipeline(KRRPipeline):
                  shards: Optional[int] = 2,
                  coupling_rel_tol: Optional[float] = None,
                  coupling_max_rank: Optional[int] = None,
-                 cut_level: Optional[int] = None):
+                 cut_level: Optional[int] = None,
+                 grid=None):
         super().__init__(h=h, lam=lam, clustering=clustering, solver="hss",
                          leaf_size=leaf_size, hss_options=hss_options,
                          hmatrix_options=hmatrix_options,
@@ -56,7 +62,7 @@ class DistributedKRRPipeline(KRRPipeline):
                          seed=seed, workers=workers, shards=shards,
                          coupling_rel_tol=coupling_rel_tol,
                          coupling_max_rank=coupling_max_rank,
-                         cut_level=cut_level)
+                         cut_level=cut_level, grid=grid)
 
     @property
     def plan_(self) -> Optional[ShardPlan]:

@@ -35,11 +35,26 @@ from ..parallel.executor import default_worker_count
 def resolve_shards(shards: Optional[int]) -> int:
     """Resolve a ``shards`` option value to a concrete process count.
 
-    Mirrors :func:`repro.parallel.resolve_workers`: ``None`` consults the
-    ``REPRO_SHARDS`` environment variable (the CI matrix uses it to route
-    the distributed test module through 2 worker processes) and defaults to
-    1 — single-process — when unset.  ``0`` means "one shard per visible
-    core"; positive values are taken literally; negatives are rejected.
+    Mirrors :func:`repro.parallel.resolve_workers`.
+
+    Parameters
+    ----------
+    shards:
+        ``None`` consults the ``REPRO_SHARDS`` environment variable (the
+        CI matrix uses it to route the distributed test module through 2
+        worker processes) and defaults to 1 — single-process — when
+        unset.  ``0`` means "one shard per visible core"; positive values
+        are taken literally.
+
+    Returns
+    -------
+    int
+        The concrete shard / worker-process count (always >= 1).
+
+    Raises
+    ------
+    ValueError
+        If ``shards`` is negative.
     """
     if shards is None:
         env = os.environ.get("REPRO_SHARDS", "").strip()
@@ -185,6 +200,7 @@ class ShardPlan:
     # ----------------------------------------------------------- accessors
     @property
     def n(self) -> int:
+        """Total number of points the plan covers (the tree's ``n``)."""
         return self.tree.n
 
     def shard_range(self, shard: int) -> Tuple[int, int]:
@@ -194,10 +210,12 @@ class ShardPlan:
         return int(self.boundaries[shard]), int(self.boundaries[shard + 1])
 
     def shard_size(self, shard: int) -> int:
+        """Number of points owned by ``shard``."""
         start, stop = self.shard_range(shard)
         return stop - start
 
     def shard_sizes(self) -> np.ndarray:
+        """Per-shard point counts, in shard order."""
         return np.diff(self.boundaries)
 
     def shard_of(self, position: int) -> int:
@@ -227,10 +245,33 @@ class ShardPlan:
         return s if (s + t) % 2 == 0 else t
 
     def owned_pairs(self, shard: int) -> List[Tuple[int, int]]:
+        """The coupling pairs whose ACA compression ``shard`` performs."""
         return [(s, t) for (s, t) in self.pairs()
                 if self.pair_owner(s, t) == shard]
 
     # ------------------------------------------------------------ subtrees
+    @staticmethod
+    def node_table(tree: ClusterTree) -> np.ndarray:
+        """Flatten a tree's nodes into one ``(n_nodes, 6)`` int64 table.
+
+        Parameters
+        ----------
+        tree:
+            Any :class:`repro.clustering.ClusterTree`.
+
+        Returns
+        -------
+        numpy.ndarray
+            Rows of ``(start, stop, left, right, parent, level)`` — the
+            wire format shipped to shard workers at spawn time and the
+            payload compared by :meth:`WorkerGrid.compatible_with
+            <repro.distributed.WorkerGrid.compatible_with>` to decide
+            whether a warm grid can be reused for a new fit.
+        """
+        return np.array(
+            [[nd.start, nd.stop, nd.left, nd.right, nd.parent, nd.level]
+             for nd in tree.nodes], dtype=np.int64)
+
     def subtree(self, shard: int) -> ClusterTree:
         """The local cluster tree of one shard (positions ``[0, size)``).
 
@@ -297,6 +338,7 @@ class ShardPlan:
         return ClusterTree(np.arange(size, dtype=np.intp), nodes, root=root)
 
     def subtrees(self) -> List[ClusterTree]:
+        """Every shard's local cluster tree, in shard order."""
         return [self.subtree(s) for s in range(self.n_shards)]
 
     # -------------------------------------------------------- serialization

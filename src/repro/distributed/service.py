@@ -65,6 +65,9 @@ class ShardedPredictionService:
     plan:
         Optional :class:`ShardPlan`; when given, engines are cut at the
         training shard boundaries.  Otherwise ``shards`` equal slices.
+        When *neither* is given, a plan carried by the model's solver
+        (sharded-trained or reloaded version-2 sharded models) is used,
+        falling back to a single engine.
     shards:
         Number of shards when no ``plan`` is given.
     batch_size, cache_size, cache_rows:
@@ -95,6 +98,10 @@ class ShardedPredictionService:
                 or getattr(model, "X_train_", None) is None:
             raise ValueError(
                 "ShardedPredictionService requires a fitted model")
+        if plan is None and shards is None:
+            # Sharded-trained (or reloaded version-2 sharded) models carry
+            # their plan on the solver; default to its training boundaries.
+            plan = getattr(getattr(model, "solver_", None), "plan_", None)
         self.model = model
         self.classes = getattr(model, "classes_", None)
         n = int(np.asarray(model.X_train_).shape[0])
@@ -115,6 +122,7 @@ class ShardedPredictionService:
     # ------------------------------------------------------------------ shape
     @property
     def n_shards(self) -> int:
+        """Number of per-shard prediction engines."""
         return len(self.engines)
 
     # ------------------------------------------------------------ prediction

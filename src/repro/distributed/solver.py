@@ -3,11 +3,17 @@
 Implements the :class:`repro.krr.solvers.KernelSystemSolver` interface on
 top of a :class:`repro.distributed.Coordinator`, so the existing
 classifiers and pipelines gain process-level sharding through the ordinary
-``solver`` slot: ``fit`` cuts the cluster tree with a
-:class:`repro.distributed.ShardPlan`, spawns one worker process per shard
-and runs the distributed build; ``solve`` runs the distributed Woodbury
-solve; ``close`` tears the process grid down (training results — the
-weight vector — live in the parent, so prediction needs no workers).
+``solver`` slot.  ``fit`` cuts the cluster tree with a
+:class:`repro.distributed.ShardPlan` and runs the distributed build over a
+:class:`repro.distributed.WorkerGrid` — **reusing** a live grid whenever
+the plan and dataset match (warm fit: zero new processes), whether that
+grid was spawned by a previous ``fit`` of this solver or passed in
+explicitly for a hyper-parameter sweep.  ``solve`` runs the distributed
+Woodbury solve (multi-RHS in one round trip) while the grid is up, and
+falls back to the in-process :class:`repro.distributed.ShardedULVSolver`
+over the collected per-shard factors after ``close()`` — so trained models
+keep full re-solve capability with no worker processes, and persist that
+way (see :mod:`repro.distributed.factors`).
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ from ..config import HMatrixOptions, HSSOptions
 from ..krr.solvers import KernelSystemSolver
 from ..utils.timing import TimingLog
 from .coordinator import Coordinator
+from .factors import ShardedFactors, ShardedULVSolver
+from .grid import WorkerGrid
 from .plan import ShardPlan, resolve_shards
 
 
@@ -47,7 +55,24 @@ class DistributedSolver(KernelSystemSolver):
     cut_level:
         Optional explicit tree level for the shard cut.
     response_timeout, start_method:
-        Forwarded to :class:`repro.distributed.Coordinator`.
+        Forwarded to :class:`repro.distributed.WorkerGrid` when the solver
+        spawns its own grid.
+    grid:
+        Optional external :class:`repro.distributed.WorkerGrid` to train
+        on.  The solver never shuts an external grid down — pass one to
+        amortize process startup across many fits (sweeps, one-vs-all
+        refits).  Its plan and dataset must match every ``fit``.
+    collect_factors:
+        If ``True`` (default), ``fit`` ships the per-shard ULV factors
+        back into this process, enabling solves after ``close()`` and
+        full-fidelity persistence of ``shards > 1`` models.  Disable to
+        skip the ship-back cost when only the weight vector matters.
+
+    Raises
+    ------
+    ValueError
+        If an explicit ``grid`` is incompatible with a ``fit``'s shard
+        plan or dataset.
     """
 
     name = "distributed"
@@ -63,7 +88,9 @@ class DistributedSolver(KernelSystemSolver):
                  coupling_max_rank: Optional[int] = None,
                  cut_level: Optional[int] = None,
                  response_timeout: float = 900.0,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 grid: Optional[WorkerGrid] = None,
+                 collect_factors: bool = True):
         super().__init__()
         self.shards = shards
         self.hss_options = hss_options if hss_options is not None else HSSOptions()
@@ -77,8 +104,45 @@ class DistributedSolver(KernelSystemSolver):
         self.cut_level = cut_level
         self.response_timeout = float(response_timeout)
         self.start_method = start_method
+        self.grid = grid                       # external, never owned
+        self.collect_factors = bool(collect_factors)
+        self._owned_grid: Optional[WorkerGrid] = None
         self.plan_: Optional[ShardPlan] = None
         self.coordinator_: Optional[Coordinator] = None
+        #: collected per-shard factors of the last fit (``None`` when
+        #: ``collect_factors=False``); powers post-close solves + saving
+        self.factors_: Optional[ShardedFactors] = None
+        self._local_solver: Optional[ShardedULVSolver] = None
+        #: whether the last fit reused a live grid (zero process spawns)
+        self.warm_start_: bool = False
+
+    # ------------------------------------------------------------------- grid
+    def _resolve_grid(self, plan: ShardPlan,
+                      X_permuted: np.ndarray) -> WorkerGrid:
+        """The grid to fit on: external > warm owned > freshly spawned."""
+        if self.grid is not None:
+            if not self.grid.compatible_with(plan, X_permuted):
+                raise ValueError(
+                    "the provided WorkerGrid is incompatible with this fit "
+                    "(different shard plan, cluster tree or dataset); build "
+                    "the grid with the same data, clustering, leaf size, "
+                    "seed and shard count as the pipeline")
+            self.warm_start_ = self.grid.running
+            return self.grid
+        owned = self._owned_grid
+        if (owned is not None and owned.running
+                and owned.compatible_with(plan, X_permuted)):
+            self.warm_start_ = True
+            return owned
+        if owned is not None:
+            owned.shutdown()
+        self.warm_start_ = False
+        self._owned_grid = WorkerGrid(
+            plan, X_permuted,
+            worker_threads=max(1, int(self.workers or 1)),
+            response_timeout=self.response_timeout,
+            start_method=self.start_method)
+        return self._owned_grid
 
     # ------------------------------------------------------------------- fit
     def _fit_impl(self, X_permuted, tree, kernel, lam) -> None:
@@ -86,26 +150,29 @@ class DistributedSolver(KernelSystemSolver):
             raise ValueError(
                 "DistributedSolver requires the cluster tree of the reordering")
         n_shards = resolve_shards(self.shards)
-        self.plan_ = ShardPlan.from_tree(tree, n_shards,
-                                         cut_level=self.cut_level)
-        if self.coordinator_ is not None:
-            self.coordinator_.shutdown()
-        self.coordinator_ = Coordinator(
-            self.plan_, X_permuted, kernel, lam,
+        plan = ShardPlan.from_tree(tree, n_shards, cut_level=self.cut_level)
+        grid = self._resolve_grid(plan, X_permuted)
+        self.plan_ = grid.plan
+        self._local_solver = None
+        self.factors_ = None
+        self.coordinator_ = Coordinator.on_grid(
+            grid, kernel, lam,
             hss_options=self.hss_options,
             hmatrix_options=self.hmatrix_options,
             use_hmatrix_sampling=self.use_hmatrix_sampling,
             seed=self.seed,
-            worker_threads=max(1, int(self.workers or 1)),
             coupling_rel_tol=self.coupling_rel_tol,
-            coupling_max_rank=self.coupling_max_rank,
-            response_timeout=self.response_timeout,
-            start_method=self.start_method)
+            coupling_max_rank=self.coupling_max_rank)
         try:
             info = self.coordinator_.fit()
+            if self.collect_factors:
+                self.factors_ = self.coordinator_.collect_factors()
         except BaseException:
-            # A failed fit must not leave worker processes behind.
-            self.coordinator_.shutdown()
+            # A failed fit must not leave worker processes behind (the
+            # grid's own fail-fast already tears crashed grids down; this
+            # covers coordinator-side failures on an owned grid).
+            if self._owned_grid is not None:
+                self._owned_grid.shutdown()
             raise
         self.report.shards = self.plan_.n_shards
         self.report.workers = max(1, int(self.workers or 1))
@@ -120,29 +187,48 @@ class DistributedSolver(KernelSystemSolver):
 
     # ----------------------------------------------------------------- solve
     def _solve_impl(self, y: np.ndarray) -> np.ndarray:
-        if self.coordinator_ is None or not self.coordinator_.running:
-            raise RuntimeError(
-                "distributed workers are not running (close() shuts them "
-                "down after training); refit to solve for new right-hand "
-                "sides")
-        log = TimingLog()
-        with log.phase("solve"):
-            w = self.coordinator_.solve(y)
-        for name, sec in log.phases.items():
-            self.report.timings[name] = self.report.timings.get(name, 0.0) + sec
-        return w
+        # The live path requires the coordinator's fit to still be the
+        # grid's resident state: on a shared grid, a later fit by another
+        # solver replaces the worker-resident factors, and mixing them
+        # with this solver's capacitance state would be silently wrong.
+        if self.coordinator_ is not None and self.coordinator_.current:
+            log = TimingLog()
+            with log.phase("solve"):
+                w = self.coordinator_.solve(y)
+            for name, sec in log.phases.items():
+                self.report.timings[name] = \
+                    self.report.timings.get(name, 0.0) + sec
+            return w
+        if self.factors_ is not None:
+            # Grid down (close() after training) or reused by a newer fit:
+            # solve in-process over the factors collected at fit time —
+            # same math, and guaranteed to be *this* fit's factors.
+            if self._local_solver is None:
+                self._local_solver = ShardedULVSolver(self.factors_)
+            w = self._local_solver._solve_impl(y)
+            for name, sec in self._local_solver.report.timings.items():
+                self.report.timings[name] = \
+                    self.report.timings.get(name, 0.0) + sec
+            self._local_solver.report.timings.clear()
+            return w
+        raise RuntimeError(
+            "distributed workers are not running (or the shared grid was "
+            "reused by a newer fit) and no factors were collected "
+            "(collect_factors=False); refit to solve for new right-hand "
+            "sides")
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut the worker processes down (idempotent).
+        """Shut down the owned worker grid (idempotent).
 
-        Unlike the threaded :class:`repro.krr.HSSSolver`, the factors live
-        inside the worker processes, so a closed distributed solver cannot
-        solve for new right-hand sides without refitting — but the trained
-        weights and predictions are unaffected.
+        An external grid passed at construction is left running — that is
+        the warm-reuse contract.  With ``collect_factors=True`` (the
+        default) the solver stays able to :meth:`solve` after close via
+        the in-process factors; only with ``collect_factors=False`` does a
+        closed solver require a refit.
         """
-        if self.coordinator_ is not None:
-            self.coordinator_.shutdown()
+        if self._owned_grid is not None:
+            self._owned_grid.shutdown()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:

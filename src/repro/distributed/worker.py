@@ -2,18 +2,27 @@
 
 Each worker owns one contiguous shard of the permuted training set — a
 subtree of the global cluster tree, exactly like a rank in the paper's MPI
-runs.  The worker
+runs.  Workers are spawned once per :class:`repro.distributed.WorkerGrid`
+and stay resident across fits: only the *spawn-time* state (shard
+identity, dataset, local tree — :class:`WorkerConfig`) is fixed at launch,
+while everything per-fit (kernel, ridge shift, compression options, seeds
+— :class:`FitSpec`) arrives with each ``fit`` command.  The worker
 
 * attaches the full permuted dataset from shared memory (no copy of its
   own rows, no pickling),
-* builds the local diagonal block's H matrix (optional), randomized HSS
-  compression and ULV factorization with the **existing level-parallel
-  builders** over its own :class:`repro.parallel.BlockExecutor`,
+* on every ``fit``, builds the local diagonal block's H matrix (optional),
+  randomized HSS compression and ULV factorization with the **existing
+  level-parallel builders** over its own
+  :class:`repro.parallel.BlockExecutor`, replacing the factors of any
+  previous fit,
 * ACA-compresses the inter-shard coupling blocks it owns (it sees the full
-  dataset, so any pair it is assigned is computable locally), and
+  dataset, so any pair it is assigned is computable locally),
 * answers the coordinator's solve-phase requests: multi-RHS applications
   of its local inverse (``D_s^{-1}``), the small Gram pieces of the
-  capacitance system, and the final low-rank correction.
+  capacitance system, and the final low-rank correction, and
+* on ``collect``, ships its local HSS generators and ULV factors back
+  through shared memory so ``shards > 1`` models can be persisted with
+  full re-solve capability (see :mod:`repro.distributed.factors`).
 
 The command protocol is strictly synchronous (one request, one response),
 which is what makes the creator-owns shared-memory lifetime rule of
@@ -26,7 +35,7 @@ import multiprocessing
 import os
 import traceback
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -45,30 +54,72 @@ from .comm import ArraySpec, BlockChannel, SharedArray, WorkerTimeoutError
 
 @dataclass(frozen=True)
 class WorkerConfig:
-    """Scalar configuration shipped to a shard worker at spawn time.
+    """Spawn-time configuration of one shard worker.
 
-    Only small scalars and option dataclasses live here — array payloads
-    (dataset, local tree) travel through shared memory.
+    Only what is fixed for the worker's whole lifetime lives here — shard
+    identity, grid shape and thread budget.  Everything per-fit travels in
+    a :class:`FitSpec` with each ``fit`` command instead, which is what
+    lets a :class:`repro.distributed.WorkerGrid` stay warm across fits.
+    Array payloads (dataset, local tree) never ride here either; they
+    travel through shared memory.
+
+    Parameters
+    ----------
+    shard_id:
+        This worker's shard index in ``[0, n_shards)``.
+    n_shards:
+        Total shard / worker-process count of the grid.
+    boundaries:
+        Permuted-position boundaries of all shards (length
+        ``n_shards + 1``).
+    workers:
+        Worker *threads* inside this process (1 = serial BLAS tasks).
+    owned_pairs:
+        Pairs ``(s, t)`` whose inter-shard coupling block this worker
+        ACA-compresses during ``fit``.
     """
 
     shard_id: int
     n_shards: int
-    #: permuted-position boundaries of all shards (len ``n_shards + 1``)
     boundaries: Tuple[int, ...]
-    #: kernel spec as produced by :func:`repro.serving.kernel_to_spec`
+    workers: int
+    owned_pairs: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class FitSpec:
+    """Per-fit configuration shipped with every ``fit`` command.
+
+    One grid serves many fits; this is the part that changes between them
+    (a hyper-parameter sweep varies the kernel spec and ridge shift while
+    the :class:`WorkerConfig` and the shared dataset stay fixed).
+
+    Parameters
+    ----------
+    kernel_spec:
+        Kernel description as produced by
+        :func:`repro.serving.kernel_to_spec`.
+    lam:
+        Ridge shift of the training system.
+    hss_options, hmatrix_options, use_hmatrix_sampling:
+        Per-shard build options, matching :class:`repro.krr.HSSSolver`.
+    seed:
+        Base seed; each worker derives its sampling stream from
+        ``(seed, shard_id)`` so runs are deterministic for a fixed plan.
+    coupling_rel_tol:
+        ACA tolerance of the inter-shard coupling blocks.
+    coupling_max_rank:
+        Optional rank cap of the coupling blocks.
+    """
+
     kernel_spec: dict
     lam: float
     hss_options: HSSOptions
     hmatrix_options: HMatrixOptions
     use_hmatrix_sampling: bool
     seed: Optional[int]
-    #: worker *threads* inside this process (1 = serial BLAS tasks)
-    workers: int
-    #: ACA tolerance / rank cap of the inter-shard coupling blocks
     coupling_rel_tol: float
     coupling_max_rank: Optional[int]
-    #: pairs (s, t) whose coupling block this shard compresses
-    owned_pairs: Tuple[Tuple[int, int], ...]
 
 
 def _tree_from_table(table: np.ndarray, root: int) -> ClusterTree:
@@ -100,30 +151,41 @@ class _ShardState:
         self.z: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ fit
-    def fit(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+    def fit(self, spec: FitSpec) -> Tuple[dict, Dict[str, np.ndarray]]:
         cfg = self.config
         from ..serving.serialize import kernel_from_spec
-        kernel = kernel_from_spec(cfg.kernel_spec)
+        kernel = kernel_from_spec(spec.kernel_spec)
         X_local = self.X[self.start:self.stop]
         log = TimingLog()
 
-        if self.executor is not None:  # refit: release the previous pool
-            self.executor.shutdown()
-        self.executor = BlockExecutor(workers=max(1, int(cfg.workers)))
-        operator = ShiftedKernelOperator(X_local, kernel, cfg.lam)
+        # Refitting replaces all per-fit state; stale coupling factors of a
+        # previous fit must not leak into the new capacitance system, and
+        # the old ULV/HSS factors (the dominant memory) must be released
+        # *before* the new build, not after, or a warm refit would
+        # transiently hold two factorizations and OOM at sizes a cold fit
+        # handles.
+        self.F = self.H = self.z = None
+        self.ulv = None
+        if self.executor is None:
+            # One pool for the worker's lifetime: the thread count is
+            # spawn-time-fixed, so warm refits reuse it instead of paying
+            # shutdown+spawn churn per configuration.
+            self.executor = BlockExecutor(workers=max(1, int(cfg.workers)))
+        operator = ShiftedKernelOperator(X_local, kernel, spec.lam)
         sampler = operator
         hmatrix_memory_mb = 0.0
-        if cfg.use_hmatrix_sampling:
+        if spec.use_hmatrix_sampling:
             hmatrix = build_hmatrix(operator, X_local, self.tree,
-                                    options=cfg.hmatrix_options, timing=log,
+                                    options=spec.hmatrix_options, timing=log,
                                     executor=self.executor)
             sampler = HMatrixSampler(hmatrix, operator,
                                      executor=self.executor)
             hmatrix_memory_mb = hmatrix.nbytes / 2.0 ** 20
         rng = np.random.default_rng(
-            [cfg.shard_id] if cfg.seed is None else [cfg.seed, cfg.shard_id])
+            [cfg.shard_id] if spec.seed is None
+            else [spec.seed, cfg.shard_id])
         hss, stats = build_hss_randomized(sampler, self.tree,
-                                          options=cfg.hss_options,
+                                          options=spec.hss_options,
                                           rng=rng, timing=log,
                                           executor=self.executor)
         self.ulv = ULVFactorization(hss, timing=log, executor=self.executor)
@@ -132,7 +194,7 @@ class _ShardState:
         coupling_ranks: Dict[Tuple[int, int], int] = {}
         with log.phase("coupling_aca"):
             for (s, t) in cfg.owned_pairs:
-                U, V = self._compress_pair(kernel, s, t)
+                U, V = self._compress_pair(kernel, spec, s, t)
                 arrays[f"pair.{s}.{t}.U"] = U
                 arrays[f"pair.{s}.{t}.V"] = V
                 coupling_ranks[(s, t)] = U.shape[1]
@@ -149,7 +211,7 @@ class _ShardState:
         }
         return info, arrays
 
-    def _compress_pair(self, kernel, s: int,
+    def _compress_pair(self, kernel, spec: FitSpec, s: int,
                        t: int) -> Tuple[np.ndarray, np.ndarray]:
         """ACA-compress the kernel block between shards ``s`` and ``t``."""
         cfg = self.config
@@ -168,8 +230,8 @@ class _ShardState:
                               dtype=np.float64).ravel()
 
         result = aca(rows.size, cols.size, row_fn, col_fn,
-                     rel_tol=cfg.coupling_rel_tol,
-                     max_rank=cfg.coupling_max_rank)
+                     rel_tol=spec.coupling_rel_tol,
+                     max_rank=spec.coupling_max_rank)
         return (np.ascontiguousarray(result.lowrank.U, dtype=np.float64),
                 np.ascontiguousarray(result.lowrank.V, dtype=np.float64))
 
@@ -200,6 +262,23 @@ class _ShardState:
         self.z = None
         return w
 
+    # ----------------------------------------------------------- ship-back
+    def collect(self) -> Dict[str, np.ndarray]:
+        """Flatten the local HSS generators + ULV factors for persistence.
+
+        The returned arrays use the same ``hss.* / ulv.*`` layout as
+        :func:`repro.serving.hss_to_arrays` /
+        :func:`repro.serving.ulv_to_arrays`, so the coordinator can embed
+        them per-shard into a model artifact (see
+        :mod:`repro.distributed.factors`).
+        """
+        if self.ulv is None:
+            raise RuntimeError("worker received 'collect' before 'fit'")
+        from ..serving.serialize import hss_to_arrays, ulv_to_arrays
+        arrays = hss_to_arrays(self.ulv.hss, prefix="hss.")
+        arrays.update(ulv_to_arrays(self.ulv, prefix="ulv."))
+        return arrays
+
     def close(self) -> None:
         if self.executor is not None:
             self.executor.shutdown()
@@ -212,8 +291,23 @@ def worker_main(config: WorkerConfig, x_spec: ArraySpec,
 
     Runs the synchronous command loop until a ``stop`` message (or a
     ``_crash`` test hook).  Any exception inside a command is reported back
-    as an ``error`` message with the formatted traceback so the coordinator
-    can re-raise it with full context.
+    as an ``error`` message with the formatted traceback; on the other
+    side, :meth:`repro.distributed.WorkerGrid.recv` treats that reply as
+    fatal and tears the whole grid down before re-raising (fail-fast —
+    a half-fitted grid is never left serving), so a failed command costs
+    the warm processes and the caller must build a fresh grid.
+
+    Parameters
+    ----------
+    config:
+        Spawn-time :class:`WorkerConfig` of this shard.
+    x_spec, tree_spec:
+        Shared-memory handles of the permuted dataset and the local
+        cluster-tree node table.
+    tree_root:
+        Root node index of the local tree inside its table.
+    request_queue, response_queue:
+        The two ``multiprocessing`` queues of the command protocol.
     """
     request = BlockChannel(request_queue)
     response = BlockChannel(response_queue)
@@ -223,8 +317,8 @@ def worker_main(config: WorkerConfig, x_spec: ArraySpec,
     parent = multiprocessing.parent_process()
 
     def recv_request():
-        # Idle workers wait indefinitely for the next command (a fitted
-        # grid may legitimately sit idle between solves); the only exit
+        # Idle workers wait indefinitely for the next command (a warm grid
+        # legitimately sits idle between fits and solves); the only exit
         # conditions are a "stop" message or the coordinator process
         # dying, which orphaned workers detect via the parent handle.
         while True:
@@ -242,7 +336,7 @@ def worker_main(config: WorkerConfig, x_spec: ArraySpec,
             tag, payload, arrays = recv_request()
             try:
                 if tag == "fit":
-                    info, out = state.fit()
+                    info, out = state.fit(payload)
                     response.send("fitted", info, arrays=out)
                 elif tag == "couple":
                     M = state.couple(arrays["F"])
@@ -253,6 +347,8 @@ def worker_main(config: WorkerConfig, x_spec: ArraySpec,
                 elif tag == "correct":
                     w = state.correct(arrays["c"])
                     response.send("solved", arrays={"w": w})
+                elif tag == "collect":
+                    response.send("factors", arrays=state.collect())
                 elif tag == "ping":
                     response.send("pong", payload)
                 elif tag == "_crash":

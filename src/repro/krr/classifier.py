@@ -26,7 +26,7 @@ from ..kernels.distance import blockwise_sq_dists
 from ..utils.validation import (check_array_2d, check_labels_binary,
                                 check_non_negative, check_positive,
                                 check_same_dimension)
-from .solvers import KernelSystemSolver, make_solver
+from .solvers import KernelSystemSolver, build_training_solver
 
 
 class KernelRidgeClassifier:
@@ -67,8 +67,10 @@ class KernelRidgeClassifier:
         :func:`repro.distributed.resolve_shards`.  Prediction is
         unaffected — the trained weights live in this process either way.
     solver_options:
-        Extra keyword arguments forwarded to :func:`make_solver` when
-        ``solver`` is given by name.
+        Extra keyword arguments forwarded to
+        :func:`repro.krr.solvers.build_training_solver` when ``solver`` is
+        given by name (e.g. ``hss_options``, or ``grid`` /
+        ``collect_factors`` for the sharded path).
 
     Examples
     --------
@@ -118,23 +120,9 @@ class KernelRidgeClassifier:
 
     # ------------------------------------------------------------------ fit
     def _make_solver(self) -> KernelSystemSolver:
-        if isinstance(self._solver_spec, KernelSystemSolver):
-            return self._solver_spec
-        opts = dict(self._solver_options)
-        if str(self._solver_spec).lower() == "hss":
-            opts.setdefault("seed", self.seed)
-            if self.workers is not None:
-                opts.setdefault("workers", self.workers)
-            from ..distributed.plan import resolve_shards
-            n_shards = resolve_shards(self.shards)
-            if n_shards > 1:
-                # Same dispatch as KRRPipeline._build_solver: shards > 1
-                # routes the hss training solve through the process-sharded
-                # path (coupling knobs arrive via solver_options here).
-                from ..distributed.solver import DistributedSolver
-                opts.setdefault("shards", n_shards)
-                return DistributedSolver(**opts)
-        return make_solver(self._solver_spec, **opts)
+        return build_training_solver(self._solver_spec, seed=self.seed,
+                                     workers=self.workers, shards=self.shards,
+                                     solver_options=self._solver_options)
 
     def _run_clustering(self, X: np.ndarray) -> ClusteringResult:
         if isinstance(self._clustering_spec, ClusteringOptions):

@@ -114,6 +114,14 @@ class KRRPipeline:
     coupling_rel_tol, coupling_max_rank, cut_level:
         Inter-shard coupling compression knobs forwarded to the
         distributed solver (ignored when ``shards`` resolves to 1).
+    grid:
+        Optional warm :class:`repro.distributed.WorkerGrid` for the
+        sharded path: repeated :meth:`run` calls (hyper-parameter sweeps)
+        then reuse its worker processes instead of respawning them.  The
+        grid must have been built over the same data, clustering, leaf
+        size, seed and shard count (see
+        :meth:`repro.distributed.WorkerGrid.from_data`); it is never shut
+        down by the pipeline.  Ignored when ``shards`` resolves to 1.
     """
 
     def __init__(
@@ -132,6 +140,7 @@ class KRRPipeline:
         coupling_rel_tol: Optional[float] = None,
         coupling_max_rank: Optional[int] = None,
         cut_level: Optional[int] = None,
+        grid=None,
     ):
         self.h = float(h)
         self.lam = float(lam)
@@ -147,6 +156,7 @@ class KRRPipeline:
         self.coupling_rel_tol = coupling_rel_tol
         self.coupling_max_rank = coupling_max_rank
         self.cut_level = cut_level
+        self.grid = grid
         self.classifier_: Optional[KernelRidgeClassifier] = None
         self.report_: Optional[PipelineReport] = None
 
@@ -168,7 +178,8 @@ class KRRPipeline:
                 workers=self.workers,
                 coupling_rel_tol=self.coupling_rel_tol,
                 coupling_max_rank=self.coupling_max_rank,
-                cut_level=self.cut_level)
+                cut_level=self.cut_level,
+                grid=self.grid)
         if self.solver_name == "hss":
             return HSSSolver(hss_options=self.hss_options,
                              hmatrix_options=self.hmatrix_options,

@@ -21,14 +21,15 @@ from ..kernels.distance import blockwise_sq_dists
 from ..utils.validation import (check_array_2d, check_non_negative,
                                 check_positive, check_same_dimension,
                                 check_vector)
-from .solvers import KernelSystemSolver, make_solver
+from .solvers import KernelSystemSolver, build_training_solver
 
 
 class KernelRidgeRegressor:
     """Kernel ridge regression with interchangeable hierarchical solvers.
 
-    Parameters mirror :class:`repro.krr.KernelRidgeClassifier`; the target
-    vector ``y`` is real-valued.
+    Parameters mirror :class:`repro.krr.KernelRidgeClassifier` (including
+    the ``workers`` / ``shards`` parallelism knobs — the training stage is
+    identical); the target vector ``y`` is real-valued.
     """
 
     def __init__(
@@ -40,12 +41,16 @@ class KernelRidgeRegressor:
         kernel: Union[str, Kernel, None] = None,
         leaf_size: int = 16,
         seed=0,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
         solver_options: Optional[dict] = None,
     ):
         self.h = check_positive(h, "h")
         self.lam = check_non_negative(lam, "lam")
         self.leaf_size = int(leaf_size)
         self.seed = seed
+        self.workers = workers
+        self.shards = shards
         if isinstance(kernel, Kernel):
             self.kernel = kernel
         elif kernel is None:
@@ -61,12 +66,9 @@ class KernelRidgeRegressor:
         self.X_train_: Optional[np.ndarray] = None
 
     def _make_solver(self) -> KernelSystemSolver:
-        if isinstance(self._solver_spec, KernelSystemSolver):
-            return self._solver_spec
-        opts = dict(self._solver_options)
-        if str(self._solver_spec).lower() == "hss" and "seed" not in opts:
-            opts["seed"] = self.seed
-        return make_solver(self._solver_spec, **opts)
+        return build_training_solver(self._solver_spec, seed=self.seed,
+                                     workers=self.workers, shards=self.shards,
+                                     solver_options=self._solver_options)
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "KernelRidgeRegressor":
         """Fit the regressor on real-valued targets."""
@@ -83,6 +85,11 @@ class KernelRidgeRegressor:
         self.solver_.fit(X_perm, self.clustering_.tree, self.kernel, self.lam)
         self.weights_ = self.solver_.solve(y_perm)
         self.X_train_ = X_perm
+        # Training is done: release any solver worker threads/processes
+        # (a later solver_.solve() re-creates or falls back as needed).
+        close = getattr(self.solver_, "close", None)
+        if close is not None:
+            close()
         return self
 
     def predict(self, X_test: np.ndarray, block_size: int = 1024) -> np.ndarray:

@@ -318,3 +318,73 @@ def make_solver(name: str, **kwargs) -> KernelSystemSolver:
     if name == "cg":
         return CGSolver(**kwargs)
     raise ValueError(f"unknown solver {name!r}; expected 'dense', 'hss' or 'cg'")
+
+
+def build_training_solver(spec, seed=0, workers: Optional[int] = None,
+                          shards: Optional[int] = None,
+                          solver_options: Optional[Dict] = None,
+                          grid=None) -> KernelSystemSolver:
+    """Resolve a classifier's solver spec honouring its parallelism knobs.
+
+    The shared dispatch behind :class:`repro.krr.KernelRidgeClassifier`
+    and :class:`repro.krr.OneVsAllClassifier`: a pre-constructed solver
+    instance passes through untouched; the ``"hss"`` name picks up the
+    ``seed`` / ``workers`` knobs and — when ``shards`` resolves to more
+    than one process (see :func:`repro.distributed.resolve_shards`) —
+    routes the training solve through the process-sharded
+    :class:`repro.distributed.DistributedSolver` instead.
+
+    Parameters
+    ----------
+    spec:
+        Solver name (``"dense"``, ``"hss"``, ``"cg"``) or a
+        :class:`KernelSystemSolver` instance.
+    seed:
+        Default seed injected into named ``"hss"`` solvers.
+    workers:
+        Worker-thread knob for the ``"hss"`` training path (``None``
+        defers to the option objects / ``REPRO_WORKERS``).
+    shards:
+        Worker-process knob; ``None`` defers to ``REPRO_SHARDS``.
+    solver_options:
+        Extra keyword arguments for the named solver's constructor
+        (explicit keys win over the knobs above).  Sharded-only options
+        (``grid``, ``collect_factors``, ``coupling_rel_tol``,
+        ``coupling_max_rank``, ``cut_level``, ``response_timeout``,
+        ``start_method``) are ignored when ``shards`` resolves to 1,
+        mirroring :class:`repro.krr.KRRPipeline`'s contract for its
+        coupling knobs.
+    grid:
+        Optional warm :class:`repro.distributed.WorkerGrid` forwarded to
+        the distributed solver (ignored on the single-process path).
+
+    Returns
+    -------
+    KernelSystemSolver
+        The ready-to-fit training solver.
+    """
+    if isinstance(spec, KernelSystemSolver):
+        return spec
+    opts = dict(solver_options or {})
+    if str(spec).strip().lower() == "hss":
+        opts.setdefault("seed", seed)
+        if workers is not None:
+            opts.setdefault("workers", workers)
+        from ..distributed.plan import resolve_shards
+        n_shards = resolve_shards(
+            shards if shards is not None else opts.get("shards"))
+        if n_shards > 1:
+            # shards > 1 routes the hss training solve through the
+            # process-sharded path (coupling knobs ride in solver_options).
+            from ..distributed.solver import DistributedSolver
+            opts.setdefault("shards", n_shards)
+            if grid is not None:
+                opts.setdefault("grid", grid)
+            return DistributedSolver(**opts)
+        # Single-process path: drop the sharded-only knobs (documented as
+        # ignored when shards resolves to 1) instead of crashing HSSSolver.
+        for key in ("shards", "grid", "collect_factors", "coupling_rel_tol",
+                    "coupling_max_rank", "cut_level", "response_timeout",
+                    "start_method"):
+            opts.pop(key, None)
+    return make_solver(spec, **opts)

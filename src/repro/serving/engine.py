@@ -151,6 +151,7 @@ class PredictionEngine:
     # ------------------------------------------------------------------ core
     @property
     def n_train(self) -> int:
+        """Number of training rows the engine scores against."""
         return self.X_train.shape[0]
 
     def _kernel_rows(self, Xb: np.ndarray) -> np.ndarray:
@@ -280,6 +281,7 @@ class PredictionEngine:
         return None if entry is None else entry[0]
 
     def reset_stats(self) -> None:
+        """Zero the engine's counters (e.g. between benchmark phases)."""
         with self._stats_lock:
             self.stats = EngineStats()
 

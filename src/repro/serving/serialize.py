@@ -19,6 +19,16 @@ payload:
 Round-trip fidelity is exact: float64 arrays survive ``save``/``load``
 bitwise, so a reloaded classifier reproduces the original's predictions
 down to the last bit.
+
+Schema history (full layout spec in ``docs/serving.md``):
+
+* **version 1** — trees / HSS / ULV / weights; solver states ``hss``,
+  ``dense``, ``cg``, ``none``.
+* **version 2** — adds the sharded-artifact section: models trained with
+  ``shards > 1`` persist their per-shard ULV factors and coupling state
+  under ``dist.*`` (solver state ``sharded``), restoring to an in-process
+  :class:`repro.distributed.ShardedULVSolver` with full re-solve
+  capability.  Version-1 artifacts remain readable.
 """
 
 from __future__ import annotations
@@ -45,8 +55,10 @@ from ..utils.timing import TimingLog
 
 #: format tag written into every artifact header
 FORMAT_TAG = "repro.serving/model"
-#: current schema version; bump on incompatible layout changes
-FORMAT_VERSION = 1
+#: highest schema version this library reads and writes; artifacts are
+#: stamped with the lowest version able to express them (2 added the
+#: ``dist.*`` sharded-factor section; see docs/serving.md)
+FORMAT_VERSION = 2
 
 KIND_BINARY = "kernel_ridge_classifier"
 KIND_MULTICLASS = "one_vs_all_classifier"
@@ -436,6 +448,17 @@ def _solver_arrays(solver: Optional[KernelSystemSolver],
         max_iter = solver.max_iter
         return "cg", {"cg_tol": solver.tol,
                       "cg_max_iter": None if max_iter is None else int(max_iter)}, {}
+    # Lazy import: the distributed package depends on this module.
+    from ..distributed.factors import ShardedULVSolver
+    from ..distributed.solver import DistributedSolver
+    factors = None
+    if isinstance(solver, DistributedSolver):
+        factors = solver.factors_
+    elif isinstance(solver, ShardedULVSolver):  # re-save of a loaded model
+        factors = solver.factors
+    if factors is not None:
+        return ("sharded", {"shards": int(factors.plan.n_shards)},
+                factors.to_arrays(prefix="dist."))
     return "none", {}, {}
 
 
@@ -443,6 +466,14 @@ def _restore_solver(config: Dict[str, object], arrays: Dict[str, np.ndarray],
                     tree: ClusterTree, X_train: np.ndarray, kernel: Kernel,
                     lam: float) -> Optional[KernelSystemSolver]:
     state = config.get("solver_state", "none")
+    if state == "sharded":
+        from ..distributed.factors import ShardedFactors, ShardedULVSolver
+        try:
+            factors = ShardedFactors.from_arrays(arrays, tree, prefix="dist.")
+        except (KeyError, ValueError) as exc:
+            raise ArtifactError(
+                f"corrupted sharded-factor payload: {exc}") from exc
+        return ShardedULVSolver(factors)
     if state == "hss":
         hss = hss_from_arrays(arrays, tree)
         solver = HSSSolver(seed=config.get("seed"))
@@ -538,9 +569,13 @@ def save_model(model, path: str, metadata: Optional[Dict[str, object]] = None,
                 "labels (e.g. y.astype(str))")
         arrays["model.classes"] = classes
 
+    # Stamp the lowest schema version able to express the payload, so
+    # version-1 readers keep accepting artifacts without version-2-only
+    # sections (only the dist.* sharded section requires the bump).
+    version = 2 if config.get("solver_state") == "sharded" else 1
     header = {
         "format": FORMAT_TAG,
-        "version": FORMAT_VERSION,
+        "version": version,
         "kind": kind,
         "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "checksum": _payload_checksum(arrays),
@@ -555,9 +590,10 @@ def load_model(path: str):
     """Load a classifier saved by :func:`save_model`.
 
     The checksum is verified, arrays are restored bitwise and the solver
-    state (HSS + ULV, dense Cholesky, or CG operator) is reattached, so the
-    returned model predicts — and, when the factorization was included,
-    solves — exactly like the original.
+    state (HSS + ULV, dense Cholesky, CG operator, or the version-2
+    per-shard ULV factors of a sharded fit) is reattached, so the returned
+    model predicts — and, when the factorization was included, solves —
+    exactly like the original.
     """
     header, arrays = _read_archive(path, verify=True)
     kind = header.get("kind")

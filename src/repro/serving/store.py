@@ -85,6 +85,9 @@ class ModelRecord:
     kind: str = ""
     checksum: str = ""
     created: str = ""
+    #: artifact schema version (see ``docs/serving.md``; 0 for records
+    #: written before the field existed — read the archive header instead)
+    version: int = 0
     metadata: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -192,12 +195,14 @@ class ModelStore:
                                   include_factorization=include_factorization)
             record = ModelRecord(name=name, path=path, kind=artifact.kind,
                                  checksum=artifact.checksum,
-                                 created=artifact.created, metadata=meta)
+                                 created=artifact.created,
+                                 version=artifact.version, metadata=meta)
             tmp_path = f"{record_path}.{os.getpid()}.tmp"
             with open(tmp_path, "w", encoding="utf-8") as fh:
                 json.dump({"name": record.name, "kind": record.kind,
                            "checksum": record.checksum,
                            "created": record.created,
+                           "version": record.version,
                            "metadata": record.metadata},
                           fh, indent=2, sort_keys=True)
             os.replace(tmp_path, record_path)
@@ -220,6 +225,7 @@ class ModelStore:
         return ModelRecord(name=name, path=path, kind=raw.get("kind", ""),
                            checksum=raw.get("checksum", ""),
                            created=raw.get("created", ""),
+                           version=int(raw.get("version", 0)),
                            metadata=dict(raw.get("metadata") or {}))
 
     def artifact(self, name: str) -> ModelArtifact:
@@ -244,6 +250,7 @@ class ModelStore:
         return out
 
     def names(self) -> List[str]:
+        """Names of all stored models, sorted."""
         return [r.name for r in self.list_models()]
 
     def delete(self, name: str) -> None:

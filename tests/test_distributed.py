@@ -27,8 +27,9 @@ from repro.clustering import cluster
 from repro.config import HSSOptions
 from repro.datasets import load_dataset, standardize, susy_like
 from repro.distributed import (Coordinator, DistributedError,
-                               DistributedKRRPipeline, ShardPlan,
-                               ShardedPredictionService, resolve_shards)
+                               DistributedKRRPipeline, DistributedSolver,
+                               ShardPlan, ShardedPredictionService,
+                               WorkerGrid, resolve_shards)
 from repro.distributed.comm import ArraySpec, BlockChannel, SharedArray
 from repro.kernels import GaussianKernel
 from repro.krr import KernelRidgeClassifier, KRRPipeline
@@ -116,6 +117,20 @@ class TestShardPlan:
         assert np.array_equal(restored.boundaries, plan.boundaries)
         assert [t.n for t in restored.subtrees()] == \
             [t.n for t in plan.subtrees()]
+
+
+def test_sharded_only_options_ignored_on_serial_path(monkeypatch,
+                                                     small_problem):
+    """solver_options documented for the sharded path must not crash a
+    single-process fit (they are ignored, like KRRPipeline's knobs)."""
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    data = small_problem
+    clf = KernelRidgeClassifier(
+        h=data.h, lam=data.lam, solver="hss", seed=0,
+        solver_options={"hss_options": TIGHT, "collect_factors": False,
+                        "coupling_rel_tol": 1e-5, "grid": None})
+    clf.fit(data.X_train[:128], data.y_train[:128])
+    assert clf.solver_.report.shards == 1
 
 
 def test_resolve_shards(monkeypatch):
@@ -241,11 +256,12 @@ def test_worker_crash_fails_fast_without_orphans(clustered_tree):
     try:
         coordinator.start()
         coordinator.fit()
-        processes = [w.process for w in coordinator._workers]
+        grid = coordinator.grid
+        processes = [w.process for w in grid._workers]
         assert all(p.is_alive() for p in processes)
         # Kill one worker mid-protocol, then ask for work: the coordinator
         # must raise promptly instead of hanging on the dead queue.
-        coordinator._workers[0].request.send("_crash")
+        grid._workers[0].request.send("_crash")
         t0 = time.monotonic()
         with pytest.raises(DistributedError):
             coordinator.solve(np.ones(result.tree.n))
@@ -257,18 +273,180 @@ def test_worker_crash_fails_fast_without_orphans(clustered_tree):
                 and time.monotonic() < deadline:
             time.sleep(0.05)
         assert not any(p.is_alive() for p in processes)
-        assert coordinator._workers == []
+        assert grid._workers == []
+        assert not grid.running
     finally:
         coordinator.shutdown()
 
 
-def test_solve_after_close_raises(small_problem):
+def test_solve_after_close_uses_collected_factors(small_problem):
     data = small_problem
     clf = KernelRidgeClassifier(h=data.h, lam=data.lam, solver="hss",
                                 shards=2, seed=0,
                                 solver_options={"hss_options": TIGHT})
     clf.fit(data.X_train, data.y_train)  # fit() closes the solver afterwards
+    assert not clf.solver_.coordinator_.running
+    # The per-shard ULV factors were shipped back during fit, so the closed
+    # solver still answers new right-hand sides — in-process, no workers.
+    rhs = np.random.default_rng(5).standard_normal(data.X_train.shape[0])
+    w = clf.solver_.solve(rhs)
+    serial = KernelRidgeClassifier(h=data.h, lam=data.lam, solver="hss",
+                                   seed=0,
+                                   solver_options={"hss_options": TIGHT})
+    serial.fit(data.X_train, data.y_train)
+    w_ref = serial.solver_.solve(rhs)
+    rel = np.linalg.norm(w - w_ref) / np.linalg.norm(w_ref)
+    assert rel < 5e-3, f"post-close solve deviates by {rel:.2e}"
+    assert clf.predict(data.X_test).shape == (data.X_test.shape[0],)
+
+
+def test_solve_after_close_raises_without_collected_factors(small_problem):
+    data = small_problem
+    clf = KernelRidgeClassifier(
+        h=data.h, lam=data.lam, solver="hss", shards=2, seed=0,
+        solver_options={"hss_options": TIGHT, "collect_factors": False})
+    clf.fit(data.X_train, data.y_train)  # fit() closes the solver afterwards
     with pytest.raises(RuntimeError, match="refit"):
         clf.solver_.solve(np.ones(data.X_train.shape[0]))
     # Predictions still work: the weights live in this process.
     assert clf.predict(data.X_test).shape == (data.X_test.shape[0],)
+
+
+# ---------------------------------------------------------------------------
+# Warm worker grids
+# ---------------------------------------------------------------------------
+
+class TestWarmGrid:
+    def test_second_fit_spawns_zero_processes(self, small_problem):
+        data = small_problem
+        solver = None
+        try:
+            solver = _make_distributed_solver()
+            problem = _cluster_problem(data)
+            solver.fit(*problem)
+            grid = solver._owned_grid
+            assert grid is not None and grid.running
+            assert grid.spawn_count == 2
+            assert not solver.warm_start_
+            pids = [w.process.pid for w in grid._workers]
+            solver.fit(*problem)
+            assert solver.warm_start_
+            assert solver._owned_grid is grid
+            assert grid.spawn_count == 2, "warm fit must spawn zero processes"
+            assert [w.process.pid for w in grid._workers] == pids
+        finally:
+            if solver is not None:
+                solver.close()
+
+    def test_warm_fits_bitwise_equal_cold_fits(self, small_problem):
+        data = small_problem
+        problem = _cluster_problem(data)
+        rhs = np.random.default_rng(11).standard_normal(problem[0].shape[0])
+
+        def cold_weights():
+            solver = _make_distributed_solver()
+            try:
+                solver.fit(*problem)
+                return solver.solve(rhs).copy()
+            finally:
+                solver.close()
+
+        cold = [cold_weights(), cold_weights()]
+        warm_solver = _make_distributed_solver()
+        try:
+            warm = []
+            for _ in range(2):
+                warm_solver.fit(*problem)
+                warm.append(warm_solver.solve(rhs).copy())
+        finally:
+            warm_solver.close()
+        for w, c in zip(warm, cold):
+            assert np.array_equal(w, c), \
+                "warm fits must be bitwise equal to cold fits"
+
+    def test_explicit_grid_reused_and_left_running(self, small_problem):
+        data = small_problem
+        X_perm, tree, kernel, lam = _cluster_problem(data)
+        plan = ShardPlan.from_tree(tree, 2)
+        with WorkerGrid(plan, X_perm) as grid:
+            for lam_sweep in (lam, 2.0 * lam):
+                solver = DistributedSolver(shards=2, hss_options=TIGHT,
+                                           seed=0, grid=grid)
+                solver.fit(X_perm, tree, kernel, lam_sweep)
+                w = solver.solve(np.ones(tree.n))
+                assert w.shape == (tree.n,)
+                solver.close()           # must NOT stop the external grid
+                assert grid.running
+            assert grid.spawn_count == 2
+            # An incompatible fit on an explicit grid is an error, not a
+            # silent respawn.
+            bad_X = X_perm + 1.0
+            solver = DistributedSolver(shards=2, hss_options=TIGHT, seed=0,
+                                       grid=grid)
+            with pytest.raises(ValueError, match="incompatible"):
+                solver.fit(bad_X, tree, kernel, lam)
+        assert not grid.running
+
+    def test_stale_coordinator_never_mixes_fits(self, small_problem):
+        """Two solvers on one shared grid: a later fit must not corrupt
+        the earlier solver's solves (the workers' resident factors belong
+        to the newest fit only)."""
+        data = small_problem
+        X_perm, tree, kernel, lam = _cluster_problem(data)
+        plan = ShardPlan.from_tree(tree, 2)
+        rhs = np.random.default_rng(13).standard_normal(tree.n)
+        with WorkerGrid(plan, X_perm) as grid:
+            s1 = DistributedSolver(shards=2, hss_options=TIGHT, seed=0,
+                                   grid=grid)
+            s1.fit(X_perm, tree, kernel, lam)
+            w1_live = s1.solve(rhs)
+            assert s1.coordinator_.current
+            s2 = DistributedSolver(shards=2, hss_options=TIGHT, seed=0,
+                                   grid=grid)
+            s2.fit(X_perm, tree, kernel, 100.0 * lam)
+            # s1's coordinator is now stale; its solve must fall back to
+            # the factors collected at fit time and stay correct.
+            assert not s1.coordinator_.current
+            with pytest.raises(RuntimeError, match="stale"):
+                s1.coordinator_.solve(rhs)
+            w1_again = s1.solve(rhs)
+            assert np.allclose(w1_again, w1_live, rtol=1e-10, atol=1e-12)
+            # Without collected factors the stale solver fails loudly
+            # instead of returning silently wrong results.
+            s3 = DistributedSolver(shards=2, hss_options=TIGHT, seed=0,
+                                   grid=grid, collect_factors=False)
+            s3.fit(X_perm, tree, kernel, lam)
+            s2.fit(X_perm, tree, kernel, lam)   # steals the grid again
+            with pytest.raises(RuntimeError, match="refit"):
+                s3.solve(rhs)
+
+    def test_restarted_grid_reads_as_stale(self, clustered_tree):
+        """shutdown()+start() respawns factor-less workers; a coordinator
+        fitted before the restart must hit the stale guard, not drive
+        solves against the fresh processes."""
+        result = clustered_tree
+        plan = ShardPlan.from_tree(result.tree, 2)
+        grid = WorkerGrid(plan, result.X)
+        try:
+            coordinator = Coordinator.on_grid(
+                grid, GaussianKernel(h=1.0), 1.0,
+                hss_options=HSSOptions(rel_tol=1e-2))
+            coordinator.fit()
+            assert coordinator.current
+            grid.shutdown()
+            grid.start()
+            assert not coordinator.current
+            with pytest.raises(RuntimeError, match="stale"):
+                coordinator.solve(np.ones(result.tree.n))
+        finally:
+            grid.shutdown()
+
+
+def _cluster_problem(data):
+    """Cluster the bundle's training half once; return (X_perm, tree, k, lam)."""
+    result = cluster(data.X_train, method="two_means", leaf_size=16, seed=0)
+    return result.X, result.tree, GaussianKernel(h=data.h), data.lam
+
+
+def _make_distributed_solver():
+    return DistributedSolver(shards=2, hss_options=TIGHT, seed=0)
