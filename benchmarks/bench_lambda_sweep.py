@@ -1,0 +1,207 @@
+"""λ-sweep cost: cold fit per value vs compress-once / refit-many.
+
+The compress-once/refit-many split (``CompressedKernel`` +
+``ULVFactorization.factor``) turns a regularization sweep from
+``O(sweep x full build)`` into ``O(1 build + sweep x ULV)``.  This
+benchmark measures that contract on the real training stack, twice:
+
+* **serial** — one cold :class:`repro.krr.HSSSolver` fit, then a λ sweep
+  via ``refit``; asserts zero recompressions, bitwise equality with a
+  cold fit at the same λ, and a measurable per-λ speedup;
+* **warm-grid shards=2** — the same sweep through
+  :class:`repro.distributed.DistributedSolver` on one warm
+  :class:`repro.distributed.WorkerGrid`; asserts zero new process spawns,
+  zero recompressions, bitwise equality with a cold distributed fit and a
+  measurable speedup over it.
+
+Everything lands in ``BENCH_lambda_sweep.json`` via
+:mod:`benchmarks._harness`.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_lambda_sweep.py -q
+"""
+
+from __future__ import annotations
+
+import os
+
+# Pin BLAS to one thread so timings compare single axes of parallelism
+# (must happen before NumPy loads its BLAS).
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import time
+
+import numpy as np
+import pytest
+from _harness import write_bench_json
+from conftest import scaled
+
+from repro.clustering import cluster
+from repro.config import HMatrixOptions, HSSOptions
+from repro.datasets import standardize, susy_like
+from repro.distributed.grid import WorkerGrid
+from repro.distributed.plan import ShardPlan
+from repro.distributed.solver import DistributedSolver
+from repro.kernels import GaussianKernel
+from repro.krr.solvers import HSSSolver
+
+LEAF_SIZE = 64
+LAMBDAS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+@pytest.fixture(scope="module")
+def sweep_problem():
+    n = scaled(1536)
+    X, _ = susy_like(n, seed=0)
+    X = standardize(X)
+    result = cluster(X, method="two_means", leaf_size=LEAF_SIZE, seed=0)
+    kernel = GaussianKernel(h=1.0)
+    hss_opts = HSSOptions(leaf_size=LEAF_SIZE, rel_tol=1e-5,
+                          initial_samples=96)
+    h_opts = HMatrixOptions(leaf_size=LEAF_SIZE, rel_tol=1e-5)
+    rhs = np.random.default_rng(1).standard_normal(n)
+    return result.X, result.tree, kernel, hss_opts, h_opts, rhs
+
+
+def _serial_sweep(problem):
+    """Cold fit at LAMBDAS[0], then refit through the rest; plus one cold
+    fit at the final λ for the speedup / equality contrast."""
+    X_perm, tree, kernel, hss_opts, h_opts, rhs = problem
+    solver = HSSSolver(hss_options=hss_opts, hmatrix_options=h_opts, seed=0)
+    try:
+        t0 = time.perf_counter()
+        solver.fit(X_perm, tree, kernel, LAMBDAS[0])
+        cold_fit_s = time.perf_counter() - t0
+        refit_seconds = []
+        for lam in LAMBDAS[1:]:
+            t1 = time.perf_counter()
+            solver.refit(lam)
+            refit_seconds.append(time.perf_counter() - t1)
+        assert solver.compression_count == 1, \
+            "serial λ sweep must not recompress"
+        assert solver.report.refits == len(LAMBDAS) - 1
+        w_refit = solver.solve(rhs).copy()
+    finally:
+        solver.close()
+
+    cold = HSSSolver(hss_options=hss_opts, hmatrix_options=h_opts, seed=0)
+    try:
+        t2 = time.perf_counter()
+        cold.fit(X_perm, tree, kernel, LAMBDAS[-1])
+        cold_last_s = time.perf_counter() - t2
+        w_cold = cold.solve(rhs).copy()
+    finally:
+        cold.close()
+    assert np.array_equal(w_refit, w_cold), \
+        "serial refit must be bitwise equal to a cold fit at the same λ"
+    return cold_fit_s, cold_last_s, refit_seconds
+
+
+def _warm_grid_sweep(problem):
+    """The same sweep through a shards=2 DistributedSolver on a warm grid."""
+    X_perm, tree, kernel, hss_opts, h_opts, rhs = problem
+    plan = ShardPlan.from_tree(tree, 2)
+    results = {}
+    with WorkerGrid(plan, X_perm) as grid:
+        solver = DistributedSolver(shards=2, hss_options=hss_opts,
+                                   hmatrix_options=h_opts, seed=0,
+                                   coupling_rel_tol=1e-5, grid=grid)
+        t0 = time.perf_counter()
+        solver.fit(X_perm, tree, kernel, LAMBDAS[0])
+        results["cold_fit_s"] = time.perf_counter() - t0
+        spawned = grid.spawn_count
+        refit_seconds = []
+        for lam in LAMBDAS[1:]:
+            t1 = time.perf_counter()
+            solver.refit(lam)
+            refit_seconds.append(time.perf_counter() - t1)
+        assert grid.spawn_count == spawned, \
+            "warm-grid λ sweep must spawn zero new processes"
+        assert solver.compression_count == 1, \
+            "warm-grid λ sweep must not recompress"
+        results["refit_seconds"] = refit_seconds
+        w_refit = solver.solve(rhs).copy()
+        solver.close()
+
+        cold = DistributedSolver(shards=2, hss_options=hss_opts,
+                                 hmatrix_options=h_opts, seed=0,
+                                 coupling_rel_tol=1e-5, grid=grid)
+        t2 = time.perf_counter()
+        cold.fit(X_perm, tree, kernel, LAMBDAS[-1])
+        results["cold_last_s"] = time.perf_counter() - t2
+        w_cold = cold.solve(rhs).copy()
+        cold.close()
+    # Identical λ-free shard compressions + identical shift: the sharded
+    # refit is bitwise equal to the cold sharded fit at the same λ ...
+    assert np.array_equal(w_refit, w_cold), \
+        "warm-grid refit must equal a cold distributed fit at the same λ"
+    results["w_refit"] = w_refit
+    return results
+
+
+def test_lambda_sweep_refit_speedup(benchmark, sweep_problem):
+    X_perm, tree, kernel, hss_opts, h_opts, rhs = sweep_problem
+
+    cold_fit_s, cold_last_s, serial_refits = _serial_sweep(sweep_problem)
+    serial_refit_s = min(serial_refits)
+    serial_speedup = cold_last_s / serial_refit_s
+
+    dist = _warm_grid_sweep(sweep_problem)
+    dist_refit_s = min(dist["refit_seconds"])
+    dist_speedup = dist["cold_last_s"] / dist_refit_s
+
+    # ... and within the coupling tolerance of the serial solution.
+    serial = HSSSolver(hss_options=hss_opts, hmatrix_options=h_opts, seed=0)
+    try:
+        serial.fit(X_perm, tree, kernel, LAMBDAS[-1])
+        w_serial = serial.solve(rhs)
+    finally:
+        serial.close()
+    rel_dev = (np.linalg.norm(dist["w_refit"] - w_serial)
+               / np.linalg.norm(w_serial))
+    assert rel_dev < 1e-3, f"sharded refit deviates by {rel_dev:.2e}"
+
+    n = X_perm.shape[0]
+    path = write_bench_json(
+        "lambda_sweep",
+        results={
+            "lambdas": list(LAMBDAS),
+            "serial_cold_fit_s": round(cold_fit_s, 4),
+            "serial_cold_last_s": round(cold_last_s, 4),
+            "serial_refit_s": round(serial_refit_s, 4),
+            "serial_refit_speedup": round(serial_speedup, 3),
+            "serial_sweep_refit_total_s": round(sum(serial_refits), 4),
+            "grid_cold_fit_s": round(dist["cold_fit_s"], 4),
+            "grid_cold_last_s": round(dist["cold_last_s"], 4),
+            "grid_refit_s": round(dist_refit_s, 4),
+            "grid_refit_speedup": round(dist_speedup, 3),
+            "sharded_vs_serial_rel_dev": float(rel_dev),
+        },
+        sizes={"n_train": int(n), "dim": int(X_perm.shape[1]),
+               "leaf_size": LEAF_SIZE, "sweep_points": len(LAMBDAS)},
+        shards=2)
+    benchmark.extra_info["serial_refit_speedup"] = round(serial_speedup, 3)
+    benchmark.extra_info["grid_refit_speedup"] = round(dist_speedup, 3)
+    print(f"\nserial: cold={cold_last_s:.3f}s refit={serial_refit_s:.3f}s "
+          f"({serial_speedup:.2f}x)  warm grid shards=2: "
+          f"cold={dist['cold_last_s']:.3f}s refit={dist_refit_s:.3f}s "
+          f"({dist_speedup:.2f}x)  -> {path}")
+
+    # Record one timed refit for the pytest-benchmark JSON.
+    solver = HSSSolver(hss_options=hss_opts, hmatrix_options=h_opts, seed=0)
+    try:
+        solver.fit(X_perm, tree, kernel, LAMBDAS[0])
+        benchmark.pedantic(lambda: solver.refit(LAMBDAS[-1]),
+                           rounds=1, iterations=1)
+    finally:
+        solver.close()
+
+    # A refit skips the H-matrix + HSS compression entirely; that saving
+    # is robust at every scale and core count, so assert it always —
+    # serially and on the warm grid.
+    assert serial_refit_s < cold_last_s, (
+        f"expected the serial λ-refit to beat the cold fit: "
+        f"refit {serial_refit_s:.3f}s vs cold {cold_last_s:.3f}s")
+    assert dist_refit_s < dist["cold_last_s"], (
+        f"expected the warm-grid λ-refit to beat the cold warm fit: "
+        f"refit {dist_refit_s:.3f}s vs cold {dist['cold_last_s']:.3f}s")

@@ -300,16 +300,7 @@ class Coordinator:
                                 else np.zeros(0, dtype=np.intp))
         self._per_shard_F = per_shard_F
 
-        grid.broadcast("couple",
-                       per_shard_arrays=[{"F": F} for F in per_shard_F])
-        C = np.eye(R)
-        for shard in range(plan.n_shards):
-            _, arrays = grid.recv(shard, "coupled")
-            M = arrays["M"]
-            if M.size:
-                C[np.ix_(self._qg_idx[shard], self._pg_idx[shard])] += M
-        self._cap_C = C
-        self._cap_lu = scipy.linalg.lu_factor(C) if R > 0 else None
+        self._couple_round()
         merge_seconds = time.perf_counter() - t1
         self._fitted = True
 
@@ -328,13 +319,117 @@ class Coordinator:
             "merge_seconds": merge_seconds,
             "hss_memory_mb": sum(i["hss_memory_mb"] for i in infos),
             "hmatrix_memory_mb": sum(i["hmatrix_memory_mb"] for i in infos),
-            "coupling_memory_mb": coupling_mb + (C.nbytes / 2.0 ** 20),
+            "coupling_memory_mb": coupling_mb + (self._cap_C.nbytes / 2.0 ** 20),
             "max_rank": max(i["max_rank"] for i in infos),
             "random_vectors": max(i["random_vectors"] for i in infos),
             "coupling_rank": R,
             "coupling_ranks": {p: factors[p][0].shape[1] for p in pairs},
         }
         return self.fit_info
+
+    def _couple_round(self) -> None:
+        """One ``couple`` protocol round: rebuild + LU the capacitance system.
+
+        Broadcasts the located coupling factors (λ-free, unchanged across
+        refits), collects every shard's Gram piece ``F_s^T D_s^{-1} F_s``
+        against its *current* local factorization, and assembles
+        ``C = I + Q_f^T D^{-1} P_f``.
+        """
+        grid = self.grid
+        plan = self.plan
+        R = self._cap_rank
+        grid.broadcast("couple",
+                       per_shard_arrays=[{"F": F} for F in self._per_shard_F])
+        C = np.eye(R)
+        for shard in range(plan.n_shards):
+            _, arrays = grid.recv(shard, "coupled")
+            M = arrays["M"]
+            if M.size:
+                C[np.ix_(self._qg_idx[shard], self._pg_idx[shard])] += M
+        self._cap_C = C
+        self._cap_lu = scipy.linalg.lu_factor(C) if R > 0 else None
+
+    # ------------------------------------------------------------------ refit
+    def refit(self, lam: float) -> Dict[str, object]:
+        """λ-only distributed refit: local ULVs + capacitance, no rebuild.
+
+        Every worker keeps its resident λ-free compression and redoes only
+        the local ULV at the new shift; the coordinator then re-runs the
+        ``couple`` round (the located coupling factors themselves are
+        λ-free and reused) and re-factors the capacitance system.  No
+        kernel is recompressed and no process is spawned — this is the
+        warm-grid inner step of a regularization sweep.
+
+        The refit advances the grid's fit generation (the workers'
+        resident factors now belong to this refit), so any *other*
+        coordinator sharing the grid becomes stale, exactly as with a
+        full fit.
+
+        Parameters
+        ----------
+        lam:
+            The new ridge shift.
+
+        Returns
+        -------
+        dict
+            Aggregate refit report: per-phase timings (max over shards),
+            the capacitance-merge time and ``recompressions`` (always 0).
+
+        Raises
+        ------
+        RuntimeError
+            If called before :meth:`fit`, or when this coordinator's fit
+            is no longer the grid's resident state (see :attr:`current`).
+        """
+        if not self._fitted:
+            raise RuntimeError("coordinator must fit() before refit()")
+        self._check_current()
+        grid = self.grid
+        self.lam = float(lam)
+        try:
+            t0 = time.perf_counter()
+            grid.broadcast("refit", payload=self.lam)
+            self._fit_generation = grid.fit_generation
+            infos: List[dict] = []
+            for shard in range(self.plan.n_shards):
+                payload, _ = grid.recv(shard, "refitted")
+                infos.append(payload)
+            refactor_seconds = time.perf_counter() - t0
+
+            t1 = time.perf_counter()
+            self._couple_round()
+            merge_seconds = time.perf_counter() - t1
+        except BaseException:
+            # A half-refitted state (workers at the new λ, capacitance LU
+            # still at the old one — or shards at mixed λ) must never
+            # serve solves: the refit raised, so flip this coordinator to
+            # unfitted rather than leave it claiming a consistent fit.
+            self._fitted = False
+            raise
+
+        timings: Dict[str, float] = {}
+        for info in infos:
+            for name, sec in (info.get("timings") or {}).items():
+                timings[name] = max(timings.get(name, 0.0), float(sec))
+        timings["coupling_merge"] = merge_seconds
+        refit_info = {
+            "shards": self.plan.n_shards,
+            "timings": timings,
+            "refactor_seconds": refactor_seconds,
+            "merge_seconds": merge_seconds,
+            "recompressions": sum(
+                1 for info in infos if info.get("recompressed", False)),
+        }
+        # Carry the sweep-invariant statistics of the original fit forward
+        # so reports stay complete after a refit.
+        for key in ("hss_memory_mb", "hmatrix_memory_mb",
+                    "coupling_memory_mb", "max_rank", "random_vectors",
+                    "coupling_rank", "coupling_ranks"):
+            if key in self.fit_info:
+                refit_info[key] = self.fit_info[key]
+        self.fit_info = refit_info
+        return refit_info
 
     # ------------------------------------------------------------------ solve
     def solve(self, y: np.ndarray) -> np.ndarray:
@@ -432,6 +527,50 @@ class Coordinator:
             pg_idx=list(self._pg_idx),
             qg_idx=list(self._qg_idx),
             C=np.asarray(self._cap_C))
+
+    def refresh_factors(self, factors: ShardedFactors) -> ShardedFactors:
+        """Update collected factors in place after a λ-only refit.
+
+        Only the per-shard ULV payload and the capacitance matrix change
+        across a refit — the HSS generators, located coupling factors and
+        index groups are λ-free — so this ships one ``collect`` round of
+        just the ``ulv.*`` section instead of the full compression.
+
+        Parameters
+        ----------
+        factors:
+            The :class:`repro.distributed.ShardedFactors` collected from
+            an earlier fit of *this* coordinator's grid state.
+
+        Returns
+        -------
+        ShardedFactors
+            The same object, with its ``ulv.*`` arrays and ``C`` replaced
+            by the current (refitted) state.
+
+        Raises
+        ------
+        RuntimeError
+            If called before :meth:`fit` or on a stale coordinator.
+        """
+        if not self._fitted:
+            raise RuntimeError(
+                "coordinator must fit() before refresh_factors()")
+        self._check_current()
+        grid = self.grid
+        grid.broadcast("collect", payload=("ulv",))
+        # Gather every shard's payload before touching ``factors``: a
+        # worker failure mid-round then leaves the collected factors
+        # untouched instead of half-refreshed at mixed λ.
+        collected = [grid.recv(shard, "factors")[1]
+                     for shard in range(self.plan.n_shards)]
+        for shard, arrays in enumerate(collected):
+            local = factors.shard_arrays[shard]
+            for key in [k for k in local if k.startswith("ulv.")]:
+                del local[key]
+            local.update(arrays)
+        factors.C = np.asarray(self._cap_C)
+        return factors
 
     def _check_current(self) -> None:
         """Refuse protocol rounds against factors of a newer fit."""

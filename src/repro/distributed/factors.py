@@ -31,6 +31,7 @@ import numpy as np
 import scipy.linalg
 
 from ..clustering.tree import ClusterTree
+from ..hss.ulv import ULVFactorization
 from ..krr.solvers import KernelSystemSolver
 from ..utils.timing import TimingLog
 from .plan import ShardPlan
@@ -63,6 +64,12 @@ class ShardedFactors:
     C:
         The assembled capacitance matrix ``I + Q_f^T D^{-1} P_f``
         (``R x R``; ``R`` is the total coupling rank).
+    hss_lam_free:
+        Whether the per-shard HSS generators are λ-free (the ridge shift
+        lives only in the ULV factors).  ``True`` for everything collected
+        by the current version; ``False`` for legacy version-2 artifacts
+        that baked the shift into the compression — those remain fully
+        solvable but cannot be re-factored at a new λ.
     """
 
     plan: ShardPlan
@@ -71,6 +78,7 @@ class ShardedFactors:
     pg_idx: List[np.ndarray]
     qg_idx: List[np.ndarray]
     C: np.ndarray
+    hss_lam_free: bool = True
 
     # ------------------------------------------------------------------ size
     @property
@@ -108,6 +116,8 @@ class ShardedFactors:
         out: Dict[str, np.ndarray] = {}
         out.update(self.plan.to_arrays(prefix=f"{prefix}plan."))
         out[f"{prefix}C"] = np.ascontiguousarray(self.C, dtype=np.float64)
+        out[f"{prefix}lam_free"] = np.array(
+            [1 if self.hss_lam_free else 0], dtype=np.int64)
         for s in range(self.plan.n_shards):
             out[f"{prefix}{s}.F"] = np.ascontiguousarray(
                 self.F[s], dtype=np.float64)
@@ -149,6 +159,10 @@ class ShardedFactors:
         """
         plan = ShardPlan.from_arrays(arrays, tree, prefix=f"{prefix}plan.")
         C = np.asarray(arrays[f"{prefix}C"], dtype=np.float64)
+        # Artifacts written before the compress-once/refit-many split have
+        # no marker; their shard HSS carries the shift baked in.
+        marker = arrays.get(f"{prefix}lam_free")
+        hss_lam_free = bool(marker is not None and int(np.asarray(marker)[0]))
         shard_arrays: List[Dict[str, np.ndarray]] = []
         F: List[np.ndarray] = []
         pg: List[np.ndarray] = []
@@ -167,7 +181,7 @@ class ShardedFactors:
                         local[rest] = a
             shard_arrays.append(local)
         return cls(plan=plan, shard_arrays=shard_arrays, F=F,
-                   pg_idx=pg, qg_idx=qg, C=C)
+                   pg_idx=pg, qg_idx=qg, C=C, hss_lam_free=hss_lam_free)
 
 
 class ShardedULVSolver(KernelSystemSolver):
@@ -194,11 +208,15 @@ class ShardedULVSolver(KernelSystemSolver):
 
     Notes
     -----
-    The solver is *restored*, not fitted: calling :meth:`fit` raises.
-    Numerically its solves reproduce the live distributed solves — the
-    same ULV factors, the same capacitance LU — so predictions and
-    re-solves agree with the original training session to floating-point
-    roundoff.
+    The solver is *restored*, not fitted: calling :meth:`fit` raises.  A
+    λ-only ``refit(lam)`` *is* supported (for artifacts whose per-shard
+    compression is λ-free, i.e. anything saved by the current version):
+    every local ULV is re-factored at the new shift and the capacitance
+    system is reassembled in-process — the offline analogue of the
+    coordinator's warm-grid refit round.  Numerically its solves reproduce
+    the live distributed solves — the same ULV factors, the same
+    capacitance LU — so predictions and re-solves agree with the original
+    training session to floating-point roundoff.
     """
 
     name = "sharded"
@@ -229,8 +247,52 @@ class ShardedULVSolver(KernelSystemSolver):
     def _fit_impl(self, X_permuted, tree, kernel, lam) -> None:
         raise RuntimeError(
             "ShardedULVSolver is restored from persisted factors and cannot "
-            "be refitted; train through repro.distributed.DistributedSolver "
-            "instead")
+            "be fitted from data; train through "
+            "repro.distributed.DistributedSolver instead (lambda-only "
+            "refit() is supported)")
+
+    def _refit_impl(self, lam: float) -> None:
+        # Offline λ-refit over the persisted λ-free per-shard compressions:
+        # re-factor every local ULV at the new shift and reassemble the
+        # capacitance system C = I + Q^T D^{-1} P in-process — the exact
+        # computation the coordinator's refit round performs on a live
+        # grid, with zero recompressions and zero worker processes.
+        from ..serving.serialize import ulv_to_arrays
+
+        factors = self.factors
+        if not factors.hss_lam_free:
+            raise RuntimeError(
+                "this sharded artifact predates the compress-once/"
+                "refit-many split: its per-shard HSS generators have the "
+                "ridge shift baked in and cannot be re-factored at a new "
+                "lambda; retrain with the current version")
+        log = TimingLog()
+        try:
+            with log.phase("factorization"):
+                R = factors.coupling_rank
+                C = np.eye(R)
+                for s in range(factors.plan.n_shards):
+                    hss = self._ulv[s].hss  # λ-free local compression
+                    ulv = ULVFactorization(hss, lam=lam)
+                    self._ulv[s] = ulv
+                    F = factors.F[s]
+                    H = np.zeros_like(F) if F.shape[1] == 0 else ulv.solve(F)
+                    self._H[s] = H
+                    if factors.qg_idx[s].size:
+                        C[np.ix_(factors.qg_idx[s],
+                                 factors.pg_idx[s])] += F.T @ H
+                    # Keep the persisted payload in sync so a re-save after
+                    # the refit stores the refitted factors.
+                    factors.shard_arrays[s].update(
+                        ulv_to_arrays(ulv, prefix="ulv."))
+                factors.C = C
+                self._cap_lu = scipy.linalg.lu_factor(C) if R > 0 else None
+        except BaseException:
+            # A failure mid-loop leaves shards at mixed λ; refuse to serve
+            # solves from that state instead of answering wrongly.
+            self._fitted = False
+            raise
+        self.report.timings = log.as_dict()
 
     def _shard_H(self, s: int) -> np.ndarray:
         H = self._H[s]

@@ -115,6 +115,8 @@ class DistributedSolver(KernelSystemSolver):
         self._local_solver: Optional[ShardedULVSolver] = None
         #: whether the last fit reused a live grid (zero process spawns)
         self.warm_start_: bool = False
+        #: full distributed compressions performed (λ-only refits add none)
+        self.compression_count = 0
 
     # ------------------------------------------------------------------- grid
     def _resolve_grid(self, plan: ShardPlan,
@@ -174,6 +176,7 @@ class DistributedSolver(KernelSystemSolver):
             if self._owned_grid is not None:
                 self._owned_grid.shutdown()
             raise
+        self.compression_count += 1
         self.report.shards = self.plan_.n_shards
         self.report.workers = max(1, int(self.workers or 1))
         self.report.timings = dict(info["timings"])
@@ -184,6 +187,50 @@ class DistributedSolver(KernelSystemSolver):
                                  + float(info["coupling_memory_mb"]))
         self.report.max_rank = int(info["max_rank"])
         self.report.random_vectors = int(info["random_vectors"])
+
+    # ----------------------------------------------------------------- refit
+    def _refit_impl(self, lam: float) -> None:
+        # Live grid first: workers keep their λ-free local compressions
+        # resident, so the refit costs one local ULV per shard plus the
+        # capacitance merge — zero spawns, zero recompressions.
+        if self.coordinator_ is not None and self.coordinator_.current:
+            info = self.coordinator_.refit(lam)
+            if int(info.get("recompressions", 0)) != 0:
+                raise AssertionError(
+                    "distributed refit performed a recompression")
+            if self.collect_factors:
+                if self.factors_ is not None:
+                    # Only the ULV payload + capacitance changed: refresh
+                    # them into the existing factors instead of re-shipping
+                    # the (λ-free, identical) HSS generators per refit.
+                    self.coordinator_.refresh_factors(self.factors_)
+                else:
+                    self.factors_ = self.coordinator_.collect_factors()
+                self._local_solver = None
+            self.report.timings = dict(info["timings"])
+            return
+        if self.factors_ is not None:
+            # Grid down (close() after training) or reused by a newer fit:
+            # refit offline over the collected λ-free factors.
+            if self._local_solver is None:
+                self._local_solver = ShardedULVSolver(self.factors_)
+            try:
+                self._local_solver.refit(lam)
+            except BaseException:
+                # A failure mid-refit leaves the shared ShardedFactors
+                # with shards at mixed λ; drop both so later solves and
+                # saves fail loudly instead of using them.
+                self.factors_ = None
+                self._local_solver = None
+                raise
+            self.report.timings = dict(self._local_solver.report.timings)
+            self._local_solver.report.timings.clear()
+            return
+        raise RuntimeError(
+            "distributed workers are not running (or the shared grid was "
+            "reused by a newer fit) and no factors were collected "
+            "(collect_factors=False); a full fit is required to change "
+            "lambda")
 
     # ----------------------------------------------------------------- solve
     def _solve_impl(self, y: np.ndarray) -> np.ndarray:
@@ -202,10 +249,13 @@ class DistributedSolver(KernelSystemSolver):
         if self.factors_ is not None:
             # Grid down (close() after training) or reused by a newer fit:
             # solve in-process over the factors collected at fit time —
-            # same math, and guaranteed to be *this* fit's factors.
+            # same math, and guaranteed to be *this* fit's factors.  Route
+            # through solve() (not _solve_impl) so a local solver whose
+            # refit failed mid-way (_fitted=False) refuses loudly instead
+            # of serving mixed-λ factors.
             if self._local_solver is None:
                 self._local_solver = ShardedULVSolver(self.factors_)
-            w = self._local_solver._solve_impl(y)
+            w = self._local_solver.solve(y)
             for name, sec in self._local_solver.report.timings.items():
                 self.report.timings[name] = \
                     self.report.timings.get(name, 0.0) + sec

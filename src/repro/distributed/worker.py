@@ -10,11 +10,16 @@ while everything per-fit (kernel, ridge shift, compression options, seeds
 
 * attaches the full permuted dataset from shared memory (no copy of its
   own rows, no pickling),
-* on every ``fit``, builds the local diagonal block's H matrix (optional),
-  randomized HSS compression and ULV factorization with the **existing
+* on every ``fit``, builds the local diagonal block's λ-free compression
+  (optional H matrix + randomized HSS, via
+  :func:`repro.hss.compress_kernel`) and its ULV factorization — the
+  ridge shift is applied at factor time — with the **existing
   level-parallel builders** over its own
   :class:`repro.parallel.BlockExecutor`, replacing the factors of any
   previous fit,
+* on ``refit``, keeps the resident λ-free compression and redoes only the
+  local ULV at the new shift (zero recompressions — the cheap inner step
+  of a λ sweep on a warm grid),
 * ACA-compresses the inter-shard coupling blocks it owns (it sees the full
   dataset, so any pair it is assigned is computable locally),
 * answers the coordinator's solve-phase requests: multi-RHS applications
@@ -41,11 +46,8 @@ import numpy as np
 
 from ..clustering.tree import ClusterNode, ClusterTree
 from ..config import HMatrixOptions, HSSOptions
-from ..hmatrix.build import build_hmatrix
-from ..hmatrix.sampler import HMatrixSampler
-from ..hss.build_random import build_hss_randomized
+from ..hss.compressed import CompressedKernel, compress_kernel
 from ..hss.ulv import ULVFactorization
-from ..kernels.operator import ShiftedKernelOperator
 from ..lowrank.aca import aca
 from ..parallel.executor import BlockExecutor
 from ..utils.timing import TimingLog
@@ -142,6 +144,9 @@ class _ShardState:
         start, stop = (config.boundaries[config.shard_id],
                        config.boundaries[config.shard_id + 1])
         self.start, self.stop = int(start), int(stop)
+        #: λ-free compression of the local diagonal block; kept resident
+        #: between commands so a ``refit`` redoes only the local ULV
+        self.compressed: Optional[CompressedKernel] = None
         self.ulv: Optional[ULVFactorization] = None
         self.executor: Optional[BlockExecutor] = None
         #: located coupling factors F_s (n_s x R_s) and H_s = D_s^{-1} F_s
@@ -166,29 +171,29 @@ class _ShardState:
         # handles.
         self.F = self.H = self.z = None
         self.ulv = None
+        self.compressed = None
         if self.executor is None:
             # One pool for the worker's lifetime: the thread count is
             # spawn-time-fixed, so warm refits reuse it instead of paying
             # shutdown+spawn churn per configuration.
             self.executor = BlockExecutor(workers=max(1, int(cfg.workers)))
-        operator = ShiftedKernelOperator(X_local, kernel, spec.lam)
-        sampler = operator
-        hmatrix_memory_mb = 0.0
-        if spec.use_hmatrix_sampling:
-            hmatrix = build_hmatrix(operator, X_local, self.tree,
-                                    options=spec.hmatrix_options, timing=log,
-                                    executor=self.executor)
-            sampler = HMatrixSampler(hmatrix, operator,
-                                     executor=self.executor)
-            hmatrix_memory_mb = hmatrix.nbytes / 2.0 ** 20
         rng = np.random.default_rng(
             [cfg.shard_id] if spec.seed is None
             else [spec.seed, cfg.shard_id])
-        hss, stats = build_hss_randomized(sampler, self.tree,
-                                          options=spec.hss_options,
-                                          rng=rng, timing=log,
-                                          executor=self.executor)
-        self.ulv = ULVFactorization(hss, timing=log, executor=self.executor)
+        # λ-free compression of the local diagonal block: the shift is
+        # applied at ULV-factor time, so a later "refit" command reuses
+        # this compression and redoes only the factorization.
+        self.compressed = compress_kernel(
+            X_local, self.tree, kernel,
+            hss_options=spec.hss_options,
+            hmatrix_options=spec.hmatrix_options,
+            use_hmatrix_sampling=spec.use_hmatrix_sampling,
+            seed=rng, timing=log, executor=self.executor)
+        hss = self.compressed.hss
+        stats_random_vectors = self.compressed.report.random_vectors
+        hmatrix_memory_mb = self.compressed.report.hmatrix_memory_mb
+        self.ulv = ULVFactorization.factor(self.compressed, lam=spec.lam,
+                                           timing=log, executor=self.executor)
 
         arrays: Dict[str, np.ndarray] = {}
         coupling_ranks: Dict[Tuple[int, int], int] = {}
@@ -205,11 +210,46 @@ class _ShardState:
             "hss_memory_mb": hss_stats.memory_mb,
             "hmatrix_memory_mb": hmatrix_memory_mb,
             "max_rank": hss_stats.max_rank,
-            "random_vectors": stats.random_vectors,
+            "random_vectors": stats_random_vectors,
             "coupling_ranks": coupling_ranks,
             "n_local": self.stop - self.start,
+            "recompressed": True,
         }
         return info, arrays
+
+    # ---------------------------------------------------------------- refit
+    def refit(self, lam: float) -> dict:
+        """Re-factor the local ULV at a new ridge shift (no recompression).
+
+        The resident λ-free compression and the spawn-time thread pool are
+        both reused; only the ``O(n_s r^2)`` local ULV elimination runs.
+        The stale coupling/solve state is dropped — the coordinator
+        re-runs the ``couple`` round against the new factors.
+
+        Parameters
+        ----------
+        lam:
+            The new ridge shift.
+
+        Returns
+        -------
+        dict
+            Per-shard refit report (timings, ``recompressed=False``).
+        """
+        if self.compressed is None:
+            raise RuntimeError("worker received 'refit' before 'fit'")
+        log = TimingLog()
+        # Release the previous factors before (not after) refactoring so a
+        # refit never holds two ULVs at once.
+        self.F = self.H = self.z = None
+        self.ulv = None
+        self.ulv = ULVFactorization.factor(self.compressed, lam=float(lam),
+                                           timing=log, executor=self.executor)
+        return {
+            "timings": dict(log.phases),
+            "recompressed": False,
+            "n_local": self.stop - self.start,
+        }
 
     def _compress_pair(self, kernel, spec: FitSpec, s: int,
                        t: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -263,7 +303,7 @@ class _ShardState:
         return w
 
     # ----------------------------------------------------------- ship-back
-    def collect(self) -> Dict[str, np.ndarray]:
+    def collect(self, sections=None) -> Dict[str, np.ndarray]:
         """Flatten the local HSS generators + ULV factors for persistence.
 
         The returned arrays use the same ``hss.* / ulv.*`` layout as
@@ -271,12 +311,24 @@ class _ShardState:
         :func:`repro.serving.ulv_to_arrays`, so the coordinator can embed
         them per-shard into a model artifact (see
         :mod:`repro.distributed.factors`).
+
+        Parameters
+        ----------
+        sections:
+            Optional subset of ``("hss", "ulv")``; ``None`` ships both.
+            A λ-only refit re-collects just ``("ulv",)`` — the HSS
+            generators are λ-free and identical to the previous collect,
+            so re-shipping them would cost O(compression memory) per λ.
         """
         if self.ulv is None:
             raise RuntimeError("worker received 'collect' before 'fit'")
         from ..serving.serialize import hss_to_arrays, ulv_to_arrays
-        arrays = hss_to_arrays(self.ulv.hss, prefix="hss.")
-        arrays.update(ulv_to_arrays(self.ulv, prefix="ulv."))
+        wanted = ("hss", "ulv") if sections is None else tuple(sections)
+        arrays: Dict[str, np.ndarray] = {}
+        if "hss" in wanted:
+            arrays.update(hss_to_arrays(self.ulv.hss, prefix="hss."))
+        if "ulv" in wanted:
+            arrays.update(ulv_to_arrays(self.ulv, prefix="ulv."))
         return arrays
 
     def close(self) -> None:
@@ -338,6 +390,9 @@ def worker_main(config: WorkerConfig, x_spec: ArraySpec,
                 if tag == "fit":
                     info, out = state.fit(payload)
                     response.send("fitted", info, arrays=out)
+                elif tag == "refit":
+                    info = state.refit(payload)
+                    response.send("refitted", info)
                 elif tag == "couple":
                     M = state.couple(arrays["F"])
                     response.send("coupled", arrays={"M": M})
@@ -348,7 +403,7 @@ def worker_main(config: WorkerConfig, x_spec: ArraySpec,
                     w = state.correct(arrays["c"])
                     response.send("solved", arrays={"w": w})
                 elif tag == "collect":
-                    response.send("factors", arrays=state.collect())
+                    response.send("factors", arrays=state.collect(payload))
                 elif tag == "ping":
                     response.send("pong", payload)
                 elif tag == "_crash":

@@ -15,7 +15,12 @@ paper:
   needs only a black-box mat-mat product and element extraction.
 * :class:`ULVFactorization` — the ULV factorization and solve
   (Chandrasekaran, Gu & Pals 2006), with separate factor / solve phases as
-  timed in the paper's Table 4.
+  timed in the paper's Table 4.  The ridge shift ``+ lam I`` is applied at
+  factorization time (``ULVFactorization.factor(compressed, lam)``), not
+  at compression time.
+* :class:`CompressedKernel` / :func:`compress_kernel` — the λ-free
+  compression stage (H matrix + HSS of the unshifted kernel), built once
+  per ``(dataset, kernel, tree)`` and re-factored cheaply per λ.
 * :class:`HSSStatistics` — memory (MB) and maximum off-diagonal rank, the
   paper's primary performance metrics.
 """
@@ -24,6 +29,7 @@ from .generators import HSSNodeData
 from .hss_matrix import HSSMatrix
 from .build_dense import build_hss_from_dense
 from .build_random import build_hss_randomized, SamplingStats
+from .compressed import CompressedKernel, CompressionReport, compress_kernel
 from .ulv import ULVFactorization
 from .memory import HSSStatistics
 
@@ -33,6 +39,9 @@ __all__ = [
     "build_hss_from_dense",
     "build_hss_randomized",
     "SamplingStats",
+    "CompressedKernel",
+    "CompressionReport",
+    "compress_kernel",
     "ULVFactorization",
     "HSSStatistics",
 ]

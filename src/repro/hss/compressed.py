@@ -1,0 +1,206 @@
+"""λ-free kernel compression: build once, factor at many ridge shifts.
+
+The KRR training system is ``K + lam I``, but everything expensive about
+its hierarchical approximation — the H-matrix assembly that accelerates
+the randomized sampling, and the HSS compression itself — depends only on
+the *kernel* ``K`` (the shift touches nothing but the dense leaf
+diagonals).  Historically the stack baked ``lam`` into the operator at
+compression time, so a regularization sweep recompressed an identical
+kernel once per λ.
+
+:func:`compress_kernel` builds the λ-free representation exactly once per
+``(dataset, kernel, tree)`` and returns a :class:`CompressedKernel`: the
+HSS matrix of ``K`` (no shift), the auxiliary H matrix (when used), and a
+:class:`CompressionReport` with the build timings / memory / rank
+statistics.  :meth:`repro.hss.ULVFactorization.factor` then applies any
+``lam`` at factorization time, so a λ sweep costs one compression plus one
+``O(n r^2)`` ULV per λ instead of one full build per λ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..clustering.tree import ClusterTree
+from ..config import HMatrixOptions, HSSOptions
+from ..kernels.base import Kernel
+from ..kernels.operator import KernelOperator
+from ..parallel.executor import BlockExecutor
+from ..utils.bytes import megabytes
+from ..utils.timing import TimingLog
+from .build_random import build_hss_randomized
+from .hss_matrix import HSSMatrix
+from .ulv import ULVFactorization
+
+
+@dataclass
+class CompressionReport:
+    """Build statistics of one λ-free kernel compression.
+
+    Attributes
+    ----------
+    timings:
+        Per-phase build seconds (``hmatrix_*``, ``hss_sampling``,
+        ``hss_other``).
+    hss_memory_mb:
+        Memory of the HSS generators in MB.
+    hmatrix_memory_mb:
+        Memory of the auxiliary H matrix in MB (0 when H sampling is off).
+    max_rank:
+        Largest off-diagonal HSS rank.
+    random_vectors:
+        Random vectors used by the adaptive sampling.
+    """
+
+    timings: Dict[str, float] = field(default_factory=dict)
+    hss_memory_mb: float = 0.0
+    hmatrix_memory_mb: float = 0.0
+    max_rank: int = 0
+    random_vectors: int = 0
+
+    @property
+    def memory_mb(self) -> float:
+        """Total compression memory (HSS + H matrix) in MB."""
+        return self.hss_memory_mb + self.hmatrix_memory_mb
+
+    @property
+    def total_seconds(self) -> float:
+        """Total build wall-clock across all recorded phases."""
+        return float(sum(self.timings.values()))
+
+
+@dataclass
+class CompressedKernel:
+    """A λ-free HSS compression of one kernel matrix plus its build report.
+
+    Produced by :func:`compress_kernel` once per ``(dataset, kernel,
+    tree)`` and consumed by :meth:`repro.hss.ULVFactorization.factor`,
+    which applies the ridge shift ``+ lam I`` at factorization time.  The
+    same instance can therefore be re-factored at arbitrarily many λ
+    values without any recompression.
+
+    Attributes
+    ----------
+    hss:
+        The HSS approximation of the *unshifted* kernel matrix, in the
+        permuted ordering of ``tree``.
+    report:
+        Build statistics (:class:`CompressionReport`).
+    hmatrix:
+        The auxiliary H matrix used for sampling, or ``None``.
+    """
+
+    hss: HSSMatrix
+    report: CompressionReport = field(default_factory=CompressionReport)
+    hmatrix: Optional[object] = None
+
+    @property
+    def tree(self) -> ClusterTree:
+        """The cluster tree defining the HSS partition."""
+        return self.hss.tree
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension (number of training points)."""
+        return self.hss.n
+
+    def factor(self, lam: float = 0.0, timing: Optional[TimingLog] = None,
+               executor: Optional[BlockExecutor] = None) -> ULVFactorization:
+        """Factor ``K + lam I`` from this compression (no rebuild).
+
+        Parameters
+        ----------
+        lam:
+            Ridge shift of the training system.
+        timing:
+            Optional :class:`repro.utils.TimingLog` receiving the
+            ``factorization`` phase.
+        executor:
+            Optional shared :class:`repro.parallel.BlockExecutor`.
+
+        Returns
+        -------
+        repro.hss.ULVFactorization
+            Factors of ``K + lam I``.
+        """
+        return ULVFactorization.factor(self, lam=lam, timing=timing,
+                                       executor=executor)
+
+
+def compress_kernel(
+    X_permuted: np.ndarray,
+    tree: ClusterTree,
+    kernel: Kernel,
+    hss_options: Optional[HSSOptions] = None,
+    hmatrix_options: Optional[HMatrixOptions] = None,
+    use_hmatrix_sampling: bool = True,
+    seed=0,
+    timing: Optional[TimingLog] = None,
+    executor: Optional[BlockExecutor] = None,
+    matmat_col_tile: Optional[int] = None,
+) -> CompressedKernel:
+    """Build the λ-free HSS compression of ``K(X_permuted)``.
+
+    This is the shared compression stage behind
+    :class:`repro.krr.HSSSolver` and the distributed shard workers: the
+    kernel operator carries **no** ridge shift, so the result can be
+    ULV-factored at any λ via :meth:`CompressedKernel.factor`.
+
+    Parameters
+    ----------
+    X_permuted:
+        Training points, already reordered by the clustering step.
+    tree:
+        Cluster tree of the reordering (defines the HSS partition).
+    kernel:
+        Kernel function.
+    hss_options, hmatrix_options, use_hmatrix_sampling, seed:
+        Compression options, matching :class:`repro.krr.HSSSolver`.
+    timing:
+        Optional :class:`repro.utils.TimingLog`; the H-matrix and HSS
+        build phases are accumulated into it.
+    executor:
+        Optional shared :class:`repro.parallel.BlockExecutor` driving the
+        level-parallel builders (and the tiled exact-sampling matvec).
+    matmat_col_tile:
+        Column-tile size of the exact kernel operator's ``matmat`` (only
+        exercised when ``use_hmatrix_sampling`` is ``False``); ``None``
+        keeps the untiled single-GEMM row sweep.
+
+    Returns
+    -------
+    CompressedKernel
+        The λ-free compression plus its build report.
+    """
+    from ..hmatrix.build import build_hmatrix
+    from ..hmatrix.sampler import HMatrixSampler
+
+    opts = hss_options if hss_options is not None else HSSOptions()
+    h_opts = hmatrix_options if hmatrix_options is not None else HMatrixOptions()
+    log = timing if timing is not None else TimingLog()
+
+    operator = KernelOperator(X_permuted, kernel, executor=executor,
+                              col_tile=matmat_col_tile)
+    sampler = operator
+    hmatrix = None
+    hmatrix_memory_mb = 0.0
+    if use_hmatrix_sampling:
+        hmatrix = build_hmatrix(operator, X_permuted, tree, options=h_opts,
+                                timing=log, executor=executor)
+        sampler = HMatrixSampler(hmatrix, operator, executor=executor)
+        hmatrix_memory_mb = megabytes(hmatrix.nbytes)
+
+    hss, stats = build_hss_randomized(sampler, tree, options=opts, rng=seed,
+                                      timing=log, executor=executor)
+    hss_stats = hss.statistics()
+    report = CompressionReport(
+        timings=log.as_dict(),
+        hss_memory_mb=hss_stats.memory_mb,
+        hmatrix_memory_mb=hmatrix_memory_mb,
+        max_rank=hss_stats.max_rank,
+        random_vectors=stats.random_vectors,
+    )
+    return CompressedKernel(hss=hss, report=report, hmatrix=hmatrix)

@@ -24,6 +24,16 @@ paper times "Factorization" and "Solve" separately in Table 4 and Figure 7b.
 
 Complexity is ``O(n r^2)`` for the factorization and ``O(n r)`` per solve,
 with ``r`` the maximum HSS rank.
+
+The ridge shift ``+ lam I`` of the KRR training system is applied *here*,
+at factorization time, rather than being baked into the HSS generators:
+only the dense leaf diagonal blocks are affected by a diagonal shift, so
+one λ-free compression (see :class:`repro.hss.CompressedKernel`) can be
+re-factored at many λ values — :meth:`ULVFactorization.factor` — without
+redoing the H-matrix or HSS construction.  This is the paper's
+Section-5.3 observation ("When the parameter lambda changes, we only need
+to update the diagonal entries of the HSS matrix") promoted into the
+factorization API.
 """
 
 from __future__ import annotations
@@ -97,6 +107,12 @@ class ULVFactorization:
     timing:
         Optional :class:`repro.utils.TimingLog`; the constructor adds a
         ``factorization`` phase and :meth:`solve` adds ``solve`` phases.
+    lam:
+        Diagonal shift applied at factorization time: the factors represent
+        ``A + lam I`` while ``hss`` itself stays λ-free.  Only the dense
+        leaf diagonal blocks are shifted (copies; the generators are never
+        mutated), which is what makes λ-refits cheap — see
+        :meth:`factor`.
     executor:
         Optional shared :class:`repro.parallel.BlockExecutor`.  Both the
         factorization and the two solve sweeps are level-synchronous
@@ -114,13 +130,47 @@ class ULVFactorization:
     """
 
     def __init__(self, hss: HSSMatrix, timing: Optional[TimingLog] = None,
-                 executor: Optional[BlockExecutor] = None):
+                 executor: Optional[BlockExecutor] = None, lam: float = 0.0):
         self.hss = hss
+        self.lam = float(lam)
         self._executor = executor
         log = timing if timing is not None else TimingLog()
         with log.phase("factorization"):
             self._factor()
         self.timing = log
+
+    @classmethod
+    def factor(cls, compressed, lam: float = 0.0,
+               timing: Optional[TimingLog] = None,
+               executor: Optional[BlockExecutor] = None) -> "ULVFactorization":
+        """Factor a λ-free compression as ``A + lam I``.
+
+        This is the refit entry point of the compress-once / refit-many
+        split: the expensive compression is reused unchanged and only the
+        ``O(n r^2)`` ULV elimination is redone for the new shift.
+
+        Parameters
+        ----------
+        compressed:
+            A :class:`repro.hss.CompressedKernel` (its λ-free ``hss`` is
+            factored) or a bare :class:`repro.hss.HSSMatrix`.
+        lam:
+            Diagonal shift; the factors represent ``A + lam I``.
+        timing:
+            Optional :class:`repro.utils.TimingLog` receiving the
+            ``factorization`` phase.
+        executor:
+            Optional shared :class:`repro.parallel.BlockExecutor` for the
+            level-parallel elimination.
+
+        Returns
+        -------
+        ULVFactorization
+            Factors of ``A + lam I``; bitwise identical to factoring the
+            same compression cold at that ``lam``.
+        """
+        hss = getattr(compressed, "hss", compressed)
+        return cls(hss, timing=timing, executor=executor, lam=lam)
 
     @property
     def executor(self) -> BlockExecutor:
@@ -183,6 +233,7 @@ class ULVFactorization:
     def _factor(self) -> None:
         tree = self.hss.tree
         data = self.hss.node_data
+        lam = self.lam
         self._factors: List[Optional[_NodeFactors]] = [None] * tree.n_nodes
         self._root_lu = None
 
@@ -195,7 +246,14 @@ class ULVFactorization:
             d = data[node_id]
 
             if nd.is_leaf:
-                D = d.D
+                # The ridge shift lives only on the dense leaf diagonals;
+                # shifting a copy here (exactly like HSSMatrix.shifted)
+                # keeps the stored generators λ-free and reusable.
+                if lam != 0.0:
+                    D = d.D.copy()
+                    D[np.diag_indices_from(D)] += lam
+                else:
+                    D = d.D
                 U = d.U if d.U is not None else np.zeros((nd.size, 0))
                 V = d.V if d.V is not None else np.zeros((nd.size, 0))
             else:

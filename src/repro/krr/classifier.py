@@ -117,6 +117,8 @@ class KernelRidgeClassifier:
         self.clustering_: Optional[ClusteringResult] = None
         self.weights_: Optional[np.ndarray] = None
         self.X_train_: Optional[np.ndarray] = None
+        #: permuted ±1 training targets, kept so λ-only refits can re-solve
+        self._y_perm: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ fit
     def _make_solver(self) -> KernelSystemSolver:
@@ -152,9 +154,59 @@ class KernelRidgeClassifier:
         self.solver_.fit(X_perm, self.clustering_.tree, self.kernel, self.lam)
         self.weights_ = self.solver_.solve(y_perm)
         self.X_train_ = X_perm
+        self._y_perm = y_perm
         # Training is done: release any solver worker threads.  A later
         # solver_.solve() (e.g. re-solving for a new right-hand side)
         # lazily re-creates the pool.
+        close = getattr(self.solver_, "close", None)
+        if close is not None:
+            close()
+        return self
+
+    def refit(self, lam: float) -> "KernelRidgeClassifier":
+        """Re-train at a new ridge parameter without recompressing.
+
+        The clustering, the kernel and the solver's λ-independent state
+        (the :class:`repro.hss.CompressedKernel` for the HSS path, the
+        kernel matrix for the dense path) are reused; only the
+        shift-dependent factorization and the training solve are redone,
+        so a λ sweep costs one compression plus one cheap refit per value.
+        The resulting weights are identical to a cold :meth:`fit` at the
+        same ``lam`` (bitwise for the serial solvers).  Also works on a
+        model reloaded from an artifact saved by this version (the
+        permuted training targets ride in the archive).
+
+        Parameters
+        ----------
+        lam:
+            The new ridge parameter.
+
+        Returns
+        -------
+        KernelRidgeClassifier
+            ``self``, refitted at ``lam``.
+
+        Raises
+        ------
+        RuntimeError
+            If the model is unfitted, the solver does not support
+            λ-only refits, or a legacy artifact lacks the training
+            targets / a λ-free compression.
+        """
+        if self.solver_ is None or self.weights_ is None:
+            raise RuntimeError("classifier must be fitted before refit()")
+        if self._y_perm is None:
+            raise RuntimeError(
+                "no training targets available for refit (artifact saved "
+                "by an older version); call fit() instead")
+        lam = check_non_negative(lam, "lam")
+        self.solver_.refit(lam)
+        weights = self.solver_.solve(self._y_perm)
+        # Only adopt the new λ and weights together, once both the solver
+        # refit and the re-solve succeeded; a failure in either must not
+        # leave the model reporting a λ its weights do not have.
+        self.lam = lam
+        self.weights_ = weights
         close = getattr(self.solver_, "close", None)
         if close is not None:
             close()

@@ -81,6 +81,9 @@ class OneVsAllClassifier:
         self.X_train_: Optional[np.ndarray] = None
         self.solver_: Optional[KernelSystemSolver] = None
         self.clustering_: Optional[ClusteringResult] = None
+        #: permuted ±1 one-vs-all targets (n_train x n_classes), kept so
+        #: λ-only refits can re-solve all classes in one multi-RHS call
+        self._targets_perm: Optional[np.ndarray] = None
 
     def _make_solver(self) -> KernelSystemSolver:
         return build_training_solver(self._solver_spec, seed=self.seed,
@@ -115,8 +118,46 @@ class OneVsAllClassifier:
         self.weights_ = np.ascontiguousarray(
             self.solver_.solve(targets), dtype=np.float64)
         self.X_train_ = X_perm
+        self._targets_perm = targets
         # Training is done: release any solver worker threads (a later
         # solver_.solve() lazily re-creates the pool).
+        close = getattr(self.solver_, "close", None)
+        if close is not None:
+            close()
+        return self
+
+    def refit(self, lam: float) -> "OneVsAllClassifier":
+        """Re-train all classes at a new ridge parameter without recompressing.
+
+        The shared factorization is refitted once
+        (:meth:`repro.krr.solvers.KernelSystemSolver.refit`) and all ``c``
+        one-vs-all weight vectors are re-solved in a single multi-RHS
+        call, so a λ sweep over a multi-class model costs one compression
+        total plus one ULV + one multi-RHS solve per value.
+
+        Parameters
+        ----------
+        lam:
+            The new ridge parameter.
+
+        Returns
+        -------
+        OneVsAllClassifier
+            ``self``, refitted at ``lam``.
+        """
+        if self.solver_ is None or self.weights_ is None:
+            raise RuntimeError("classifier must be fitted before refit()")
+        if self._targets_perm is None:
+            raise RuntimeError(
+                "no training targets available for refit (artifact saved "
+                "by an older version); call fit() instead")
+        lam = float(lam)
+        self.solver_.refit(lam)
+        weights = np.ascontiguousarray(
+            self.solver_.solve(self._targets_perm), dtype=np.float64)
+        # λ and weights adopted together, only after refit + solve succeed.
+        self.lam = lam
+        self.weights_ = weights
         close = getattr(self.solver_, "close", None)
         if close is not None:
             close()

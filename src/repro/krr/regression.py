@@ -64,6 +64,8 @@ class KernelRidgeRegressor:
         self.clustering_: Optional[ClusteringResult] = None
         self.weights_: Optional[np.ndarray] = None
         self.X_train_: Optional[np.ndarray] = None
+        #: permuted training targets, kept so λ-only refits can re-solve
+        self._y_perm: Optional[np.ndarray] = None
 
     def _make_solver(self) -> KernelSystemSolver:
         return build_training_solver(self._solver_spec, seed=self.seed,
@@ -85,8 +87,39 @@ class KernelRidgeRegressor:
         self.solver_.fit(X_perm, self.clustering_.tree, self.kernel, self.lam)
         self.weights_ = self.solver_.solve(y_perm)
         self.X_train_ = X_perm
+        self._y_perm = y_perm
         # Training is done: release any solver worker threads/processes
         # (a later solver_.solve() re-creates or falls back as needed).
+        close = getattr(self.solver_, "close", None)
+        if close is not None:
+            close()
+        return self
+
+    def refit(self, lam: float) -> "KernelRidgeRegressor":
+        """Re-train at a new ridge parameter without recompressing.
+
+        Mirrors :meth:`repro.krr.KernelRidgeClassifier.refit`: the
+        solver's λ-independent state is reused and only the factorization
+        plus the training solve are redone.
+
+        Parameters
+        ----------
+        lam:
+            The new ridge parameter.
+
+        Returns
+        -------
+        KernelRidgeRegressor
+            ``self``, refitted at ``lam``.
+        """
+        if self.solver_ is None or self.weights_ is None:
+            raise RuntimeError("regressor must be fitted before refit()")
+        lam = check_non_negative(lam, "lam")
+        self.solver_.refit(lam)
+        weights = self.solver_.solve(self._y_perm)
+        # λ and weights adopted together, only after refit + solve succeed.
+        self.lam = lam
+        self.weights_ = weights
         close = getattr(self.solver_, "close", None)
         if close is not None:
             close()

@@ -33,9 +33,7 @@ import scipy.sparse.linalg
 
 from ..clustering.tree import ClusterTree
 from ..config import HMatrixOptions, HSSOptions
-from ..hmatrix.build import build_hmatrix
-from ..hmatrix.sampler import HMatrixSampler
-from ..hss.build_random import build_hss_randomized
+from ..hss.compressed import CompressedKernel, compress_kernel
 from ..hss.ulv import ULVFactorization
 from ..kernels.base import Kernel
 from ..kernels.operator import ShiftedKernelOperator
@@ -61,6 +59,9 @@ class SolveReport:
     workers: int = 1
     #: worker processes (subtree shards) used by the training phases
     shards: int = 1
+    #: λ-only refits performed since the last full fit (0 = cold state);
+    #: after a refit, ``timings`` holds that refit's phases only
+    refits: int = 0
 
     def phase(self, name: str) -> float:
         """Accumulated seconds of the named phase (0.0 if absent)."""
@@ -79,6 +80,8 @@ class KernelSystemSolver(abc.ABC):
     def __init__(self) -> None:
         self.report = SolveReport(solver=self.name)
         self._fitted = False
+        #: ridge shift of the current factorization (set by fit / refit)
+        self.lam_: Optional[float] = None
 
     @abc.abstractmethod
     def _fit_impl(self, X_permuted: np.ndarray, tree: Optional[ClusterTree],
@@ -110,7 +113,53 @@ class KernelSystemSolver(abc.ABC):
         self.report = SolveReport(solver=self.name)
         self._fit_impl(X_permuted, tree, kernel, lam)
         self._fitted = True
+        self.lam_ = float(lam)
         return self
+
+    def refit(self, lam: float) -> "KernelSystemSolver":
+        """Re-factor the already-fitted system at a new ridge shift.
+
+        The expensive λ-independent state — the kernel compression for the
+        HSS solver, the kernel matrix for the dense solver, the matrix-free
+        operator for CG — is reused untouched; only the shift-dependent
+        factorization is redone.  The result is numerically identical to a
+        cold :meth:`fit` at the same ``lam`` (bitwise for the serial
+        solvers), at a fraction of the cost.  After a refit,
+        ``report.timings`` holds the refit's own phases (so the saving is
+        directly observable) while the compression statistics (memory,
+        ranks, random vectors) are retained, and ``report.refits`` counts
+        the λ-only refits since the last full fit.
+
+        Parameters
+        ----------
+        lam:
+            The new ridge parameter.
+
+        Returns
+        -------
+        KernelSystemSolver
+            ``self``, re-factored at ``lam``.
+
+        Raises
+        ------
+        RuntimeError
+            If the solver has not been fitted, or its λ-independent state
+            is unavailable (e.g. a legacy artifact whose compression has
+            the old shift baked in).
+        """
+        if not self._fitted:
+            raise RuntimeError("solver must be fitted before calling refit()")
+        check_non_negative(lam, "lam")
+        refits = self.report.refits + 1
+        self._refit_impl(float(lam))
+        self.report.refits = refits
+        self.lam_ = float(lam)
+        return self
+
+    def _refit_impl(self, lam: float) -> None:
+        """Shift-only re-factorization; overridden by refit-capable solvers."""
+        raise NotImplementedError(
+            f"the {self.name!r} solver does not support lambda-only refits")
 
     def solve(self, y: np.ndarray) -> np.ndarray:
         """Solve the fitted system for right-hand side(s) ``y``."""
@@ -124,7 +173,12 @@ class DenseSolver(KernelSystemSolver):
 
     Memory is ``O(n^2)`` and factorization ``O(n^3)``; the paper uses this
     as the accuracy reference ("this accuracy matches the accuracy we get
-    using the full non-compressed kernel matrix", Section 5.2).
+    using the full non-compressed kernel matrix", Section 5.2).  ``fit``
+    keeps only the factor (as before the refit split); the first λ-only
+    :meth:`~KernelSystemSolver.refit` rebuilds the λ-free kernel matrix
+    from the retained training points and keeps it for subsequent refits,
+    so sweep users pay the extra ``O(n^2)`` residency and fit-once users
+    do not.
     """
 
     name = "dense"
@@ -136,8 +190,32 @@ class DenseSolver(KernelSystemSolver):
             K[np.diag_indices_from(K)] += lam
         with log.phase("factorization"):
             self._cho = scipy.linalg.cho_factor(K, lower=True)
+        # The λ-free matrix is NOT retained (fit-once users keep the old
+        # memory profile); refits rebuild it lazily from this context.
+        self._K = None
+        self._refit_context = (X_permuted, kernel)
         self.report.timings = log.as_dict()
         self.report.memory_mb = megabytes(K.nbytes)
+
+    def _refit_impl(self, lam: float) -> None:
+        log = TimingLog()
+        if getattr(self, "_K", None) is None:
+            # First refit (or restored from an artifact): rebuild the
+            # λ-free kernel matrix once from the stored training points;
+            # further refits reuse it and pay only the factorization.
+            context = getattr(self, "_refit_context", None)
+            if context is None:
+                raise RuntimeError(
+                    "dense solver holds no kernel matrix and no training "
+                    "points to rebuild it from; a full fit is required")
+            X_permuted, kernel = context
+            with log.phase("construction"):
+                self._K = kernel.matrix(X_permuted)
+        with log.phase("factorization"):
+            A = self._K.copy()
+            A[np.diag_indices_from(A)] += lam
+            self._cho = scipy.linalg.cho_factor(A, lower=True)
+        self.report.timings = log.as_dict()
 
     def _solve_impl(self, y: np.ndarray) -> np.ndarray:
         log = TimingLog()
@@ -151,6 +229,15 @@ class DenseSolver(KernelSystemSolver):
 class HSSSolver(KernelSystemSolver):
     """HSS-compressed direct solver (the paper's method).
 
+    Training is two decoupled stages: a λ-free *compression* of the kernel
+    (H matrix + randomized HSS, via :func:`repro.hss.compress_kernel` —
+    the expensive part, independent of the ridge parameter) and the ULV
+    *factorization* of ``K + lam I``, which applies the shift to the
+    compressed representation at factor time.  A λ-only
+    :meth:`~KernelSystemSolver.refit` therefore reuses the resident
+    :class:`repro.hss.CompressedKernel` and redoes only the ``O(n r^2)``
+    ULV — :attr:`compression_count` stays at 1 across a whole λ sweep.
+
     Parameters
     ----------
     hss_options:
@@ -158,7 +245,8 @@ class HSSSolver(KernelSystemSolver):
     use_hmatrix_sampling:
         If ``True`` (default) an H matrix of the kernel is built first and
         its fast matvec drives the randomized HSS sampling (Section 3.2);
-        if ``False`` the exact ``O(n^2)`` kernel product is used.
+        if ``False`` the exact ``O(n^2)`` kernel product is used (its
+        ``matmat`` runs column-tiled on the shared executor).
     hmatrix_options:
         Options of the auxiliary H matrix.
     seed:
@@ -170,16 +258,26 @@ class HSSSolver(KernelSystemSolver):
         for the resolution rules.  One persistent
         :class:`repro.parallel.BlockExecutor` spans the solver's lifetime,
         so the thread pool is reused across the many per-level maps.
+    matmat_col_tile:
+        Column-tile size of the exact kernel operator's sampling
+        ``matmat`` (only exercised when ``use_hmatrix_sampling`` is
+        ``False``).  The tile geometry is fixed independently of the
+        worker count, so serial and parallel runs stay bitwise identical.
     """
 
     name = "hss"
+
+    #: default column-tile size of the exact-sampling matmat (chosen so a
+    #: tile row fits in cache for the paper's dimensionalities)
+    DEFAULT_MATMAT_COL_TILE = 1024
 
     def __init__(self,
                  hss_options: Optional[HSSOptions] = None,
                  use_hmatrix_sampling: bool = True,
                  hmatrix_options: Optional[HMatrixOptions] = None,
                  seed=0,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 matmat_col_tile: Optional[int] = DEFAULT_MATMAT_COL_TILE):
         super().__init__()
         self.hss_options = hss_options if hss_options is not None else HSSOptions()
         self.hmatrix_options = (hmatrix_options if hmatrix_options is not None
@@ -187,9 +285,17 @@ class HSSSolver(KernelSystemSolver):
         self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
         self.seed = seed
         self.workers = workers
+        self.matmat_col_tile = matmat_col_tile
+        #: λ-free compression of the last fit (reused by refits)
+        self.compressed_: Optional[CompressedKernel] = None
         self.hss_ = None
         self.hmatrix_ = None
         self.factorization_ = None
+        #: number of full kernel compressions performed (refits add none)
+        self.compression_count = 0
+        #: whether the resident HSS generators are λ-free (False only for
+        #: legacy artifacts that baked the shift in at compression time)
+        self._hss_lam_free = True
         self._executor: Optional[BlockExecutor] = None
 
     def _resolve_workers(self) -> int:
@@ -210,32 +316,56 @@ class HSSSolver(KernelSystemSolver):
             self._executor.shutdown()
         self._executor = BlockExecutor(workers=n_workers)
         try:
-            operator = ShiftedKernelOperator(X_permuted, kernel, lam)
-            sampler = operator
-            if self.use_hmatrix_sampling:
-                self.hmatrix_ = build_hmatrix(operator, X_permuted, tree,
-                                              options=self.hmatrix_options,
-                                              timing=log,
-                                              executor=self._executor)
-                sampler = HMatrixSampler(self.hmatrix_, operator,
-                                         executor=self._executor)
-                self.report.hmatrix_memory_mb = megabytes(self.hmatrix_.nbytes)
-            self.hss_, stats = build_hss_randomized(sampler, tree,
-                                                    options=self.hss_options,
-                                                    rng=self.seed, timing=log,
-                                                    executor=self._executor)
-            self.factorization_ = ULVFactorization(self.hss_, timing=log,
-                                                   executor=self._executor)
+            self.compressed_ = compress_kernel(
+                X_permuted, tree, kernel,
+                hss_options=self.hss_options,
+                hmatrix_options=self.hmatrix_options,
+                use_hmatrix_sampling=self.use_hmatrix_sampling,
+                seed=self.seed, timing=log, executor=self._executor,
+                matmat_col_tile=self.matmat_col_tile)
+            self.compression_count += 1
+            self._hss_lam_free = True
+            self.hss_ = self.compressed_.hss
+            self.hmatrix_ = self.compressed_.hmatrix
+            self.factorization_ = ULVFactorization.factor(
+                self.compressed_, lam=lam, timing=log,
+                executor=self._executor)
         except BaseException:
             # Failed fits must not orphan a live thread pool.
             self._executor.shutdown()
             raise
-        hss_stats = self.hss_.statistics()
+        build = self.compressed_.report
         self.report.timings = log.as_dict()
-        self.report.hss_memory_mb = hss_stats.memory_mb
-        self.report.memory_mb = hss_stats.memory_mb + self.report.hmatrix_memory_mb
-        self.report.max_rank = hss_stats.max_rank
-        self.report.random_vectors = stats.random_vectors
+        self.report.hmatrix_memory_mb = build.hmatrix_memory_mb
+        self.report.hss_memory_mb = build.hss_memory_mb
+        self.report.memory_mb = build.memory_mb
+        self.report.max_rank = build.max_rank
+        self.report.random_vectors = build.random_vectors
+
+    def _refit_impl(self, lam: float) -> None:
+        if self.hss_ is None:
+            raise RuntimeError(
+                "HSS solver holds no compression (factor-only artifact); "
+                "a full fit is required")
+        if not self._hss_lam_free:
+            raise RuntimeError(
+                "this model's HSS compression has the ridge shift baked in "
+                "(legacy artifact written before the compress-once/"
+                "refit-many split); lambda-only refits require retraining "
+                "with the current version (re-saving cannot remove the "
+                "baked-in shift)")
+        if self._executor is None:
+            self._executor = BlockExecutor(workers=self._resolve_workers())
+        log = TimingLog()
+        try:
+            self.factorization_ = ULVFactorization(
+                self.hss_, timing=log, executor=self._executor, lam=lam)
+        except BaseException:
+            # Failed refits must not orphan a live thread pool (same
+            # invariant as the fit path).
+            self._executor.shutdown()
+            raise
+        self.report.timings = log.as_dict()
 
     def _solve_impl(self, y: np.ndarray) -> np.ndarray:
         log = TimingLog()
@@ -268,6 +398,12 @@ class CGSolver(KernelSystemSolver):
             self._operator = ShiftedKernelOperator(X_permuted, kernel, lam)
         self.report.timings = log.as_dict()
         self.report.memory_mb = megabytes(X_permuted.nbytes)
+
+    def _refit_impl(self, lam: float) -> None:
+        # CG keeps no factorization; the shift is a field of the
+        # matrix-free operator, so a refit is a scalar update.
+        self._operator.lam = lam
+        self.report.timings = {}
 
     def _solve_impl(self, y: np.ndarray) -> np.ndarray:
         op = self._operator

@@ -29,6 +29,16 @@ Schema history (full layout spec in ``docs/serving.md``):
   under ``dist.*`` (solver state ``sharded``), restoring to an in-process
   :class:`repro.distributed.ShardedULVSolver` with full re-solve
   capability.  Version-1 artifacts remain readable.
+
+Since the compress-once/refit-many split, artifacts additionally carry the
+λ-free compression (the stored ``hss.*`` / ``dist.*.hss.*`` generators no
+longer bake the ridge shift in — flagged by the ``hss_lam_free`` config
+key and the ``dist.lam_free`` marker) plus the permuted training targets
+(``model.y_perm`` / ``model.targets``), so a reloaded model can be
+re-factored at a new λ entirely offline via ``model.refit(lam)``.  Both
+additions are backward compatible: old readers ignore the extra keys, and
+artifacts from old writers load fine but refuse ``refit`` (their
+compression is not λ-free).
 """
 
 from __future__ import annotations
@@ -440,7 +450,11 @@ def _solver_arrays(solver: Optional[KernelSystemSolver],
         arrays = hss_to_arrays(solver.hss_)
         if solver.factorization_ is not None:
             arrays.update(ulv_to_arrays(solver.factorization_))
-        return "hss", {}, arrays
+        # Whether the stored generators are λ-free (current trainers) or
+        # carry the baked-in shift (legacy artifacts); refit() consults
+        # this so it never double-shifts an old compression.
+        lam_free = bool(getattr(solver, "_hss_lam_free", False))
+        return "hss", {"hss_lam_free": lam_free}, arrays
     if isinstance(solver, DenseSolver) and hasattr(solver, "_cho"):
         c, lower = solver._cho
         return "dense", {"cho_lower": bool(lower)}, {"solver.cho_c": np.asarray(c)}
@@ -455,7 +469,10 @@ def _solver_arrays(solver: Optional[KernelSystemSolver],
     if isinstance(solver, DistributedSolver):
         factors = solver.factors_
     elif isinstance(solver, ShardedULVSolver):  # re-save of a loaded model
-        factors = solver.factors
+        # A failed λ-refit flips _fitted off and may leave the factors
+        # with shards at mixed λ; persist no factorization in that case
+        # rather than an inconsistent one.
+        factors = solver.factors if solver._fitted else None
     if factors is not None:
         return ("sharded", {"shards": int(factors.plan.n_shards)},
                 factors.to_arrays(prefix="dist."))
@@ -473,20 +490,29 @@ def _restore_solver(config: Dict[str, object], arrays: Dict[str, np.ndarray],
         except (KeyError, ValueError) as exc:
             raise ArtifactError(
                 f"corrupted sharded-factor payload: {exc}") from exc
-        return ShardedULVSolver(factors)
+        solver = ShardedULVSolver(factors)
+        solver.lam_ = lam
+        return solver
     if state == "hss":
         hss = hss_from_arrays(arrays, tree)
         solver = HSSSolver(seed=config.get("seed"))
         solver.hss_ = hss
+        solver._hss_lam_free = bool(config.get("hss_lam_free", False))
+        solver.compression_count = 1
         if "ulv.meta" in arrays:
             solver.factorization_ = ulv_from_arrays(arrays, hss)
         solver._fitted = solver.factorization_ is not None
+        solver.lam_ = lam
         return solver
     if state == "dense":
         solver = DenseSolver()
         solver._cho = (np.asarray(arrays["solver.cho_c"], dtype=np.float64),
                        bool(config.get("cho_lower", True)))
         solver._fitted = True
+        solver.lam_ = lam
+        # The λ-free kernel matrix is not persisted; refit() rebuilds it
+        # lazily from the stored training points.
+        solver._refit_context = (X_train, kernel)
         return solver
     if state == "cg":
         max_iter = config.get("cg_max_iter")
@@ -558,6 +584,15 @@ def save_model(model, path: str, metadata: Optional[Dict[str, object]] = None,
     arrays.update(tree_to_arrays(model.clustering_.tree))
     arrays["model.X_train"] = np.asarray(model.X_train_, dtype=np.float64)
     arrays["model.weights"] = np.asarray(model.weights_, dtype=np.float64)
+    # Permuted training targets (when the model still holds them): with
+    # the factorization included, a reloaded model can then refit() at a
+    # new lambda entirely offline.  Old readers ignore the extra key.
+    if kind == KIND_BINARY and getattr(model, "_y_perm", None) is not None:
+        arrays["model.y_perm"] = np.asarray(model._y_perm, dtype=np.float64)
+    if kind == KIND_MULTICLASS and \
+            getattr(model, "_targets_perm", None) is not None:
+        arrays["model.targets"] = np.asarray(model._targets_perm,
+                                             dtype=np.float64)
     if kind == KIND_MULTICLASS:
         classes = np.asarray(model.classes_)
         if classes.dtype == object:
@@ -626,6 +661,11 @@ def load_model(path: str):
                                          tree=tree, X=X_train)
     model.X_train_ = X_train
     model.weights_ = weights
+    if "model.y_perm" in arrays:
+        model._y_perm = np.asarray(arrays["model.y_perm"], dtype=np.float64)
+    if "model.targets" in arrays:
+        model._targets_perm = np.asarray(arrays["model.targets"],
+                                         dtype=np.float64)
     model.solver_ = _restore_solver(config, arrays, tree, X_train, kernel, lam)
     return model
 

@@ -15,23 +15,31 @@ fraction of the cost.  This package provides both:
   accuracy of the KRR classifier for a given ``(h, lambda)``, with the
   cheap-lambda-update optimization (changing ``lambda`` only updates the
   diagonal, no recompression — Section 5.3).
+
+All three searchers are λ-move aware: the grid is walked with ``lam``
+varying fastest, random search can sweep several λ values per sampled
+configuration, and the bandit carries a λ-only perturbation technique —
+so a refit-capable objective (``KRRObjective``, either backend) pays one
+kernel build / compression per distinct ``h`` and a cheap refit per λ.
 """
 
 from .search_space import ParameterSpace, ContinuousParameter, LogUniformParameter
-from .grid_search import GridSearch
+from .grid_search import GridSearch, order_lam_fastest
 from .random_search import RandomSearch
 from .bandit import BanditTuner
 from .objective import KRRObjective, EvaluationRecord
-from .result import TuningResult
+from .result import TuningResult, observed_refit
 
 __all__ = [
     "ParameterSpace",
     "ContinuousParameter",
     "LogUniformParameter",
     "GridSearch",
+    "order_lam_fastest",
     "RandomSearch",
     "BanditTuner",
     "KRRObjective",
     "EvaluationRecord",
     "TuningResult",
+    "observed_refit",
 ]

@@ -4,11 +4,14 @@ OpenTuner's core design (Ansel et al., 2014 — reference [31] of the paper)
 is a *meta* optimizer: several search techniques propose configurations and
 a multi-armed bandit with an area-under-curve credit assignment decides
 which technique gets to propose next.  This module implements that
-architecture in miniature with four techniques that cover the same ground
+architecture in miniature with five techniques that cover the same ground
 as OpenTuner's default ensemble:
 
 * pure random sampling (global exploration),
 * Gaussian perturbation of the incumbent (local exploitation, log-scale),
+* λ-only perturbation of the incumbent (holds every other parameter fixed
+  so the evaluation is a λ-only move and rides the objective's cheap
+  refit path — the paper's Section-5.3 diagonal-update observation),
 * differential evolution (population-based recombination),
 * Nelder–Mead style reflection steps on the best simplex.
 
@@ -26,7 +29,7 @@ from typing import Callable, Deque, Dict, List, Optional
 import numpy as np
 
 from ..utils.random import as_generator
-from .result import TuningResult
+from .result import TuningResult, observed_refit
 from .search_space import ParameterSpace
 
 
@@ -73,6 +76,33 @@ class _PerturbTechnique(_Technique):
         center = self._log_array(result.best_config)
         step = self.rng.normal(scale=self.scale, size=center.shape)
         return self._from_log(center + step)
+
+
+class _LambdaPerturbTechnique(_Technique):
+    """Perturb only ``lam`` of the incumbent (a guaranteed λ-only move).
+
+    Every proposal keeps the incumbent's other parameters bit-for-bit and
+    perturbs the ridge parameter in log space, so when the previous
+    evaluation visited the incumbent's ``h`` a refit-aware objective takes
+    the cheap refit path — the tuner's way of exploiting the paper's
+    Section-5.3 observation that λ changes do not require recompression.
+    """
+
+    name = "lam_perturb"
+
+    def __init__(self, space: ParameterSpace, rng: np.random.Generator,
+                 scale: float = 0.5):
+        super().__init__(space, rng)
+        self.scale = float(scale)
+
+    def propose(self, result: TuningResult) -> Dict[str, float]:
+        if not result.best_config or "lam" not in self.space.names:
+            return self.space.sample(self.rng)
+        config = dict(result.best_config)
+        lam = max(float(config["lam"]), 1e-12)
+        config["lam"] = float(np.exp(
+            np.log(lam) + self.rng.normal(scale=self.scale)))
+        return config
 
 
 class _DifferentialEvolutionTechnique(_Technique):
@@ -151,6 +181,7 @@ class BanditTuner:
         return [
             _RandomTechnique(self.space, rng),
             _PerturbTechnique(self.space, rng),
+            _LambdaPerturbTechnique(self.space, rng),
             _DifferentialEvolutionTechnique(self.space, rng),
             _NelderMeadTechnique(self.space, rng),
         ]
@@ -183,7 +214,7 @@ class BanditTuner:
             config = self.space.clip(technique.propose(result))
             previous_best = result.best_value
             value = objective(config)
-            result.record(config, value)
+            result.record(config, value, refit=observed_refit(objective))
             improved = int(value > previous_best)
             successes[pick].append(improved)
             counts[pick] += 1

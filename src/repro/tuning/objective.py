@@ -8,10 +8,20 @@ Two practical details from the paper are reflected here:
   entries of the HSS matrix, and there is no need to perform HSS
   construction again.  However, a change to h requires to perform HSS
   reconstruction from scratch, which is costly." (Section 5.3).  The
-  objective therefore caches per-``h`` state: with the dense solver it
-  caches the kernel matrix, and for every new ``lambda`` only re-factors;
-  the evaluation counter still counts every (h, lambda) pair as one run,
+  objective therefore detects λ-only moves — consecutive evaluations that
+  share every parameter except ``lam`` — and takes the *refit path*: with
+  the dense backend it reuses the cached λ-free kernel matrices and only
+  re-factors; with the ``"hss"`` backend it reuses the resident
+  :class:`repro.hss.CompressedKernel` and redoes only the ULV
+  factorization (:meth:`repro.krr.solvers.KernelSystemSolver.refit`).
+  The evaluation counter still counts every (h, lambda) pair as one run,
   exactly like the paper's "runs".
+
+All three searchers (:class:`repro.tuning.GridSearch` orders its grid so
+λ varies fastest, :class:`repro.tuning.RandomSearch` can sweep several λ
+values per sampled h, and :class:`repro.tuning.BanditTuner` carries a
+λ-perturbation technique) are shaped to produce λ-only moves, so most of
+a tuning run rides the cheap refit path.
 """
 
 from __future__ import annotations
@@ -29,12 +39,31 @@ from ..utils.validation import check_array_2d, check_labels_binary
 
 @dataclass
 class EvaluationRecord:
-    """One objective evaluation (a single "run" in the paper's terminology)."""
+    """One objective evaluation (a single "run" in the paper's terminology).
+
+    Attributes
+    ----------
+    h, lam:
+        The evaluated configuration.
+    accuracy:
+        Validation accuracy of that configuration.
+    reused_kernel:
+        Whether resident λ-independent kernel state was reused (no kernel
+        build / compression happened).
+    refit:
+        Whether the evaluation rode the refit path: it reused a resident
+        λ-free kernel/compression and paid only factorization + solve.
+        λ-only moves always do; with ``cache_size > 1`` an ``h``-move
+        returning to a still-cached ``h`` does too (the hss backend
+        literally calls ``solver.refit`` there), so this flag counts
+        *avoided rebuilds*, not strictly consecutive λ-only pairs.
+    """
 
     h: float
     lam: float
     accuracy: float
     reused_kernel: bool
+    refit: bool = False
 
 
 class KRRObjective:
@@ -47,21 +76,45 @@ class KRRObjective:
     X_val, y_val:
         Validation data with ±1 labels (drives the tuning).
     cache_kernels:
-        Reuse the kernel matrix across evaluations that share ``h``
-        (the cheap-lambda-update optimization).  The cache holds a single
-        ``h`` value at a time, so memory stays bounded.
-
-    Notes
-    -----
-    The objective uses the dense solver: tuning runs are small (the paper
-    tunes on sub-sampled data) and the dense path removes compression noise
-    from the comparison between the search strategies, which is what
-    Figure 6 is about.
+        Reuse the λ-independent kernel state across evaluations that share
+        ``h`` (the cheap-lambda-update optimization).
+    cache_size:
+        Number of distinct ``h`` values whose λ-independent state is kept
+        resident (LRU-evicted beyond that).  The default of 1 matches the
+        historical single-``h`` memory profile and is all that
+        λ-grouped searchers (λ-fastest grid order, ``lam_sweep`` random
+        search) need.  Interleaving searchers benefit from a deeper
+        cache: :class:`repro.tuning.BanditTuner`'s λ-perturb technique
+        revisits the incumbent between exploration moves, so a
+        ``cache_size`` of ~6 (one slot per technique-rotation step) keeps
+        the incumbent's state resident at a cost of ``cache_size`` kernel
+        matrices (dense backend) or compressions (hss backend).
+    solver:
+        Evaluation backend.  ``"dense"`` (default) removes compression
+        noise from the strategy comparison, which is what Figure 6 is
+        about; a λ-only move then skips the two kernel-matrix builds.
+        ``"hss"`` runs the paper's actual training stack: one λ-free
+        compression per ``h`` (:class:`repro.krr.HSSSolver`), and every
+        λ-only move refits the resident compression — one ``O(n r^2)``
+        ULV instead of a full build.
+    leaf_size, seed:
+        Clustering / sampling knobs of the ``"hss"`` backend (the
+        clustering depends on neither ``h`` nor ``lam``, so it is computed
+        exactly once).
+    hss_options, hmatrix_options, use_hmatrix_sampling:
+        Compression options of the ``"hss"`` backend.
     """
 
     def __init__(self, X_train: np.ndarray, y_train: np.ndarray,
                  X_val: np.ndarray, y_val: np.ndarray,
-                 cache_kernels: bool = True):
+                 cache_kernels: bool = True,
+                 cache_size: int = 1,
+                 solver: str = "dense",
+                 leaf_size: int = 16,
+                 seed=0,
+                 hss_options=None,
+                 hmatrix_options=None,
+                 use_hmatrix_sampling: bool = True):
         self.X_train = check_array_2d(X_train, "X_train")
         self.y_train = check_labels_binary(y_train, "y_train")
         self.X_val = check_array_2d(X_val, "X_val")
@@ -72,42 +125,125 @@ class KRRObjective:
             raise ValueError("X_val and y_val size mismatch")
         if self.X_train.shape[1] != self.X_val.shape[1]:
             raise ValueError("train and validation dimensions differ")
+        solver = str(solver).strip().lower()
+        if solver not in ("dense", "hss"):
+            raise ValueError(f"solver must be 'dense' or 'hss', got {solver!r}")
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.solver = solver
         self.cache_kernels = bool(cache_kernels)
+        self.cache_size = int(cache_size)
+        self.leaf_size = int(leaf_size)
+        self.seed = seed
+        self.hss_options = hss_options
+        self.hmatrix_options = hmatrix_options
+        self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
         self.records: List[EvaluationRecord] = []
-        self._cached_h: Optional[float] = None
-        self._cached_K: Optional[np.ndarray] = None
-        self._cached_Kval: Optional[np.ndarray] = None
+        # LRU cache of λ-independent per-h state: dense -> (K, K_val),
+        # hss -> (HSSSolver holding the λ-free compression, K_val).
+        self._cache: "dict[float, tuple]" = {}
+        # clustering is (h, λ)-independent, computed exactly once (hss)
+        self._clustering = None
 
     # ------------------------------------------------------------------ call
     def __call__(self, config: Dict[str, float]) -> float:
-        """Evaluate the validation accuracy of one (h, lambda) configuration."""
+        """Evaluate the validation accuracy of one (h, lambda) configuration.
+
+        Parameters
+        ----------
+        config:
+            Dictionary with ``"h"`` and ``"lam"`` entries.
+
+        Returns
+        -------
+        float
+            Validation accuracy in ``[0, 1]``.
+        """
         h = float(config["h"])
         lam = float(config["lam"])
         if h <= 0 or lam < 0:
             raise ValueError(f"invalid configuration h={h}, lam={lam}")
+        if self.solver == "hss":
+            acc, reused, refit = self._evaluate_hss(h, lam)
+        else:
+            acc, reused, refit = self._evaluate_dense(h, lam)
+        self.records.append(EvaluationRecord(h=h, lam=lam, accuracy=acc,
+                                             reused_kernel=reused,
+                                             refit=refit))
+        return acc
 
-        reused = False
-        if self.cache_kernels and self._cached_h == h:
-            K = self._cached_K
-            K_val = self._cached_Kval
-            reused = True
+    def _cache_get(self, h: float):
+        """Fetch (and LRU-refresh) the λ-independent state cached for ``h``."""
+        if not self.cache_kernels or h not in self._cache:
+            return None
+        state = self._cache.pop(h)
+        self._cache[h] = state  # re-insert: most recently used
+        return state
+
+    def _cache_put(self, h: float, state: tuple) -> None:
+        """Insert per-h state, evicting the least recently used beyond size."""
+        if not self.cache_kernels:
+            return
+        self._cache[h] = state
+        while len(self._cache) > self.cache_size:
+            oldest = next(iter(self._cache))
+            evicted = self._cache.pop(oldest)
+            close = getattr(evicted[0], "close", None)
+            if close is not None:
+                close()
+
+    def _evaluate_dense(self, h: float, lam: float) -> Tuple[float, bool, bool]:
+        """Exact dense evaluation; λ-only moves reuse the cached kernels."""
+        cached = self._cache_get(h)
+        reused = cached is not None
+        if cached is not None:
+            K, K_val = cached
         else:
             kernel = GaussianKernel(h=h)
             K = kernel.matrix(self.X_train)
             K_val = kernel.matrix(self.X_val, self.X_train)
-            if self.cache_kernels:
-                self._cached_h = h
-                self._cached_K = K
-                self._cached_Kval = K_val
+            self._cache_put(h, (K, K_val))
 
         A = K + lam * np.eye(K.shape[0])
         weights = scipy.linalg.solve(A, self.y_train, assume_a="pos")
         scores = K_val @ weights
         pred = np.where(scores >= 0.0, 1.0, -1.0)
+        return accuracy(self.y_val, pred), reused, reused
+
+    def _evaluate_hss(self, h: float, lam: float) -> Tuple[float, bool, bool]:
+        """HSS evaluation: compress once per h, ULV-refit per λ."""
+        from ..clustering.api import cluster
+        from ..krr.solvers import HSSSolver
+
+        if self._clustering is None:
+            self._clustering = cluster(self.X_train, method="two_means",
+                                       leaf_size=self.leaf_size,
+                                       seed=self.seed)
+        clustering = self._clustering
+        y_perm = clustering.permute_labels(self.y_train)
+
+        cached = self._cache_get(h)
+        refit = cached is not None
+        if cached is not None:
+            solver, K_val = cached
+            solver.refit(lam)
+        else:
+            kernel = GaussianKernel(h=h)
+            solver = HSSSolver(hss_options=self.hss_options,
+                               hmatrix_options=self.hmatrix_options,
+                               use_hmatrix_sampling=self.use_hmatrix_sampling,
+                               seed=self.seed)
+            solver.fit(clustering.X, clustering.tree, kernel, lam)
+            K_val = kernel.matrix(self.X_val, clustering.X)
+            self._cache_put(h, (solver, K_val))
+
+        weights = solver.solve(y_perm)
+        scores = K_val @ weights
+        pred = np.where(scores >= 0.0, 1.0, -1.0)
         acc = accuracy(self.y_val, pred)
-        self.records.append(EvaluationRecord(h=h, lam=lam, accuracy=acc,
-                                             reused_kernel=reused))
-        return acc
+        if not self.cache_kernels:
+            solver.close()
+        return acc, refit, refit
 
     # ------------------------------------------------------------- reporting
     @property
@@ -117,11 +253,50 @@ class KRRObjective:
 
     @property
     def kernel_constructions(self) -> int:
-        """Number of kernel matrix (re)constructions (h changes)."""
+        """Number of kernel matrix (re)constructions / compressions (h changes)."""
         return sum(1 for r in self.records if not r.reused_kernel)
 
+    @property
+    def refits(self) -> int:
+        """Evaluations that rode the refit path (no rebuild; see record docs)."""
+        return sum(1 for r in self.records if r.refit)
+
+    @property
+    def last_was_refit(self) -> bool:
+        """Whether the most recent evaluation rode the refit path."""
+        return bool(self.records) and self.records[-1].refit
+
+    def close(self) -> None:
+        """Release the cached per-h state (worker threads included).
+
+        The hss backend's cached solvers each hold a
+        :class:`repro.parallel.BlockExecutor`; only LRU evictions release
+        them during a run, so call this (or use the objective as a
+        context manager) when the tuning run is done.  The objective
+        remains usable afterwards — later evaluations simply rebuild.
+        """
+        cache, self._cache = self._cache, {}
+        for state in cache.values():
+            closer = getattr(state[0], "close", None)
+            if closer is not None:
+                closer()
+
+    def __enter__(self) -> "KRRObjective":
+        """Context-manager entry (returns ``self``)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close` the cached state."""
+        self.close()
+
     def best(self) -> Tuple[Dict[str, float], float]:
-        """Best configuration seen so far and its accuracy."""
+        """Best configuration seen so far and its accuracy.
+
+        Returns
+        -------
+        tuple
+            ``(config, accuracy)`` of the incumbent.
+        """
         if not self.records:
             raise RuntimeError("no evaluations performed yet")
         best = max(self.records, key=lambda r: r.accuracy)

@@ -27,19 +27,31 @@ class TuningResult:
     best_config: Dict[str, float] = field(default_factory=dict)
     best_value: float = float("-inf")
     history: List[Dict[str, float]] = field(default_factory=list)
+    #: evaluations that rode the objective's refit path (populated
+    #: by the searchers when the objective reports it)
+    refits: int = 0
 
     @property
     def evaluations(self) -> int:
         return len(self.history)
 
-    def record(self, config: Dict[str, float], value: float) -> None:
+    def record(self, config: Dict[str, float], value: float,
+               refit: Optional[bool] = None) -> None:
         """Add one evaluation and update the incumbent if it improved."""
         entry = dict(config)
         entry["objective"] = float(value)
+        if refit is not None:
+            entry["refit"] = bool(refit)
+            self.refits += int(bool(refit))
         self.history.append(entry)
         if value > self.best_value:
             self.best_value = float(value)
             self.best_config = dict(config)
+
+    @property
+    def refit_fraction(self) -> float:
+        """Fraction of evaluations that rode the refit path."""
+        return self.refits / len(self.history) if self.history else 0.0
 
     def best_so_far(self) -> List[float]:
         """Running maximum of the objective, per evaluation (Figure 6 curves)."""
@@ -49,3 +61,22 @@ class TuningResult:
             best = max(best, entry["objective"])
             out.append(best)
         return out
+
+
+def observed_refit(objective) -> Optional[bool]:
+    """Whether the objective's last evaluation rode the refit path.
+
+    Parameters
+    ----------
+    objective:
+        The objective callable just evaluated.  Objectives that track the
+        refit path (e.g. :class:`repro.tuning.KRRObjective`) expose a
+        ``last_was_refit`` attribute; plain callables do not.
+
+    Returns
+    -------
+    bool or None
+        The flag, or ``None`` when the objective does not report one.
+    """
+    flag = getattr(objective, "last_was_refit", None)
+    return None if flag is None else bool(flag)

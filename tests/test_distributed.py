@@ -33,6 +33,7 @@ from repro.distributed import (Coordinator, DistributedError,
 from repro.distributed.comm import ArraySpec, BlockChannel, SharedArray
 from repro.kernels import GaussianKernel
 from repro.krr import KernelRidgeClassifier, KRRPipeline
+from repro.krr.solvers import HSSSolver
 from repro.serving import shard_plan_from_arrays, shard_plan_to_arrays
 
 #: compression tolerance pinned tight so sharded-vs-serial deviations stay
@@ -419,6 +420,110 @@ class TestWarmGrid:
             s2.fit(X_perm, tree, kernel, lam)   # steals the grid again
             with pytest.raises(RuntimeError, match="refit"):
                 s3.solve(rhs)
+
+    def test_lambda_refit_zero_spawns_zero_recompressions(self, small_problem):
+        """A λ-only refit on a warm grid keeps every process and every
+        local compression: the workers only redo their ULV and the
+        coordinator only remerges the capacitance system."""
+        data = small_problem
+        problem = _cluster_problem(data)
+        X_perm, tree, kernel, lam = problem
+        rhs = np.random.default_rng(17).standard_normal(tree.n)
+        solver = _make_distributed_solver()
+        try:
+            solver.fit(*problem)
+            grid = solver._owned_grid
+            pids = [w.process.pid for w in grid._workers]
+            assert solver.compression_count == 1
+            solver.refit(2.0 * lam)
+            assert grid.spawn_count == 2, "refit must spawn zero processes"
+            assert [w.process.pid for w in grid._workers] == pids
+            assert solver.compression_count == 1, \
+                "refit must perform zero recompressions"
+            assert solver.report.refits == 1
+            assert solver.coordinator_.fit_info["recompressions"] == 0
+            w_refit = solver.solve(rhs).copy()
+        finally:
+            solver.close()
+
+        # The refit refreshed the collected factors (ULV payload +
+        # capacitance only): post-close in-process solves must reproduce
+        # the live refitted solve to roundoff (same contract as the
+        # collected factors of a full fit).
+        w_closed = solver.solve(rhs)
+        assert np.allclose(w_closed, w_refit, rtol=1e-10, atol=1e-12), \
+            "refreshed factors must reproduce the live refitted solve"
+
+        # The refit solution is bitwise equal to a cold distributed fit at
+        # the same λ (identical λ-free compressions + identical shift).
+        cold = _make_distributed_solver()
+        try:
+            cold.fit(X_perm, tree, kernel, 2.0 * lam)
+            w_cold = cold.solve(rhs).copy()
+        finally:
+            cold.close()
+        assert np.array_equal(w_refit, w_cold)
+
+        # And matches the serial solver within the sharded tolerance (both
+        # systems live in the same permuted ordering, as does ``rhs``).
+        serial = HSSSolver(hss_options=TIGHT, seed=0)
+        try:
+            serial.fit(X_perm, tree, kernel, 2.0 * lam)
+            serial_w = serial.solve(rhs)
+        finally:
+            serial.close()
+        rel_dev = (np.linalg.norm(w_refit - serial_w)
+                   / np.linalg.norm(serial_w))
+        assert rel_dev < 1e-3
+
+    def test_refit_respects_fit_generation_guard(self, small_problem):
+        """A stale coordinator must not refit a grid a newer fit owns."""
+        data = small_problem
+        X_perm, tree, kernel, lam = _cluster_problem(data)
+        plan = ShardPlan.from_tree(tree, 2)
+        with WorkerGrid(plan, X_perm) as grid:
+            s1 = DistributedSolver(shards=2, hss_options=TIGHT, seed=0,
+                                   grid=grid)
+            s1.fit(X_perm, tree, kernel, lam)
+            s2 = DistributedSolver(shards=2, hss_options=TIGHT, seed=0,
+                                   grid=grid)
+            s2.fit(X_perm, tree, kernel, 2.0 * lam)
+            # s1's coordinator is stale: its live refit path must refuse,
+            # and the solver falls back to its collected factors instead.
+            with pytest.raises(RuntimeError, match="stale"):
+                s1.coordinator_.refit(lam)
+            s1.refit(3.0 * lam)  # offline refit over collected factors
+            # ... and s1's refit must not have disturbed s2's live state.
+            assert s2.coordinator_.current
+            # A refit through s2 advances the generation, flipping any
+            # other coordinator to stale — same guard as a full fit.
+            gen_before = grid.fit_generation
+            s2.refit(4.0 * lam)
+            assert grid.fit_generation == gen_before + 1
+            assert s2.coordinator_.current
+
+    def test_offline_refit_after_close_matches_cold_fit(self, small_problem):
+        """refit() on a closed solver re-factors the collected λ-free
+        factors in-process and still equals a cold distributed fit."""
+        data = small_problem
+        problem = _cluster_problem(data)
+        X_perm, tree, kernel, lam = problem
+        rhs = np.random.default_rng(19).standard_normal(tree.n)
+        solver = _make_distributed_solver()
+        try:
+            solver.fit(*problem)
+        finally:
+            solver.close()
+        solver.refit(2.0 * lam)
+        w_offline = solver.solve(rhs).copy()
+
+        cold = _make_distributed_solver()
+        try:
+            cold.fit(X_perm, tree, kernel, 2.0 * lam)
+            w_cold = cold.solve(rhs).copy()
+        finally:
+            cold.close()
+        assert np.array_equal(w_offline, w_cold)
 
     def test_restarted_grid_reads_as_stale(self, clustered_tree):
         """shutdown()+start() respawns factor-less workers; a coordinator

@@ -1,0 +1,341 @@
+"""Refit equivalence: compress once, refit many.
+
+The compress-once/refit-many split promises that a λ-only ``refit`` is
+*indistinguishable* from a cold fit at the same λ — bitwise for the serial
+solvers (the λ-free compression is deterministic, and the shift is applied
+identically at factor time either way), within the sharded tolerance for
+the distributed path — while performing **zero** recompressions and, on a
+warm :class:`repro.distributed.WorkerGrid`, zero process spawns.  These
+tests pin every layer of that contract: solvers, classifiers/regressor,
+pipeline, tuning objective, persistence (refit after artifact reload) and
+the distributed grid, plus the tiled kernel-operator ``matmat`` satellite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import cluster
+from repro.config import HSSOptions
+from repro.datasets import gaussian_mixture
+from repro.kernels import GaussianKernel, KernelOperator
+from repro.krr import (KernelRidgeClassifier, KernelRidgeRegressor,
+                       KRRPipeline, OneVsAllClassifier)
+from repro.krr.solvers import CGSolver, DenseSolver, HSSSolver
+from repro.parallel import BlockExecutor
+
+LAMBDAS = (0.5, 2.0, 8.0)
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, y = gaussian_mixture(n=320, d=4, n_components=4, separation=3.0,
+                            noise=0.8, seed=0)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def test_data():
+    X, y = gaussian_mixture(n=96, d=4, n_components=4, separation=3.0,
+                            noise=0.8, seed=1)
+    return X, y
+
+
+def _cold_weights(X, y, lam, solver):
+    clf = KernelRidgeClassifier(h=1.0, lam=lam, solver=solver, seed=0)
+    clf.fit(X, y)
+    return clf.weights_
+
+
+# ---------------------------------------------------------------------------
+# serial solvers: bitwise refit == cold fit
+# ---------------------------------------------------------------------------
+
+class TestSerialRefitEquivalence:
+    @pytest.mark.parametrize("solver", ["hss", "dense"])
+    def test_refit_sweep_bitwise_equals_cold_fits(self, data, solver):
+        X, y = data
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver=solver, seed=0)
+        clf.fit(X, y)
+        for lam in LAMBDAS:
+            clf.refit(lam)
+            np.testing.assert_array_equal(
+                clf.weights_, _cold_weights(X, y, lam, solver),
+                err_msg=f"{solver} refit at lam={lam} differs from cold fit")
+
+    def test_hss_refit_performs_zero_recompressions(self, data):
+        X, y = data
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="hss", seed=0)
+        clf.fit(X, y)
+        assert clf.solver_.compression_count == 1
+        for lam in LAMBDAS:
+            clf.refit(lam)
+        assert clf.solver_.compression_count == 1
+        assert clf.solver_.report.refits == len(LAMBDAS)
+        assert clf.lam == LAMBDAS[-1]
+
+    def test_refit_only_redoes_factorization_phases(self, data):
+        X, y = data
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="hss", seed=0)
+        clf.fit(X, y)
+        clf.refit(4.0)
+        timings = clf.solver_.report.timings
+        assert "factorization" in timings and "solve" in timings
+        assert all(not name.startswith(("hmatrix", "hss_"))
+                   for name in timings), (
+            f"refit re-ran compression phases: {sorted(timings)}")
+
+    def test_cg_refit_matches_cold(self, data):
+        X, y = data
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="cg", seed=0)
+        clf.fit(X, y)
+        clf.refit(3.0)
+        np.testing.assert_array_equal(clf.weights_,
+                                      _cold_weights(X, y, 3.0, "cg"))
+
+    def test_regressor_refit_bitwise(self, data):
+        X, _ = data
+        rng = np.random.default_rng(5)
+        y = np.sin(X[:, 0]) + 0.1 * rng.standard_normal(X.shape[0])
+        reg = KernelRidgeRegressor(h=1.0, lam=1.0, solver="hss", seed=0)
+        reg.fit(X, y)
+        reg.refit(2.0)
+        cold = KernelRidgeRegressor(h=1.0, lam=2.0, solver="hss", seed=0)
+        cold.fit(X, y)
+        np.testing.assert_array_equal(reg.weights_, cold.weights_)
+
+    def test_multiclass_refit_bitwise_single_compression(self, data):
+        X, y_bin = data
+        y = (y_bin > 0).astype(int) + (X[:, 0] > 0).astype(int)
+        ova = OneVsAllClassifier(h=1.0, lam=1.0, solver="hss", seed=0)
+        ova.fit(X, y)
+        ova.refit(2.0)
+        assert ova.solver_.compression_count == 1
+        cold = OneVsAllClassifier(h=1.0, lam=2.0, solver="hss", seed=0)
+        cold.fit(X, y)
+        np.testing.assert_array_equal(ova.weights_, cold.weights_)
+
+    def test_unfitted_refit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            KernelRidgeClassifier(solver="hss").refit(1.0)
+        with pytest.raises(RuntimeError, match="fitted"):
+            HSSSolver().refit(1.0)
+
+    def test_negative_lambda_rejected(self, data):
+        X, y = data
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="dense").fit(X, y)
+        with pytest.raises(ValueError):
+            clf.refit(-1.0)
+
+    def test_legacy_baked_in_compression_refuses_refit(self, data):
+        X, y = data
+        # A pre-constructed HSSSolver pins the serial path even under the
+        # CI REPRO_SHARDS=2 leg (the legacy flag lives on HSSSolver).
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver=HSSSolver(seed=0),
+                                    seed=0)
+        clf.fit(X, y)
+        clf.solver_._hss_lam_free = False  # simulate a legacy artifact
+        with pytest.raises(RuntimeError, match="baked in"):
+            clf.refit(2.0)
+
+
+class TestPipelineRefit:
+    def test_refit_report_matches_cold_run(self, data, test_data):
+        X, y = data
+        Xt, yt = test_data
+        pipe = KRRPipeline(h=1.0, lam=1.0, solver="hss", seed=0)
+        pipe.run(X, y, Xt, yt, dataset_name="mixture")
+        report = pipe.refit(2.0, X_test=Xt, y_test=yt)
+        cold = KRRPipeline(h=1.0, lam=2.0, solver="hss", seed=0)
+        cold_report = cold.run(X, y, Xt, yt, dataset_name="mixture")
+        assert report.lam == 2.0
+        assert report.accuracy == cold_report.accuracy
+        assert report.dataset == "mixture"
+        np.testing.assert_array_equal(pipe.classifier_.weights_,
+                                      cold.classifier_.weights_)
+
+    def test_refit_before_run_raises(self):
+        with pytest.raises(RuntimeError, match="run"):
+            KRRPipeline().refit(1.0)
+
+
+# ---------------------------------------------------------------------------
+# persistence: refit after artifact reload
+# ---------------------------------------------------------------------------
+
+class TestRefitAfterReload:
+    def test_hss_artifact_reload_then_refit_bitwise(self, tmp_path, data):
+        X, y = data
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="hss", seed=0)
+        clf.fit(X, y)
+        clf.save(str(tmp_path / "model.npz"))
+        loaded = KernelRidgeClassifier.load(str(tmp_path / "model.npz"))
+        loaded.refit(2.0)
+        np.testing.assert_array_equal(loaded.weights_,
+                                      _cold_weights(X, y, 2.0, "hss"))
+        # a refitted model re-saves consistently
+        loaded.save(str(tmp_path / "model2.npz"))
+        again = KernelRidgeClassifier.load(str(tmp_path / "model2.npz"))
+        np.testing.assert_array_equal(again.weights_, loaded.weights_)
+        assert again.lam == 2.0
+
+    def test_dense_artifact_reload_then_refit(self, tmp_path, data):
+        X, y = data
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="dense", seed=0)
+        clf.fit(X, y)
+        clf.save(str(tmp_path / "dense.npz"))
+        loaded = KernelRidgeClassifier.load(str(tmp_path / "dense.npz"))
+        loaded.refit(2.0)
+        np.testing.assert_array_equal(loaded.weights_,
+                                      _cold_weights(X, y, 2.0, "dense"))
+
+    def test_multiclass_artifact_reload_then_refit(self, tmp_path, data):
+        X, y_bin = data
+        y = (y_bin > 0).astype(int) + (X[:, 0] > 0).astype(int)
+        ova = OneVsAllClassifier(h=1.0, lam=1.0, solver="hss", seed=0)
+        ova.fit(X, y)
+        ova.save(str(tmp_path / "ova.npz"))
+        loaded = OneVsAllClassifier.load(str(tmp_path / "ova.npz"))
+        loaded.refit(2.0)
+        cold = OneVsAllClassifier(h=1.0, lam=2.0, solver="hss", seed=0)
+        cold.fit(X, y)
+        np.testing.assert_array_equal(loaded.weights_, cold.weights_)
+
+    def test_artifact_without_targets_refuses_refit(self, tmp_path, data):
+        X, y = data
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="hss", seed=0)
+        clf.fit(X, y)
+        clf._y_perm = None  # simulate an old-version artifact
+        clf.save(str(tmp_path / "old.npz"))
+        loaded = KernelRidgeClassifier.load(str(tmp_path / "old.npz"))
+        with pytest.raises(RuntimeError, match="older version"):
+            loaded.refit(2.0)
+
+
+# ---------------------------------------------------------------------------
+# tuning objective: λ-only moves take the refit path
+# ---------------------------------------------------------------------------
+
+class TestTuningRefitPath:
+    def test_dense_objective_counts_refits(self, data, test_data):
+        from repro.tuning import KRRObjective
+        X, y = data
+        Xv, yv = test_data
+        obj = KRRObjective(X, y, Xv, yv)
+        obj({"h": 1.0, "lam": 0.5})
+        obj({"h": 1.0, "lam": 2.0})   # λ-only move
+        obj({"h": 2.0, "lam": 2.0})   # h move
+        obj({"h": 2.0, "lam": 4.0})   # λ-only move
+        assert obj.refits == 2
+        assert obj.kernel_constructions == 2
+        assert obj.last_was_refit
+
+    def test_hss_objective_refits_match_cold_accuracy(self, data, test_data):
+        from repro.tuning import KRRObjective
+        X, y = data
+        Xv, yv = test_data
+        refitting = KRRObjective(X, y, Xv, yv, solver="hss", seed=0)
+        cold = KRRObjective(X, y, Xv, yv, solver="hss", seed=0,
+                            cache_kernels=False)
+        for lam in LAMBDAS:
+            config = {"h": 1.0, "lam": lam}
+            assert refitting(config) == cold(config)
+        assert refitting.refits == len(LAMBDAS) - 1
+        assert refitting.kernel_constructions == 1
+        assert cold.refits == 0
+
+    def test_grid_search_rides_refit_path(self, data, test_data):
+        from repro.tuning import GridSearch, KRRObjective, ParameterSpace
+        X, y = data
+        Xv, yv = test_data
+        obj = KRRObjective(X, y, Xv, yv)
+        space = ParameterSpace.krr_default(h_bounds=(0.5, 2.0),
+                                           lam_bounds=(0.5, 4.0))
+        result = GridSearch(space, points_per_dim=4).optimize(obj)
+        # 4 h-columns of 4 λ values each: one build + three refits per column
+        assert result.evaluations == 16
+        assert result.refits == 12
+        assert obj.kernel_constructions == 4
+
+    def test_random_search_lam_sweep_rides_refit_path(self, data, test_data):
+        from repro.tuning import KRRObjective, ParameterSpace, RandomSearch
+        X, y = data
+        Xv, yv = test_data
+        obj = KRRObjective(X, y, Xv, yv)
+        space = ParameterSpace.krr_default()
+        result = RandomSearch(space, budget=12, seed=0,
+                              lam_sweep=4).optimize(obj)
+        assert result.evaluations == 12
+        assert result.refits == 9  # 3 groups x 3 λ-only follow-ups
+        assert obj.kernel_constructions == 3
+
+    def test_bandit_lambda_technique_produces_refits(self, data, test_data):
+        from repro.tuning import BanditTuner, KRRObjective, ParameterSpace
+        X, y = data
+        Xv, yv = test_data
+        # cache_size 6 = one slot per technique-rotation step, so the
+        # λ-perturb technique's incumbent stays resident between picks.
+        obj = KRRObjective(X, y, Xv, yv, cache_size=6)
+        space = ParameterSpace.krr_default(h_bounds=(0.5, 2.0),
+                                           lam_bounds=(0.5, 4.0))
+        tuner = BanditTuner(space, budget=30, seed=0)
+        result = tuner.optimize(obj)
+        assert "lam_perturb" in tuner.technique_usage_
+        assert result.refits == obj.refits
+        assert result.refits >= 1
+
+    def test_order_lam_fastest_groups_non_lam_params(self):
+        from repro.tuning import order_lam_fastest
+        configs = [{"h": 1.0, "lam": 1.0}, {"h": 2.0, "lam": 1.0},
+                   {"h": 1.0, "lam": 2.0}, {"h": 2.0, "lam": 2.0}]
+        ordered = order_lam_fastest(configs)
+        assert [c["h"] for c in ordered] == [1.0, 1.0, 2.0, 2.0]
+        # already-grouped input (lam fastest) comes back unchanged
+        grouped = [{"h": 1.0, "lam": 1.0}, {"h": 1.0, "lam": 2.0},
+                   {"h": 2.0, "lam": 1.0}, {"h": 2.0, "lam": 2.0}]
+        assert order_lam_fastest(grouped) == grouped
+
+
+# ---------------------------------------------------------------------------
+# satellite: tiled kernel-operator matmat
+# ---------------------------------------------------------------------------
+
+class TestTiledMatmat:
+    def _operator(self, **kwargs):
+        rng = np.random.default_rng(7)
+        X = rng.standard_normal((230, 5))
+        return KernelOperator(X, GaussianKernel(h=1.1), **kwargs), rng
+
+    def test_tiled_bitwise_deterministic_across_worker_counts(self):
+        op_serial, rng = self._operator(col_tile=48, block_size=64)
+        V = rng.standard_normal((230, 6))
+        serial = op_serial.matmat(V)
+        for workers in (2, 4):
+            with BlockExecutor(workers=workers, serial_threshold=0) as ex:
+                op = KernelOperator(op_serial.X, op_serial.kernel,
+                                    block_size=64, col_tile=48, executor=ex)
+                np.testing.assert_array_equal(op.matmat(V), serial)
+
+    def test_tiled_matches_untiled_path(self):
+        op_tiled, rng = self._operator(col_tile=48)
+        op_untiled = KernelOperator(op_tiled.X, op_tiled.kernel)
+        V = rng.standard_normal((230, 4))
+        np.testing.assert_allclose(op_tiled.matmat(V), op_untiled.matmat(V),
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_exact_sampling_training_uses_tiles_and_stays_deterministic(self, data):
+        X, y = data
+        weights = {}
+        for workers in (1, 2):
+            solver = HSSSolver(hss_options=HSSOptions(rel_tol=1e-6),
+                               use_hmatrix_sampling=False, seed=0,
+                               workers=workers, matmat_col_tile=64)
+            clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver=solver, seed=0)
+            clf.fit(X, y)
+            weights[workers] = clf.weights_
+        np.testing.assert_array_equal(weights[1], weights[2])
+
+    def test_invalid_col_tile(self):
+        with pytest.raises(ValueError):
+            KernelOperator(np.zeros((4, 2)), GaussianKernel(), col_tile=0)

@@ -174,6 +174,65 @@ def test_restored_solver_rejects_refit(tmp_path, problem, sharded_model):
                            loaded.kernel, loaded.lam)
 
 
+def test_sharded_artifact_reload_then_refit(tmp_path, problem, sharded_model):
+    """A reloaded ``shards=2`` model re-factors at a new λ offline: the
+    persisted λ-free per-shard compressions are ULV-refactored in-process
+    and the result equals a cold sharded fit at that λ (bitwise — the
+    collected factors are the cold fit's factors)."""
+    store = ModelStore(tmp_path)
+    store.save(sharded_model, "refit-me")
+    loaded = store.load("refit-me")
+    assert isinstance(loaded.solver_, ShardedULVSolver)
+    assert loaded.solver_.factors.hss_lam_free
+    new_lam = 2.0 * problem.lam
+    loaded.refit(new_lam)
+    assert loaded.lam == new_lam
+
+    cold = KernelRidgeClassifier(h=problem.h, lam=new_lam, solver="hss",
+                                 shards=2, seed=0,
+                                 solver_options={"hss_options": TIGHT})
+    cold.fit(problem.X_train, problem.y_train)
+    np.testing.assert_array_equal(loaded.weights_, cold.weights_)
+
+    # The refitted model re-saves consistently (refit keeps the persisted
+    # ULV payload and capacitance matrix in sync).
+    store.save(loaded, "refit-me-2")
+    again = store.load("refit-me-2")
+    np.testing.assert_array_equal(again.weights_, loaded.weights_)
+    rhs = np.random.default_rng(23).standard_normal(
+        problem.X_train.shape[0])
+    np.testing.assert_array_equal(again.solver_.solve(rhs),
+                                  loaded.solver_.solve(rhs))
+
+
+def test_legacy_sharded_artifact_refuses_refit(tmp_path, sharded_model):
+    """Artifacts without the λ-free marker (older writers) load and solve
+    fine but refuse λ-only refits instead of double-shifting."""
+    store = ModelStore(tmp_path)
+    store.save(sharded_model, "legacy")
+    loaded = store.load("legacy")
+    loaded.solver_.factors.hss_lam_free = False  # simulate an old artifact
+    with pytest.raises(RuntimeError, match="predates"):
+        loaded.refit(1.0)
+
+
+def test_failed_refit_state_is_never_persisted(tmp_path, sharded_model):
+    """A ShardedULVSolver whose refit failed mid-way (_fitted=False, shards
+    potentially at mixed λ) must refuse solves and must not ship its
+    factors into an artifact."""
+    store = ModelStore(tmp_path)
+    store.save(sharded_model, "pre-fail")
+    loaded = store.load("pre-fail")
+    loaded.solver_._fitted = False  # what a mid-refit failure leaves behind
+    with pytest.raises(RuntimeError, match="fitted"):
+        loaded.solver_.solve(np.ones(loaded.X_train_.shape[0]))
+    store.save(loaded, "post-fail")
+    reloaded = store.load("post-fail")
+    # Predictions (weights) survive; the inconsistent factorization does not.
+    assert reloaded.solver_ is None
+    np.testing.assert_array_equal(reloaded.weights_, loaded.weights_)
+
+
 def test_multiclass_sharded_persistence(tmp_path, problem):
     """One-vs-all (multi-RHS distributed solve) persists and re-solves."""
     y_mc = ((problem.y_train > 0).astype(int)
