@@ -9,6 +9,14 @@ problem sizes and the worker/shard configuration.
 
 Output lands in ``REPRO_BENCH_DIR`` when set, else next to the repository
 root (the parent of ``benchmarks/``).
+
+Each record also stamps the host context (``os.cpu_count()``, platform,
+the ``REPRO_WORKERS`` / ``REPRO_SHARDS`` environment) so anomalies — e.g.
+a "parallel" speedup below 1x — are attributable to the machine that
+produced them, and embeds a compact ``metrics`` summary of the process's
+telemetry registry (see :mod:`repro.obs`).  Setting ``REPRO_METRICS_DUMP``
+to a path additionally writes the full merged snapshot there (Prometheus
+text for ``.prom`` / ``.txt``, JSON otherwise).
 """
 
 from __future__ import annotations
@@ -47,6 +55,24 @@ def bench_output_dir() -> str:
     return os.environ.get("REPRO_BENCH_DIR", "").strip() or _REPO_ROOT
 
 
+def _metrics_section() -> Dict[str, object]:
+    """Compact telemetry summary of this process's registry.
+
+    Honors ``REPRO_METRICS_DUMP``: when set, the full merged snapshot is
+    also written to that path (format by extension).  Telemetry failures
+    never fail a benchmark write — the section degrades to an ``error``
+    note instead.
+    """
+    try:
+        from repro import obs
+
+        if os.environ.get("REPRO_METRICS_DUMP", "").strip():
+            obs.dump_metrics(os.environ["REPRO_METRICS_DUMP"].strip())
+        return obs.summarize_snapshot(obs.global_registry().snapshot())
+    except Exception as exc:  # pragma: no cover - defensive
+        return {"error": repr(exc)}
+
+
 def write_bench_json(name: str, results: Dict[str, object],
                      sizes: Optional[Dict[str, int]] = None,
                      workers: Optional[int] = None,
@@ -76,11 +102,17 @@ def write_bench_json(name: str, results: Dict[str, object],
             "numpy": numpy.__version__,
             "platform": platform.platform(),
             "visible_cores": visible_cores(),
+            "cpu_count": os.cpu_count(),
+            "env": {
+                key: os.environ.get(key, "")
+                for key in ("REPRO_WORKERS", "REPRO_SHARDS")
+            },
         },
         "sizes": dict(sizes or {}),
         "workers": workers,
         "shards": shards,
         "results": results,
+        "metrics": _metrics_section(),
     }
     path = os.path.join(bench_output_dir(), f"BENCH_{name}.json")
     tmp = f"{path}.tmp"

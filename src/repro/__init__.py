@@ -33,7 +33,10 @@ The library provides:
   the paper's rank-per-subtree MPI runs
   (:class:`repro.distributed.DistributedKRRPipeline`,
   :class:`repro.distributed.ShardedPredictionService`) —
-  :mod:`repro.distributed`.
+  :mod:`repro.distributed`;
+* unified observability — metrics registry, span tracing, per-request
+  status trails and Prometheus/JSON exporters across the train / refit /
+  serve stack — :mod:`repro.obs`.
 
 Quickstart
 ----------
@@ -45,6 +48,7 @@ Quickstart
 >>> acc = clf.fit(data.X_train, data.y_train).score(data.X_test, data.y_test)
 """
 
+from . import obs
 from . import clustering, datasets, hmatrix, hss, kernels, krr, lowrank, utils
 from . import serving
 from . import distributed
@@ -93,5 +97,6 @@ __all__ = [
     "DistributedKRRPipeline",
     "ShardPlan",
     "ShardedPredictionService",
+    "obs",
     "__version__",
 ]

@@ -35,6 +35,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import global_registry
+
 
 class DistributedError(RuntimeError):
     """Base error of the distributed training path."""
@@ -211,18 +213,30 @@ class BlockChannel:
         self.messages_sent = 0
         #: total array payload bytes that rode through shared memory
         self.bytes_sent = 0
+        reg = global_registry()
+        self._m_messages = reg.counter(
+            "repro_transport_messages_total",
+            "Control messages published over shared-memory channels")
+        self._m_bytes = reg.counter(
+            "repro_transport_bytes_total",
+            "Array payload bytes shipped through shared memory")
 
     def send(self, tag: str, payload=None,
              arrays: Optional[Dict[str, np.ndarray]] = None) -> None:
         """Publish a message; payload arrays are copied into shared memory."""
         self.retire()
         specs: Dict[str, ArraySpec] = {}
+        msg_bytes = 0
         for key, a in (arrays or {}).items():
             sa = SharedArray.from_array(np.asarray(a))
             self._inflight.append(sa)
             specs[key] = sa.spec
-            self.bytes_sent += sa.array.nbytes
+            msg_bytes += sa.array.nbytes
+        self.bytes_sent += msg_bytes
         self.messages_sent += 1
+        self._m_messages.inc()
+        if msg_bytes:
+            self._m_bytes.inc(msg_bytes)
         self.queue.put((tag, payload, specs))
 
     def recv(self, timeout: float,

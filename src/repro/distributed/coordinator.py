@@ -58,6 +58,7 @@ import scipy.linalg
 
 from ..config import HMatrixOptions, HSSOptions
 from ..kernels.base import Kernel
+from ..obs import global_registry
 from .factors import ShardedFactors
 from .grid import WorkerGrid
 from .plan import ShardPlan
@@ -252,6 +253,7 @@ class Coordinator:
         factors: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
         for shard in range(plan.n_shards):
             payload, arrays = grid.recv(shard, "fitted")
+            self._absorb_metrics(shard, payload)
             infos.append(payload)
             for (s, t) in plan.owned_pairs(shard):
                 factors[(s, t)] = (arrays[f"pair.{s}.{t}.U"],
@@ -394,6 +396,7 @@ class Coordinator:
             infos: List[dict] = []
             for shard in range(self.plan.n_shards):
                 payload, _ = grid.recv(shard, "refitted")
+                self._absorb_metrics(shard, payload)
                 infos.append(payload)
             refactor_seconds = time.perf_counter() - t0
 
@@ -518,8 +521,11 @@ class Coordinator:
         self._check_current()
         grid = self.grid
         grid.broadcast("collect")
-        shard_arrays = [grid.recv(shard, "factors")[1]
-                        for shard in range(self.plan.n_shards)]
+        shard_arrays = []
+        for shard in range(self.plan.n_shards):
+            payload, arrays = grid.recv(shard, "factors")
+            self._absorb_metrics(shard, payload)
+            shard_arrays.append(arrays)
         return ShardedFactors(
             plan=self.plan,
             shard_arrays=shard_arrays,
@@ -562,8 +568,11 @@ class Coordinator:
         # Gather every shard's payload before touching ``factors``: a
         # worker failure mid-round then leaves the collected factors
         # untouched instead of half-refreshed at mixed λ.
-        collected = [grid.recv(shard, "factors")[1]
-                     for shard in range(self.plan.n_shards)]
+        collected = []
+        for shard in range(self.plan.n_shards):
+            payload, arrays = grid.recv(shard, "factors")
+            self._absorb_metrics(shard, payload)
+            collected.append(arrays)
         for shard, arrays in enumerate(collected):
             local = factors.shard_arrays[shard]
             for key in [k for k in local if k.startswith("ulv.")]:
@@ -571,6 +580,20 @@ class Coordinator:
             local.update(arrays)
         factors.C = np.asarray(self._cap_C)
         return factors
+
+    def _absorb_metrics(self, shard: int, payload) -> None:
+        """Fold a worker's shipped telemetry snapshot into the registry.
+
+        Workers attach their *cumulative* local snapshot to every
+        ``fitted`` / ``refitted`` / ``factors`` reply;
+        :meth:`repro.obs.MetricsRegistry.absorb` keeps only the latest
+        snapshot per shard key, so repeated rounds never double-count.
+        The snapshot is popped off the payload so reports stay compact.
+        """
+        if isinstance(payload, dict):
+            snap = payload.pop("metrics", None)
+            if snap is not None:
+                global_registry().absorb(str(shard), snap)
 
     def _check_current(self) -> None:
         """Refuse protocol rounds against factors of a newer fit."""

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs import global_registry
 from .comm import (BlockChannel, DistributedError, SharedArray,
                    WorkerCrashedError)
 from .plan import ShardPlan
@@ -228,6 +229,12 @@ class WorkerGrid:
             self.spawn_count += 1
             self._workers.append(_WorkerHandle(
                 process, BlockChannel(request_q), BlockChannel(response_q)))
+        reg = global_registry()
+        reg.counter("repro_grid_spawns_total",
+                    "Worker processes ever spawned by grids"
+                    ).inc(len(self._workers))
+        reg.gauge("repro_grid_workers",
+                  "Worker processes currently alive").inc(len(self._workers))
         return self
 
     def shutdown(self, timeout: float = 5.0) -> None:
@@ -240,6 +247,10 @@ class WorkerGrid:
             (and, as a last resort, killed).
         """
         workers, self._workers = self._workers, []
+        if workers:
+            global_registry().gauge(
+                "repro_grid_workers",
+                "Worker processes currently alive").dec(len(workers))
         # Respawned workers hold no factors: advance the generation so any
         # coordinator fitted before this shutdown reads as stale instead of
         # driving solves against factor-less fresh processes.

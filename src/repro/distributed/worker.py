@@ -49,6 +49,7 @@ from ..config import HMatrixOptions, HSSOptions
 from ..hss.compressed import CompressedKernel, compress_kernel
 from ..hss.ulv import ULVFactorization
 from ..lowrank.aca import aca
+from ..obs import global_registry
 from ..parallel.executor import BlockExecutor
 from ..utils.timing import TimingLog
 from .comm import ArraySpec, BlockChannel, SharedArray, WorkerTimeoutError
@@ -389,9 +390,14 @@ def worker_main(config: WorkerConfig, x_spec: ArraySpec,
             try:
                 if tag == "fit":
                     info, out = state.fit(payload)
+                    # Ship the worker's *cumulative* telemetry with every
+                    # reply that carries a report; the coordinator absorbs
+                    # with replace semantics, so this never double-counts.
+                    info["metrics"] = global_registry().local_snapshot()
                     response.send("fitted", info, arrays=out)
                 elif tag == "refit":
                     info = state.refit(payload)
+                    info["metrics"] = global_registry().local_snapshot()
                     response.send("refitted", info)
                 elif tag == "couple":
                     M = state.couple(arrays["F"])
@@ -403,7 +409,10 @@ def worker_main(config: WorkerConfig, x_spec: ArraySpec,
                     w = state.correct(arrays["c"])
                     response.send("solved", arrays={"w": w})
                 elif tag == "collect":
-                    response.send("factors", arrays=state.collect(payload))
+                    response.send(
+                        "factors",
+                        {"metrics": global_registry().local_snapshot()},
+                        arrays=state.collect(payload))
                 elif tag == "ping":
                     response.send("pong", payload)
                 elif tag == "_crash":

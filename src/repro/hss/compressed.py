@@ -28,6 +28,8 @@ from ..clustering.tree import ClusterTree
 from ..config import HMatrixOptions, HSSOptions
 from ..kernels.base import Kernel
 from ..kernels.operator import KernelOperator
+from ..obs import global_registry
+from ..obs.tracing import trace
 from ..parallel.executor import BlockExecutor
 from ..utils.bytes import megabytes
 from ..utils.timing import TimingLog
@@ -187,14 +189,21 @@ def compress_kernel(
     sampler = operator
     hmatrix = None
     hmatrix_memory_mb = 0.0
-    if use_hmatrix_sampling:
-        hmatrix = build_hmatrix(operator, X_permuted, tree, options=h_opts,
-                                timing=log, executor=executor)
-        sampler = HMatrixSampler(hmatrix, operator, executor=executor)
-        hmatrix_memory_mb = megabytes(hmatrix.nbytes)
+    with trace.span("kernel.compress"):
+        if use_hmatrix_sampling:
+            hmatrix = build_hmatrix(operator, X_permuted, tree,
+                                    options=h_opts, timing=log,
+                                    executor=executor)
+            sampler = HMatrixSampler(hmatrix, operator, executor=executor)
+            hmatrix_memory_mb = megabytes(hmatrix.nbytes)
 
-    hss, stats = build_hss_randomized(sampler, tree, options=opts, rng=seed,
-                                      timing=log, executor=executor)
+        with trace.span("hss.build"):
+            hss, stats = build_hss_randomized(sampler, tree, options=opts,
+                                              rng=seed, timing=log,
+                                              executor=executor)
+    global_registry().counter(
+        "repro_kernel_compressions_total",
+        "λ-free kernel compressions built (HSS builds)").inc()
     hss_stats = hss.statistics()
     report = CompressionReport(
         timings=log.as_dict(),

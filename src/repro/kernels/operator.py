@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import global_registry
 from ..utils.validation import check_array_2d, check_non_negative
 from .base import Kernel
 from .distance import blockwise_sq_dists, pairwise_sq_dists
@@ -82,6 +83,13 @@ class KernelOperator:
         # parallel block assembly; ``+=`` on an int is not atomic, so updates
         # go through this lock.
         self._counter_lock = threading.Lock()
+        reg = global_registry()
+        self._m_elements = reg.counter(
+            "repro_kernel_element_evaluations_total",
+            "Kernel matrix entries evaluated through element extraction")
+        self._m_sweeps = reg.counter(
+            "repro_kernel_matvec_sweeps_total",
+            "Full matrix-vector style sweeps over the kernel operator")
 
     # ------------------------------------------------------------------ shape
     @property
@@ -105,6 +113,7 @@ class KernelOperator:
         cols = np.asarray(cols, dtype=np.intp)
         with self._counter_lock:
             self.element_evaluations += int(rows.size) * int(cols.size)
+        self._m_elements.inc(int(rows.size) * int(cols.size))
         return self.kernel.block(self.X, rows, cols)
 
     def diag(self) -> np.ndarray:
@@ -149,6 +158,7 @@ class KernelOperator:
             out = self._matmat_tiled(V)
         with self._counter_lock:
             self.matvec_sweeps += 1
+        self._m_sweeps.inc()
         return out
 
     def _matmat_tiled(self, V: np.ndarray) -> np.ndarray:

@@ -307,6 +307,23 @@ class KRRPipeline:
         self.report_ = report
         return report
 
+    # ------------------------------------------------------------ observability
+    def dump_metrics(self, path: str) -> str:
+        """Export the process's merged telemetry snapshot to ``path``.
+
+        Convenience hook over :func:`repro.obs.dump_metrics`: writes the
+        global registry's merged view (including any per-shard snapshots a
+        distributed fit absorbed) — Prometheus text for ``.prom`` /
+        ``.txt`` paths, JSON otherwise — and returns the path.
+
+        Parameters
+        ----------
+        path:
+            Destination file path.
+        """
+        from ..obs import dump_metrics
+        return dump_metrics(path)
+
     # -------------------------------------------------------------- persistence
     def save(self, path: str, metadata: Optional[dict] = None,
              include_factorization: bool = True):

@@ -1,0 +1,101 @@
+"""``repro.obs`` — unified metrics, span tracing and scrape-ready exporters.
+
+One dependency-free telemetry subsystem threaded through the whole stack:
+
+* **Metrics** — a process-wide :class:`MetricsRegistry` of thread-safe
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` metrics (fixed
+  log-scale buckets, so shard snapshots merge exactly), with labeled
+  families for per-model / per-shard / per-phase breakdowns.  Every layer
+  records into :func:`global_registry`: phase timings
+  (``repro_phase_seconds_total``), kernel evaluation counters, transport
+  bytes, serving latency histograms.
+* **Tracing** — ``trace.span("hss.build")`` context managers build nested
+  phase trees (:class:`Span`), and the serving layer stamps each request
+  with a :class:`RequestRecord` status trail.
+* **Exporters** — ``registry.snapshot()`` (plain dict), ``to_json()``,
+  ``to_prometheus()`` (text exposition) and :func:`dump_metrics`; the
+  minimal :func:`parse_prometheus` parser round-trips the exposition in
+  tests and CI.
+
+Quick start::
+
+    import repro.obs as obs
+
+    reg = obs.global_registry()
+    served = reg.counter("myapp_served_total", "Requests served")
+    served.inc()
+    with obs.trace.span("work"):
+        ...
+    print(reg.to_prometheus())
+
+Disable process-wide with ``obs.set_enabled(False)`` (or the
+``REPRO_OBS_DISABLED=1`` environment variable): :func:`global_registry`
+then hands out no-op metrics, so instrumented code runs unchanged.
+
+See ``docs/observability.md`` for the metric catalog.
+"""
+
+from .export import (
+    dump_metrics,
+    parse_prometheus,
+    snapshot_to_prometheus,
+    summarize_snapshot,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    global_registry,
+    is_enabled,
+    merge_snapshots,
+    set_enabled,
+)
+from .requests_log import RequestRecord, RequestTrail
+from .tracing import Span, Tracer, trace
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "RequestRecord",
+    "RequestTrail",
+    "Span",
+    "Tracer",
+    "dump_metrics",
+    "global_registry",
+    "is_enabled",
+    "merge_snapshots",
+    "parse_prometheus",
+    "record_phase",
+    "set_enabled",
+    "snapshot_to_prometheus",
+    "summarize_snapshot",
+    "trace",
+]
+
+_PHASE_HELP = "Cumulative wall-clock seconds per algorithmic phase"
+
+
+def record_phase(name: str, seconds: float) -> None:
+    """Record phase wall-clock into ``repro_phase_seconds_total{phase=...}``.
+
+    The hook behind :meth:`repro.utils.timing.TimingLog.add`; call it
+    directly for phase-shaped work that does not go through a
+    :class:`~repro.utils.timing.TimingLog`.
+
+    Parameters
+    ----------
+    name:
+        Phase name (becomes the ``phase`` label value).
+    seconds:
+        Wall-clock seconds to add.
+    """
+    global_registry().counter(
+        "repro_phase_seconds_total", _PHASE_HELP, labelnames=("phase",)
+    ).labels(phase=name).inc(float(seconds))

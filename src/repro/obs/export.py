@@ -1,0 +1,224 @@
+"""Exporters: Prometheus text exposition, JSON dumps and compact summaries.
+
+The Prometheus renderer follows the text exposition format (``# HELP`` /
+``# TYPE`` headers, ``name{labels} value`` samples, histograms expanded to
+cumulative ``_bucket{le=...}`` plus ``_sum`` / ``_count``).  A minimal
+:func:`parse_prometheus` parser round-trips that output in tests and CI so
+silent metric renames or format regressions fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from typing import Dict, Optional, Tuple
+
+from .registry import DEFAULT_BUCKETS, _parse_sample_name, _serialize_labels
+
+__all__ = [
+    "snapshot_to_prometheus",
+    "parse_prometheus",
+    "dump_metrics",
+    "summarize_snapshot",
+]
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def snapshot_to_prometheus(snapshot: Dict) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    Parameters
+    ----------
+    snapshot:
+        A dict from :meth:`repro.obs.MetricsRegistry.snapshot` (or
+        ``local_snapshot``).
+
+    Returns
+    -------
+    str
+        The exposition text, newline-terminated.
+    """
+    help_map = snapshot.get("help", {})
+    bounds = snapshot.get("bounds", list(DEFAULT_BUCKETS))
+    lines = []
+    headered = set()
+
+    def header(name: str, kind: str) -> None:
+        if name in headered:
+            return
+        headered.add(name)
+        text = help_map.get(name)
+        if text:
+            lines.append(f"# HELP {name} {text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for kind_key, kind in (("counters", "counter"), ("gauges", "gauge")):
+        for sample in sorted(snapshot.get(kind_key, {})):
+            name, _ = _parse_sample_name(sample)
+            header(name, kind)
+            lines.append(f"{sample} {_format_value(snapshot[kind_key][sample])}")
+
+    for sample in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][sample]
+        name, labels = _parse_sample_name(sample)
+        header(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(list(bounds) + [math.inf], hist["buckets"]):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_value(bound)
+            lines.append(
+                f"{name}_bucket{_serialize_labels(bucket_labels)} {cumulative}"
+            )
+        suffix = _serialize_labels(labels)
+        lines.append(f"{name}_sum{suffix} {_format_value(hist['sum'])}")
+        lines.append(f"{name}_count{suffix} {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse Prometheus text exposition into ``{serialized_sample: value}``.
+
+    A deliberately minimal parser: enough to round-trip
+    :func:`snapshot_to_prometheus` output and to assert in CI that the
+    export is well-formed.  Raises :class:`ValueError` on any line that is
+    neither a comment nor a valid sample.
+
+    Parameters
+    ----------
+    text:
+        Prometheus text-format exposition.
+
+    Returns
+    -------
+    dict
+        Mapping of serialized sample name (``name{k="v"}``) to value.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"malformed exposition line {lineno}: {line!r}")
+        labels = {}
+        if m.group("labels"):
+            matched_len = 0
+            for lm in _LABEL_RE.finditer(m.group("labels")):
+                labels[lm.group(1)] = (
+                    lm.group(2).replace(r"\"", '"').replace(r"\\", "\\")
+                )
+                matched_len = lm.end()
+            leftover = m.group("labels")[matched_len:].strip(" ,")
+            if leftover:
+                raise ValueError(
+                    f"malformed labels on line {lineno}: {line!r}"
+                )
+        raw = m.group("value")
+        if raw == "+Inf":
+            value = math.inf
+        elif raw == "-Inf":
+            value = -math.inf
+        else:
+            value = float(raw)  # raises ValueError on garbage
+        samples[m.group("name") + _serialize_labels(labels)] = value
+    return samples
+
+
+def summarize_snapshot(snapshot: Dict) -> Dict:
+    """Compact summary of a snapshot for embedding in BENCH json.
+
+    Counters and gauges pass through; each histogram collapses to
+    ``{"count", "sum", "p50", "p95"}`` (percentiles are upper bucket
+    bounds of the shared table).
+
+    Parameters
+    ----------
+    snapshot:
+        A dict from :meth:`repro.obs.MetricsRegistry.snapshot`.
+
+    Returns
+    -------
+    dict
+        ``{"counters", "gauges", "histograms"}`` with collapsed histograms.
+    """
+    bounds = list(snapshot.get("bounds", DEFAULT_BUCKETS))
+
+    def pct(hist: Dict, q: float) -> float:
+        total = hist["count"]
+        if total == 0:
+            return 0.0
+        target = max(1, math.ceil(total * q / 100.0))
+        running = 0
+        for i, c in enumerate(hist["buckets"]):
+            running += c
+            if running >= target:
+                return bounds[i] if i < len(bounds) else math.inf
+        return math.inf  # pragma: no cover - counts always sum to total
+
+    out: Dict = {
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": dict(snapshot.get("gauges", {})),
+        "histograms": {},
+    }
+    for sample, hist in snapshot.get("histograms", {}).items():
+        out["histograms"][sample] = {
+            "count": hist["count"],
+            "sum": hist["sum"],
+            "p50": pct(hist, 50.0),
+            "p95": pct(hist, 95.0),
+        }
+    return out
+
+
+def dump_metrics(path: str, registry=None) -> str:
+    """Write the registry's merged snapshot to ``path`` and return the path.
+
+    The format follows the extension: ``.prom`` / ``.txt`` → Prometheus
+    text exposition, anything else → indented JSON.  The write is atomic
+    (temp file + ``os.replace``).
+
+    Parameters
+    ----------
+    path:
+        Destination file path.
+    registry:
+        Registry to export (``None`` → the global registry).
+
+    Returns
+    -------
+    str
+        The ``path`` argument, for chaining.
+    """
+    from . import global_registry
+
+    if registry is None:
+        registry = global_registry()
+    ext = os.path.splitext(path)[1].lower()
+    if ext in (".prom", ".txt"):
+        payload = registry.to_prometheus()
+    else:
+        payload = json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(payload)
+    os.replace(tmp, path)
+    return path

@@ -1,0 +1,132 @@
+"""Per-request status trail for the serving layer.
+
+Every request admitted by :class:`repro.serving.PredictionService` gets a
+process-unique ``request_id`` and a :class:`RequestRecord` tracking its
+life cycle — enqueue, batch assembly, evaluation, completion — with a
+``perf_counter`` timestamp at each transition.  Completed records land in
+a bounded :class:`RequestTrail` ring buffer, queryable via
+``service.recent_requests()``, so "what happened to the last N requests"
+is answerable without logs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["RequestRecord", "RequestTrail"]
+
+_request_ids = itertools.count(1)
+
+
+def next_request_id() -> int:
+    """Next process-unique request id (monotonically increasing)."""
+    return next(_request_ids)
+
+
+@dataclass
+class RequestRecord:
+    """Life-cycle record of one serving request.
+
+    Timestamps are ``time.perf_counter()`` values; latencies are their
+    differences (``t_complete - t_enqueue`` is the request latency).
+
+    Parameters
+    ----------
+    request_id:
+        Process-unique id assigned at submission.
+    status:
+        One of ``"queued"``, ``"batched"``, ``"completed"``, ``"failed"``.
+    t_enqueue:
+        When the request entered the service queue.
+    t_batch:
+        When the dispatcher pulled it into a micro-batch (0 until then).
+    t_complete:
+        When its future resolved (0 until then).
+    batch_size:
+        Size of the micro-batch it was evaluated in (0 until batched).
+    error:
+        ``repr`` of the exception for failed requests, else ``None``.
+    """
+
+    request_id: int
+    status: str = "queued"
+    t_enqueue: float = 0.0
+    t_batch: float = 0.0
+    t_complete: float = 0.0
+    batch_size: int = 0
+    error: Optional[str] = None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end seconds (0 until the request completes)."""
+        if self.t_complete and self.t_enqueue:
+            return self.t_complete - self.t_enqueue
+        return 0.0
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent queued before batch assembly (0 until batched)."""
+        if self.t_batch and self.t_enqueue:
+            return self.t_batch - self.t_enqueue
+        return 0.0
+
+    def as_dict(self) -> Dict:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "request_id": self.request_id,
+            "status": self.status,
+            "t_enqueue": self.t_enqueue,
+            "t_batch": self.t_batch,
+            "t_complete": self.t_complete,
+            "batch_size": self.batch_size,
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
+            "error": self.error,
+        }
+
+
+class RequestTrail:
+    """Bounded, thread-safe ring buffer of finished request records.
+
+    Parameters
+    ----------
+    capacity:
+        Number of most recent records retained.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("trail capacity must be >= 1")
+        self._records: "deque[RequestRecord]" = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+
+    def append(self, record: RequestRecord) -> None:
+        """Add a finished record (evicting the oldest at capacity).
+
+        Parameters
+        ----------
+        record:
+            The completed (or failed) request record.
+        """
+        with self._lock:
+            self._records.append(record)
+
+    def recent(self, n: Optional[int] = None) -> List[RequestRecord]:
+        """The most recent records, oldest first.
+
+        Parameters
+        ----------
+        n:
+            Number of records to return (``None`` → all retained).
+        """
+        with self._lock:
+            records = list(self._records)
+        return records if n is None else records[-int(n):]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

@@ -29,6 +29,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..kernels.distance import blockwise_sq_dists
+from ..obs import global_registry
 from ..parallel.executor import BlockExecutor
 from ..utils.validation import check_array_2d, check_same_dimension
 
@@ -147,6 +148,22 @@ class PredictionEngine:
         self.cache_rows = bool(cache_rows)
         self.stats = EngineStats()
         self._stats_lock = threading.Lock()
+        # Metric handles resolved once at construction: decision_many does
+        # a handful of inc() calls per *batch*, never a registry lookup per
+        # query.  With obs disabled these are no-op metrics.
+        reg = global_registry()
+        self._m_queries = reg.counter(
+            "repro_serving_queries_total", "Queries scored by prediction engines")
+        self._m_batches = reg.counter(
+            "repro_serving_batches_total", "Micro-batches evaluated (GEMM calls)")
+        self._m_hits = reg.counter(
+            "repro_serving_cache_hits_total", "Kernel-row cache hits")
+        self._m_misses = reg.counter(
+            "repro_serving_cache_misses_total", "Kernel-row cache misses")
+        self._m_rows = reg.counter(
+            "repro_serving_rows_computed_total", "Kernel rows computed (non-cached)")
+        self._m_eval = reg.histogram(
+            "repro_serving_eval_seconds", "Per-call kernel evaluation seconds")
 
     # ------------------------------------------------------------------ core
     @property
@@ -243,6 +260,15 @@ class PredictionEngine:
             self.stats.cache_misses += misses
             self.stats.rows_computed += misses
             self.stats.eval_seconds += elapsed
+        self._m_queries.inc(m)
+        if n_batches:
+            self._m_batches.inc(n_batches)
+        if hits:
+            self._m_hits.inc(hits)
+        if misses:
+            self._m_misses.inc(misses)
+            self._m_rows.inc(misses)
+        self._m_eval.observe(elapsed)
         return scores
 
     def predict_many(self, X: np.ndarray) -> np.ndarray:
@@ -281,9 +307,20 @@ class PredictionEngine:
         return None if entry is None else entry[0]
 
     def reset_stats(self) -> None:
-        """Zero the engine's counters (e.g. between benchmark phases)."""
+        """Zero the engine's counters (e.g. between benchmark phases).
+
+        Mutates the existing :class:`EngineStats` in place rather than
+        rebinding ``self.stats``, so callers holding a reference to the
+        stats object (dashboards, the sharded service) observe the reset
+        instead of a frozen pre-reset copy.
+        """
         with self._stats_lock:
-            self.stats = EngineStats()
+            self.stats.queries = 0
+            self.stats.batches = 0
+            self.stats.cache_hits = 0
+            self.stats.cache_misses = 0
+            self.stats.rows_computed = 0
+            self.stats.eval_seconds = 0.0
 
     def close(self) -> None:
         """Release the executor's worker threads (idempotent).

@@ -25,6 +25,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..obs import RequestRecord, RequestTrail, global_registry
+from ..obs.requests_log import next_request_id
 from .engine import PredictionEngine
 
 _STOP = object()
@@ -35,6 +37,7 @@ class _Request:
     x: np.ndarray
     future: Future
     t_submit: float
+    record: RequestRecord
 
 
 @dataclass
@@ -77,6 +80,13 @@ class PredictionService:
     latency_window:
         Number of most recent per-request latencies kept for the
         percentile statistics.
+    trail_size:
+        Number of most recent finished :class:`repro.obs.RequestRecord`
+        entries retained for :meth:`recent_requests`.
+    model_name:
+        Value of the ``model`` label on this service's registry metrics
+        (``repro_service_requests_total{model=...}``, latency histogram);
+        defaults to ``"default"``.
 
     Examples
     --------
@@ -93,7 +103,8 @@ class PredictionService:
     """
 
     def __init__(self, engine, max_batch: int = 256,
-                 batch_window: float = 0.002, latency_window: int = 8192):
+                 batch_window: float = 0.002, latency_window: int = 8192,
+                 trail_size: int = 1024, model_name: Optional[str] = None):
         if not isinstance(engine, PredictionEngine):
             engine = PredictionEngine(engine)
         if max_batch < 1:
@@ -101,6 +112,26 @@ class PredictionService:
         if batch_window < 0:
             raise ValueError("batch_window must be >= 0")
         self.engine = engine
+        self.model_name = model_name or "default"
+        self.trail = RequestTrail(capacity=trail_size)
+        reg = global_registry()
+        label = {"model": self.model_name}
+        self._m_requests = reg.counter(
+            "repro_service_requests_total",
+            "Requests completed by the serving service",
+            labelnames=("model",)).labels(**label)
+        self._m_failed = reg.counter(
+            "repro_service_failed_total",
+            "Requests failed by the serving service",
+            labelnames=("model",)).labels(**label)
+        self._m_svc_batches = reg.counter(
+            "repro_service_batches_total",
+            "Micro-batches dispatched by the serving service",
+            labelnames=("model",)).labels(**label)
+        self._m_latency = reg.histogram(
+            "repro_serving_latency_seconds",
+            "End-to-end per-request serving latency (seconds)",
+            labelnames=("model",)).labels(**label)
         self.max_batch = int(max_batch)
         self.batch_window = float(batch_window)
         self._queue: "queue.Queue" = queue.Queue()
@@ -199,6 +230,7 @@ class PredictionService:
             raise ValueError(f"query has dimension {x.shape[0]}, expected {d}")
         fut: Future = Future()
         now = time.perf_counter()
+        record = RequestRecord(request_id=next_request_id(), t_enqueue=now)
         with self._lock:
             # Check-and-enqueue under the lock: once stop() flips
             # _accepting, no request can enter the queue behind the stop
@@ -207,7 +239,8 @@ class PredictionService:
                 raise RuntimeError("service is not running; call start() first")
             if self._first_submit is None:
                 self._first_submit = now
-            self._queue.put(_Request(x=x, future=fut, t_submit=now))
+            self._queue.put(_Request(x=x, future=fut, t_submit=now,
+                                     record=record))
         return fut
 
     def predict_many(self, X: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
@@ -240,13 +273,24 @@ class PredictionService:
         return batch
 
     def _serve_batch(self, batch: List[_Request]) -> None:
+        t_batch = time.perf_counter()
+        for req in batch:
+            req.record.status = "batched"
+            req.record.t_batch = t_batch
+            req.record.batch_size = len(batch)
         try:
             X = np.stack([req.x for req in batch])
             labels = self.engine.predict_many(X)
         except Exception as exc:  # propagate to every waiting caller
+            done = time.perf_counter()
             with self._lock:
                 self._failed += len(batch)
+            self._m_failed.inc(len(batch))
             for req in batch:
+                req.record.status = "failed"
+                req.record.t_complete = done
+                req.record.error = repr(exc)
+                self.trail.append(req.record)
                 if not req.future.cancelled():
                     req.future.set_exception(exc)
             return
@@ -258,6 +302,13 @@ class PredictionService:
             self._last_done = done
             for req in batch:
                 self._latencies.append(done - req.t_submit)
+        self._m_requests.inc(len(batch))
+        self._m_svc_batches.inc()
+        for req in batch:
+            self._m_latency.observe(done - req.t_submit)
+            req.record.status = "completed"
+            req.record.t_complete = done
+            self.trail.append(req.record)
         for req, label in zip(batch, labels):
             if not req.future.cancelled():
                 req.future.set_result(label)
@@ -303,6 +354,23 @@ class PredictionService:
         if completed and first is not None and last is not None and last > first:
             stats.qps = completed / (last - first)
         return stats
+
+    def recent_requests(self, n: Optional[int] = None):
+        """Most recent finished request records, oldest first.
+
+        Each :class:`repro.obs.RequestRecord` carries the request id, its
+        final status (``"completed"`` / ``"failed"``), the
+        enqueue → batch → complete timestamps, the micro-batch size it was
+        served in and, for failures, the error.  The trail is a bounded
+        ring buffer (``trail_size`` entries), so this is cheap to call on
+        a live service.
+
+        Parameters
+        ----------
+        n:
+            Number of records to return (``None`` → all retained).
+        """
+        return self.trail.recent(n)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "running" if self.is_running else "stopped"

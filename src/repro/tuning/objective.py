@@ -170,6 +170,12 @@ class KRRObjective:
         self.records.append(EvaluationRecord(h=h, lam=lam, accuracy=acc,
                                              reused_kernel=reused,
                                              refit=refit))
+        from ..obs import global_registry
+        global_registry().counter(
+            "repro_tuning_evaluations_total",
+            "Hyper-parameter configurations evaluated",
+            labelnames=("mode",)).labels(
+                mode="refit" if refit else "fit").inc()
         return acc
 
     def _cache_get(self, h: float):

@@ -13,6 +13,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
+from ..obs import record_phase
+from ..obs.tracing import trace
+
 
 @dataclass
 class Timer:
@@ -58,25 +61,41 @@ class TimingLog:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Context manager measuring the body and adding it to ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add(name, time.perf_counter() - start)
+        """Context manager measuring the body and adding it to ``name``.
+
+        Also opens a ``repro.obs`` trace span of the same name, so nested
+        ``phase`` calls (pipeline ``train_total`` wrapping the solver
+        phases) produce a nested span tree.
+        """
+        with trace.span(name):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.add(name, time.perf_counter() - start)
 
     def add(self, name: str, seconds: float) -> None:
-        """Add ``seconds`` to the accumulated duration of phase ``name``."""
+        """Add ``seconds`` to the accumulated duration of phase ``name``.
+
+        Every addition is mirrored into the global metrics registry as
+        ``repro_phase_seconds_total{phase=name}``.
+        """
         self.phases[name] = self.phases.get(name, 0.0) + float(seconds)
+        record_phase(name, seconds)
 
     def get(self, name: str, default: float = 0.0) -> float:
         """Return the accumulated duration of ``name`` (``default`` if absent)."""
         return self.phases.get(name, default)
 
     def merge(self, other: "TimingLog") -> "TimingLog":
-        """Merge another log into this one (summing shared phases)."""
+        """Merge another log into this one (summing shared phases).
+
+        Bypasses the registry hook: the merged phases were already
+        recorded when ``other`` accumulated them, so reporting them again
+        would double-count.
+        """
         for name, seconds in other.phases.items():
-            self.add(name, seconds)
+            self.phases[name] = self.phases.get(name, 0.0) + float(seconds)
         return self
 
     def total(self) -> float:

@@ -165,6 +165,24 @@ class TestPredictionEngine:
         engine.reset_stats()
         assert engine.stats.queries == 0
 
+    def test_stats_reset_mutates_in_place(self, binary_model):
+        """Regression: reset must not rebind ``engine.stats``.
+
+        A dashboard (or the sharded service) holding the stats object must
+        observe the reset — the old behaviour replaced the object and left
+        external references frozen at the pre-reset counts.
+        """
+        clf, X_test = binary_model
+        engine = PredictionEngine(clf)
+        held = engine.stats
+        engine.predict_many(X_test)
+        assert held.queries == X_test.shape[0]
+        engine.reset_stats()
+        assert engine.stats is held
+        assert held.queries == 0 and held.eval_seconds == 0.0
+        engine.predict_many(X_test)
+        assert held.queries == X_test.shape[0]
+
     def test_requires_fitted_model(self):
         with pytest.raises(ValueError):
             PredictionEngine(KernelRidgeClassifier())
@@ -229,6 +247,36 @@ class TestPredictionService:
         assert stats.p95_latency_ms >= stats.p50_latency_ms >= 0.0
         assert stats.qps > 0.0
         assert "qps" in stats.summary()
+
+    def test_recent_requests_trail(self, binary_model):
+        clf, X_test = binary_model
+        with PredictionService(clf, max_batch=16, trail_size=64) as svc:
+            svc.predict_many(X_test[:20])
+            trail = svc.recent_requests()
+        assert len(trail) == 20
+        ids = [r.request_id for r in trail]
+        assert ids == sorted(ids)  # oldest first, ids monotone
+        for rec in trail:
+            assert rec.status == "completed"
+            assert rec.t_enqueue <= rec.t_batch <= rec.t_complete
+            assert rec.batch_size >= 1
+            assert rec.latency >= rec.queue_wait >= 0.0
+        assert len(svc.recent_requests(5)) == 5
+
+    def test_trail_records_failures(self, binary_model):
+        clf, X_test = binary_model
+        engine = PredictionEngine(clf)
+        with PredictionService(engine, max_batch=4) as svc:
+            fut = svc.submit(X_test[0])
+            fut.result(timeout=30)
+            # Sabotage the engine so the next batch fails.
+            engine.weights = np.zeros((3,))
+            bad = svc.submit(X_test[1])
+            with pytest.raises(Exception):
+                bad.result(timeout=30)
+            trail = svc.recent_requests()
+        failed = [r for r in trail if r.status == "failed"]
+        assert failed and failed[-1].error
 
     def test_stop_drains_queue(self, binary_model):
         clf, X_test = binary_model
