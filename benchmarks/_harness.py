@@ -10,13 +10,13 @@ problem sizes and the worker/shard configuration.
 Output lands in ``REPRO_BENCH_DIR`` when set, else next to the repository
 root (the parent of ``benchmarks/``).
 
-Each record also stamps the host context (``os.cpu_count()``, platform,
-the ``REPRO_WORKERS`` / ``REPRO_SHARDS`` environment) so anomalies — e.g.
-a "parallel" speedup below 1x — are attributable to the machine that
-produced them, and embeds a compact ``metrics`` summary of the process's
-telemetry registry (see :mod:`repro.obs`).  Setting ``REPRO_METRICS_DUMP``
-to a path additionally writes the full merged snapshot there (Prometheus
-text for ``.prom`` / ``.txt``, JSON otherwise).
+The host stamp comes from :func:`repro.runtime.host_context` — the same
+fields ``repro env`` and every CLI result record, so benchmark JSON stays
+directly comparable with CLI output.  Each record also embeds a compact
+``metrics`` summary of the process's telemetry registry (see
+:mod:`repro.obs`).  Setting ``REPRO_METRICS_DUMP`` to a path additionally
+writes the full merged snapshot there (Prometheus text for ``.prom`` /
+``.txt``, JSON otherwise).
 """
 
 from __future__ import annotations
@@ -24,31 +24,22 @@ from __future__ import annotations
 import datetime
 import json
 import os
-import platform
-import subprocess
-import sys
 from typing import Dict, Optional
+
+from repro.runtime import git_revision as _git_revision
+from repro.runtime import host_context, visible_cores  # noqa: F401 (re-export)
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def git_revision() -> str:
-    """Current short git revision (``"unknown"`` outside a work tree)."""
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"], cwd=_REPO_ROOT,
-            capture_output=True, text=True, timeout=10)
-        rev = out.stdout.strip()
-        return rev if out.returncode == 0 and rev else "unknown"
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
+    """Current short git revision of *this repository*.
 
-
-def visible_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except (AttributeError, OSError):  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+    Thin wrapper over :func:`repro.runtime.git_revision` pinned to the
+    repo root, so benchmarks report the repo's revision regardless of the
+    directory they were launched from.
+    """
+    return _git_revision(cwd=_REPO_ROOT)
 
 
 def bench_output_dir() -> str:
@@ -58,16 +49,17 @@ def bench_output_dir() -> str:
 def _metrics_section() -> Dict[str, object]:
     """Compact telemetry summary of this process's registry.
 
-    Honors ``REPRO_METRICS_DUMP``: when set, the full merged snapshot is
-    also written to that path (format by extension).  Telemetry failures
-    never fail a benchmark write — the section degrades to an ``error``
-    note instead.
+    Honors ``REPRO_METRICS_DUMP`` (via the dump-path fallback in
+    :func:`repro.obs.dump_metrics`): when set, the full merged snapshot
+    is also written to that path (format by extension).  Telemetry
+    failures never fail a benchmark write — the section degrades to an
+    ``error`` note instead.
     """
     try:
         from repro import obs
 
-        if os.environ.get("REPRO_METRICS_DUMP", "").strip():
-            obs.dump_metrics(os.environ["REPRO_METRICS_DUMP"].strip())
+        if obs.configured_dump_path():
+            obs.dump_metrics()
         return obs.summarize_snapshot(obs.global_registry().snapshot())
     except Exception as exc:  # pragma: no cover - defensive
         return {"error": repr(exc)}
@@ -91,23 +83,12 @@ def write_bench_json(name: str, results: Dict[str, object],
     workers, shards:
         Thread / process configuration of the run, when applicable.
     """
-    import numpy
-
+    host = host_context(cwd=_REPO_ROOT)
     record = {
         "name": str(name),
         "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
-        "git_rev": git_revision(),
-        "host": {
-            "python": sys.version.split()[0],
-            "numpy": numpy.__version__,
-            "platform": platform.platform(),
-            "visible_cores": visible_cores(),
-            "cpu_count": os.cpu_count(),
-            "env": {
-                key: os.environ.get(key, "")
-                for key in ("REPRO_WORKERS", "REPRO_SHARDS")
-            },
-        },
+        "git_rev": host.pop("git_rev"),
+        "host": host,
         "sizes": dict(sizes or {}),
         "workers": workers,
         "shards": shards,

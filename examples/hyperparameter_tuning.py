@@ -1,62 +1,50 @@
 #!/usr/bin/env python
-"""Hyper-parameter tuning: grid search vs an OpenTuner-style black-box tuner.
+"""Hyper-parameter tuning via the ``repro`` CLI: grid vs black-box search.
 
 Reproduces the experiment behind the paper's Figure 6 on a SUSY-like
-dataset: a full grid over (h, lambda) is compared with a budgeted
-multi-armed-bandit tuner (random sampling, local perturbation, differential
-evolution and Nelder-Mead proposals).  The black-box tuner typically matches
-or beats the grid with an order of magnitude fewer kernel evaluations.
+dataset by driving ``repro tune`` twice — once with the exhaustive grid
+(Figure 6a) and once with the budgeted multi-armed-bandit tuner
+(Figure 6b).  Both searches are λ-move aware: the objective pays one
+kernel compression per distinct ``h`` and a cheap refit per λ.  The
+equivalent shell commands::
 
-Run it with:  python examples/hyperparameter_tuning.py [budget]
+    repro tune --dataset susy --strategy grid   --set tuning.points_per_dim=12
+    repro tune --dataset susy --strategy bandit --budget 100
+
+Each run leaves its best ``(h, lambda)`` in its ``--json`` result; apply
+it with ``repro train --h ... --lam ...`` (or ``repro refit`` for a
+λ-only move on an already-trained model).
+
+Run it with:  PYTHONPATH=src python examples/hyperparameter_tuning.py [budget]
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.datasets import load_dataset, train_test_split
-from repro.krr import KernelRidgeClassifier
-from repro.tuning import BanditTuner, GridSearch, KRRObjective, ParameterSpace
+from repro.cli import main as repro_main
+
+COMMON = ["--dataset", "susy", "--n-train", "1024", "--n-test", "256",
+          "--set", "tuning.h_min=0.25", "--set", "tuning.h_max=2.0",
+          "--set", "tuning.lam_min=0.5", "--set", "tuning.lam_max=10.0"]
 
 
-def main(budget: int = 100, n_train: int = 768, n_val: int = 256,
-         n_test: int = 256) -> None:
-    data = load_dataset("susy", n_train=n_train + n_val, n_test=n_test, seed=0)
-    X_tr, y_tr, X_val, y_val = train_test_split(
-        data.X_train, data.y_train, test_fraction=n_val / (n_train + n_val), seed=0)
-    print(f"SUSY-like data: {X_tr.shape[0]} train, {X_val.shape[0]} validation, "
-          f"{n_test} test\n")
-
-    space = ParameterSpace.krr_default(h_bounds=(0.25, 2.0), lam_bounds=(0.5, 10.0))
-
+def main(budget: int = 100) -> int:
     # --- grid search (the paper's expensive baseline, Figure 6a)
-    grid_objective = KRRObjective(X_tr, y_tr, X_val, y_val)
-    grid_result = GridSearch(space, points_per_dim=12).optimize(grid_objective)
-    print(f"Grid search      : {grid_objective.evaluations:4d} runs, "
-          f"{grid_objective.kernel_constructions:3d} kernel builds, "
-          f"best validation accuracy {100 * grid_result.best_value:.2f}% at "
-          f"h={grid_result.best_config['h']:.3f}, "
-          f"lam={grid_result.best_config['lam']:.3f}")
+    argv = ["tune", "--strategy", "grid",
+            "--set", "tuning.points_per_dim=12", *COMMON,
+            "--json", "repro_tune_grid.json"]
+    print(f"$ repro {' '.join(argv)}")
+    rc = repro_main(argv)
+    if rc != 0:
+        return rc
 
     # --- black-box tuner (Figure 6b)
-    tuner_objective = KRRObjective(X_tr, y_tr, X_val, y_val)
-    tuner = BanditTuner(space, budget=budget, seed=0)
-    tuner_result = tuner.optimize(tuner_objective)
-    print(f"Black-box tuner  : {tuner_objective.evaluations:4d} runs, "
-          f"{tuner_objective.kernel_constructions:3d} kernel builds, "
-          f"best validation accuracy {100 * tuner_result.best_value:.2f}% at "
-          f"h={tuner_result.best_config['h']:.3f}, "
-          f"lam={tuner_result.best_config['lam']:.3f}")
-    print(f"  technique usage: {tuner.technique_usage_}")
-
-    # --- final model on the held-out test set with the tuned parameters
-    best = tuner_result.best_config
-    clf = KernelRidgeClassifier(h=best["h"], lam=best["lam"], solver="hss",
-                                clustering="two_means", seed=0)
-    clf.fit(data.X_train, data.y_train)
-    print(f"\nTest accuracy with tuned (h, lambda): "
-          f"{100 * clf.score(data.X_test, data.y_test):.2f}%")
+    argv = ["tune", "--strategy", "bandit", "--budget", str(budget),
+            *COMMON, "--json", "repro_tune_bandit.json"]
+    print(f"\n$ repro {' '.join(argv)}")
+    return repro_main(argv)
 
 
 if __name__ == "__main__":
-    main(budget=int(sys.argv[1]) if len(sys.argv) > 1 else 100)
+    sys.exit(main(budget=int(sys.argv[1]) if len(sys.argv) > 1 else 100))

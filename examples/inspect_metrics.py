@@ -1,105 +1,67 @@
 #!/usr/bin/env python
-"""Inspect the telemetry a training + serving run leaves behind (repro.obs).
+"""Inspect the telemetry a lifecycle run leaves behind, via the CLI.
 
 The library instruments itself: phase wall-clock, kernel evaluation
-counts, serving latencies and per-request life cycles all accumulate in
-one process-wide registry (see ``docs/observability.md``).  This script
-makes that visible end to end:
+counts and serving latencies accumulate in one process-wide registry
+(see ``docs/observability.md``).  The runtime config's ``[obs]`` section
+wires that registry into every CLI command: a non-empty ``dump_path``
+makes each command write the merged snapshot on exit, and
+``repro inspect metrics`` renders the dump back — counters, gauges and
+collapsed histogram percentiles.
 
-1. train the HSS-compressed KRR classifier on a SUSY-like dataset inside
-   an explicit trace span, so the run produces a nested phase tree,
-2. serve a few hundred queries through a
-   :class:`repro.serving.PredictionService` (micro-batched, with repeats
-   so the kernel-row cache sees hits),
-3. print the merged metrics snapshot — phase timing counters, kernel /
-   serving counters, latency histogram percentiles,
-4. print the span tree of the training run and the tail of the
-   per-request trail, and
-5. write the full snapshot as a Prometheus text exposition and re-parse
-   it, the same round trip CI asserts.
+This script drives that loop end to end:
+
+1. ``repro train --set obs.dump_path=...`` — the training phases and
+   kernel counters land in the dump,
+2. ``repro inspect metrics`` — parse and summarize the dump (the same
+   ``obs.parse_prometheus`` / ``obs.summarize_snapshot`` round trip CI
+   asserts),
+3. print a few headline series directly from the parsed JSON result.
 
 Run it with:  PYTHONPATH=src python examples/inspect_metrics.py [n_train]
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import tempfile
 
-import numpy as np
-
-import repro.obs as obs
-from repro.datasets import load_dataset
-from repro.krr import KRRPipeline
-from repro.serving import PredictionEngine, PredictionService
+from repro.cli import main as repro_main
 
 
-def main(n_train: int = 1024, n_test: int = 256) -> None:
-    reg = obs.global_registry()
+def main(n_train: int = 1024, n_test: int = 256) -> int:
+    workdir = tempfile.mkdtemp(prefix="repro-metrics-")
+    dump = os.path.join(workdir, "metrics.json")
+    result = os.path.join(workdir, "inspect.json")
+    common = ["--dataset", "susy", "--n-train", str(n_train),
+              "--n-test", str(n_test), "--store",
+              os.path.join(workdir, "models"),
+              "--set", f"obs.dump_path={dump}"]
 
-    # ------------------------------------------------------------- 1. train
-    print(f"Training on SUSY-like data: {n_train} train / {n_test} test")
-    data = load_dataset("susy", n_train=n_train, n_test=n_test, seed=0)
-    pipeline = KRRPipeline(h=data.h, lam=data.lam, solver="hss",
-                           clustering="two_means", seed=0)
-    with obs.trace.span("example.train"):
-        report = pipeline.run(data.X_train, data.y_train,
-                              data.X_test, data.y_test,
-                              dataset_name="susy")
-    print(f"  accuracy {report.accuracy_percent:.1f}%, "
-          f"max rank {report.max_rank}")
+    argv = ["train", *common, "--json",
+            os.path.join(workdir, "train.json")]
+    print(f"$ repro {' '.join(argv)}")
+    rc = repro_main(argv)
+    if rc != 0:
+        return rc
 
-    # ------------------------------------------------------------- 2. serve
-    rng = np.random.default_rng(0)
-    traffic = np.vstack([data.X_test,
-                         data.X_test[rng.integers(0, n_test, n_test)]])
-    print(f"\nServing {traffic.shape[0]} queries "
-          f"({n_test} unique + {n_test} repeats)")
-    engine = PredictionEngine(pipeline.classifier_, batch_size=128,
-                              cache_size=n_test)
-    with PredictionService(engine, max_batch=128, batch_window=0.001,
-                           model_name="susy-hss") as svc:
-        svc.predict_many(traffic)
-        trail = svc.recent_requests(5)
+    argv = ["inspect", "metrics", *common, "--json", result]
+    print(f"\n$ repro {' '.join(argv)}")
+    rc = repro_main(argv)
+    if rc != 0:
+        return rc
 
-    # ---------------------------------------------------- 3. metrics snapshot
-    snap = reg.snapshot()
-    print("\nPhase timings (repro_phase_seconds_total):")
-    for sample, value in sorted(snap["counters"].items()):
-        if sample.startswith("repro_phase_seconds_total"):
-            print(f"  {sample:60s} {value:10.4f}")
-    print("Kernel / serving counters:")
-    for sample, value in sorted(snap["counters"].items()):
-        if sample.startswith(("repro_kernel", "repro_serving", "repro_service")):
-            print(f"  {sample:60s} {value:10.0f}")
-    summary = obs.summarize_snapshot(snap)
-    for sample, hist in sorted(summary["histograms"].items()):
-        print(f"  {sample}: count={hist['count']} "
-              f"p50<={hist['p50'] * 1e3:.3f}ms p95<={hist['p95'] * 1e3:.3f}ms")
-
-    # --------------------------------------------------------- 4. span tree
-    roots = [r for r in obs.trace.recent_roots() if r.name == "example.train"]
-    print("\nTraining span tree:")
-    print(roots[-1].format(indent=1))
-
-    print("\nLast requests in the service trail:")
-    for rec in trail:
-        print(f"  #{rec.request_id:<5d} {rec.status:<10s} "
-              f"latency {rec.latency * 1e3:8.3f} ms  "
-              f"(queued {rec.queue_wait * 1e3:6.3f} ms, "
-              f"batch of {rec.batch_size})")
-
-    # -------------------------------------------------- 5. export round trip
-    path = os.path.join(tempfile.mkdtemp(prefix="repro-metrics-"),
-                        "metrics.prom")
-    obs.dump_metrics(path)
-    with open(path) as fh:
-        samples = obs.parse_prometheus(fh.read())
-    print(f"\nWrote {path}: {len(samples)} samples, "
-          "round-tripped through obs.parse_prometheus")
-    assert samples["repro_serving_queries_total"] >= traffic.shape[0]
+    with open(result, "r", encoding="utf-8") as fh:
+        summary = json.load(fh)["result"]["summary"]
+    compressions = summary["counters"].get(
+        "repro_kernel_compressions_total", 0)
+    print(f"\nParsed back from {result}:")
+    print(f"  kernel compressions recorded: {compressions:g}")
+    assert compressions >= 1, "training must record a kernel compression"
+    return 0
 
 
 if __name__ == "__main__":
-    main(*(int(a) for a in sys.argv[1:3]))
+    sys.exit(main(*(int(a) for a in sys.argv[1:3])))

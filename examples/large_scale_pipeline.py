@@ -17,7 +17,6 @@ import sys
 import time
 
 from repro.clustering import cluster
-from repro.config import HMatrixOptions, HSSOptions
 from repro.datasets import load_dataset
 from repro.diagnostics import Table
 from repro.hmatrix import HMatrixSampler, build_hmatrix
@@ -25,6 +24,7 @@ from repro.hss import ULVFactorization, build_hss_randomized
 from repro.kernels import GaussianKernel, ShiftedKernelOperator
 from repro.parallel import (estimate_hmatrix_work, estimate_hss_work,
                             estimate_sampling_work, simulate_strong_scaling)
+from repro.runtime import resolve_runtime_config
 from repro.utils.bytes import dense_matrix_bytes, megabytes
 
 
@@ -33,18 +33,26 @@ def main(max_n: int = 8192) -> None:
     table = Table(title="Scaling of the compressed kernel solver (SUSY-like data)")
     last_build = None
 
+    # One config resolution supplies every option object below, so a
+    # ./repro.toml or REPRO_* env vars retune the whole sweep (the flag
+    # layer only pins the rel_tol this example's table is calibrated for).
+    config = resolve_runtime_config(flags={"hss.rel_tol": 0.1})
+    c = config.clustering
+
     for n in sizes:
-        data = load_dataset("susy", n_train=n, n_test=256, seed=0)
-        clustering = cluster(data.X_train, method="two_means", leaf_size=16, seed=0)
+        data = load_dataset("susy", n_train=n, n_test=256,
+                            seed=config.dataset.seed)
+        clustering = cluster(data.X_train, method=c.method,
+                             leaf_size=c.leaf_size, seed=c.seed)
         operator = ShiftedKernelOperator(clustering.X, GaussianKernel(h=data.h),
                                          data.lam)
 
         t0 = time.perf_counter()
         hmatrix = build_hmatrix(operator, clustering.X, clustering.tree,
-                                HMatrixOptions())
+                                config.hmatrix_options())
         sampler = HMatrixSampler(hmatrix, operator)
         hss, stats = build_hss_randomized(sampler, clustering.tree,
-                                          HSSOptions(rel_tol=0.1), rng=0)
+                                          config.hss_options(), rng=0)
         construction = time.perf_counter() - t0
 
         t0 = time.perf_counter()

@@ -1,62 +1,33 @@
 #!/usr/bin/env python
-"""Quickstart: kernel ridge regression classification with a compressed kernel.
+"""Quickstart: the paper's Algorithm 1 end to end, via the ``repro`` CLI.
 
-This script walks through the paper's Algorithm 1 end to end on a synthetic
-GAS-like dataset:
+The umbrella CLI now covers what used to be a hand-rolled script.  It
+resolves its configuration through the layered runtime config (built-in
+defaults < ``repro.toml`` < ``REPRO_*`` env vars < CLI flags), trains the
+HSS-compressed KRR classifier — two-means reordering, H-matrix
+accelerated randomized HSS compression, ULV factorization + solve —
+persists the fitted model into the ``models/`` store and leaves a machine
+readable report in ``repro_train.json``.  The equivalent shell command::
 
-1. generate and standardize the data,
-2. reorder the training points with recursive two-means clustering (Step 0),
-3. compress the (implicit) kernel matrix into HSS form with randomized
-   sampling accelerated by an H matrix,
-4. factor it with the ULV factorization and solve for the weight vector
-   (Step 2),
-5. predict the test labels and report accuracy, memory and timings.
+    repro train --dataset gas --n-train 2048 --n-test 512
 
-Run it with:  python examples/quickstart.py [n_train]
+Run it with:  PYTHONPATH=src python examples/quickstart.py [n_train]
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.datasets import load_dataset
-from repro.krr import KernelRidgeClassifier
-from repro.utils.bytes import dense_matrix_bytes, megabytes
+from repro.cli import main as repro_main
 
 
-def main(n_train: int = 2048, n_test: int = 512) -> None:
-    print(f"Loading GAS-like dataset: {n_train} train / {n_test} test samples")
-    data = load_dataset("gas", n_train=n_train, n_test=n_test, seed=0)
-    print(f"  dimension      : {data.dim}")
-    print(f"  paper (h, lam) : ({data.h}, {data.lam})")
-
-    # The classifier runs all steps of Algorithm 1: clustering preprocessing,
-    # HSS compression (with H-matrix accelerated sampling), ULV factorization,
-    # solve, and sign-based prediction.
-    clf = KernelRidgeClassifier(
-        h=data.h,
-        lam=data.lam,
-        solver="hss",
-        clustering="two_means",
-        leaf_size=16,
-        seed=0,
-    )
-    clf.fit(data.X_train, data.y_train)
-    accuracy = clf.score(data.X_test, data.y_test)
-
-    report = clf.report
-    dense_mb = megabytes(dense_matrix_bytes(n_train))
-    print("\nResults")
-    print(f"  test accuracy            : {100 * accuracy:.1f}%")
-    print(f"  HSS memory               : {report.hss_memory_mb:.2f} MB")
-    print(f"  H matrix memory          : {report.hmatrix_memory_mb:.2f} MB")
-    print(f"  dense kernel would need  : {dense_mb:.1f} MB")
-    print(f"  maximum off-diagonal rank: {report.max_rank}")
-    print("  phase timings (s):")
-    for phase, seconds in sorted(report.timings.items()):
-        print(f"    {phase:20s} {seconds:8.3f}")
+def main(n_train: int = 2048, n_test: int = 512) -> int:
+    argv = ["train", "--dataset", "gas",
+            "--n-train", str(n_train), "--n-test", str(n_test)]
+    print(f"$ repro {' '.join(argv)}")
+    return repro_main(argv)
 
 
 if __name__ == "__main__":
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
-    main(n_train=n)
+    sys.exit(main(n_train=n))

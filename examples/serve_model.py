@@ -1,18 +1,23 @@
 #!/usr/bin/env python
-"""Train once, persist, and serve batched predictions (repro.serving demo).
+"""Train once, persist, and serve — the lifecycle via the ``repro`` CLI.
 
-This script walks through the train-offline / serve-online split:
+This script walks through the train-offline / serve-online split as three
+CLI invocations sharing one layered runtime config:
 
-1. train the paper's HSS-compressed KRR classifier on a GAS-like dataset
-   (the full Algorithm-1 pipeline, via :class:`repro.krr.KRRPipeline`),
-2. persist the trained model — cluster tree, HSS generators, ULV factors
-   and weights — into a :class:`repro.serving.ModelStore` with the
-   pipeline report attached as metadata,
-3. load it back (checksum-verified) in a fresh object, as a serving
-   process would after a restart,
-4. answer queries through a :class:`repro.serving.PredictionService`
-   (micro-batched, with an LRU kernel-row cache) and print the serving
-   statistics: p50/p95 latency, queries per second, cache hit rate.
+1. ``repro train`` — the full Algorithm-1 pipeline; the fitted model
+   (cluster tree, HSS generators, ULV factors, weights) lands in the
+   model store with the pipeline report attached as metadata,
+2. ``repro serve --check`` — a fresh process's view: load the model back
+   (checksum-verified), stand up the micro-batched
+   :class:`repro.serving.PredictionService` and verify the served answers
+   match direct model predictions bit for bit,
+3. ``repro inspect models`` — the store catalog a deployment would audit.
+
+The equivalent shell commands::
+
+    repro train --store models --model gas-hss
+    repro serve --check --store models --model gas-hss
+    repro inspect models --store models
 
 Run it with:  PYTHONPATH=src python examples/serve_model.py [n_train]
 """
@@ -22,61 +27,26 @@ from __future__ import annotations
 import sys
 import tempfile
 
-import numpy as np
-
-from repro.datasets import load_dataset
-from repro.krr import KRRPipeline
-from repro.serving import ModelStore, PredictionEngine, PredictionService
+from repro.cli import main as repro_main
 
 
-def main(n_train: int = 2048, n_test: int = 512) -> None:
-    # ------------------------------------------------------------- 1. train
-    print(f"Training on GAS-like data: {n_train} train / {n_test} test")
-    data = load_dataset("gas", n_train=n_train, n_test=n_test, seed=0)
-    pipeline = KRRPipeline(h=data.h, lam=data.lam, solver="hss",
-                           clustering="two_means", seed=0)
-    report = pipeline.run(data.X_train, data.y_train, data.X_test, data.y_test,
-                          dataset_name="gas")
-    print(f"  accuracy {report.accuracy_percent:.1f}%, "
-          f"memory {report.memory_mb:.2f} MB, max rank {report.max_rank}")
-
-    # ----------------------------------------------------------- 2. persist
-    store_dir = tempfile.mkdtemp(prefix="repro-models-")
-    store = ModelStore(store_dir)
-    record = store.save(pipeline.classifier_, "gas-hss", report=report)
-    print(f"\nSaved to {store.root}")
-    print(f"  {record.describe()}")
-    print(f"  archive: {store.artifact('gas-hss').nbytes / 2**20:.2f} MB")
-
-    # -------------------------------------------------------------- 3. load
-    served = store.load("gas-hss")  # checksum-verified round trip
-    same = np.array_equal(served.predict(data.X_test),
-                          pipeline.classifier_.predict(data.X_test))
-    print(f"  reloaded model matches original predictions exactly: {same}")
-
-    # ------------------------------------------------------------- 4. serve
-    engine = PredictionEngine(served, batch_size=256, cache_size=1024)
-    queries = data.X_test
-    # Simulate traffic with repeats (cache hits) mixed into fresh queries.
-    rng = np.random.default_rng(0)
-    traffic = np.vstack([queries, queries[rng.integers(0, n_test, n_test)]])
-
-    print(f"\nServing {traffic.shape[0]} queries "
-          f"({n_test} unique + {n_test} repeats)")
-    with PredictionService(engine, max_batch=256, batch_window=0.001) as svc:
-        labels = svc.predict_many(traffic)
-        stats = svc.stats()
-
-    accuracy = float(np.mean(labels[:n_test] == data.y_test))
-    print(f"  online accuracy : {100 * accuracy:.1f}%")
-    print(f"  throughput      : {stats.qps:.0f} queries/s "
-          f"({stats.batches} batches, mean size {stats.mean_batch_size:.1f})")
-    print(f"  latency         : p50 {stats.p50_latency_ms:.2f} ms, "
-          f"p95 {stats.p95_latency_ms:.2f} ms")
-    print(f"  kernel-row cache: {engine.stats.cache_hits} hits / "
-          f"{engine.stats.cache_hits + engine.stats.cache_misses} lookups "
-          f"({100 * engine.stats.hit_rate:.0f}% hit rate)")
+def main(n_train: int = 2048, n_test: int = 512) -> int:
+    store = tempfile.mkdtemp(prefix="repro-models-")
+    common = ["--dataset", "gas", "--n-train", str(n_train),
+              "--n-test", str(n_test), "--store", store,
+              "--model", "gas-hss"]
+    for argv in (
+        ["train", *common, "--json", "repro_serve_train.json"],
+        ["serve", "--check", *common, "--json", "repro_serve_check.json"],
+        ["inspect", "models", *common, "--json", "repro_serve_models.json"],
+    ):
+        print(f"$ repro {' '.join(argv)}")
+        rc = repro_main(argv)
+        if rc != 0:
+            return rc
+        print()
+    return 0
 
 
 if __name__ == "__main__":
-    main(*(int(a) for a in sys.argv[1:3]))
+    sys.exit(main(*(int(a) for a in sys.argv[1:3])))

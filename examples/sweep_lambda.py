@@ -5,22 +5,21 @@ The training system is ``K + lambda I``, and everything expensive about
 its hierarchical approximation depends only on ``K`` — so a
 regularization sweep should pay the H-matrix + HSS compression exactly
 once.  This script demonstrates the compress-once/refit-many API on a
-synthetic SUSY-like dataset:
+synthetic SUSY-like dataset, configured through the layered
+:class:`repro.runtime.RuntimeConfig` (the same spine the ``repro`` CLI
+uses, so ``REPRO_*`` env vars and a ``./repro.toml`` apply here too):
 
-1. fit a ``KernelRidgeClassifier`` cold at the first λ (clustering +
-   λ-free compression + ULV factorization + solve),
-2. sweep the remaining λ values with ``clf.refit(lam)`` — each point
+1. resolve the runtime config and build the classifier from it,
+2. fit cold at the first λ (clustering + λ-free compression + ULV
+   factorization + solve),
+3. sweep the remaining λ values with ``clf.refit(lam)`` — each point
    reuses the resident :class:`repro.hss.CompressedKernel` and redoes
-   only the ``O(n r^2)`` ULV factorization and the training solve,
-3. report per-λ validation accuracy and wall-clock, comparing the refit
-   cost against the cold fit.
+   only the ``O(n r^2)`` ULV factorization and the training solve.
 
 Every refit is numerically identical (bitwise) to a cold fit at that λ.
-With ``shards=2`` (and optionally a warm ``WorkerGrid``) the same
-``refit`` call keeps the worker processes and their per-shard
-compressions resident too.
+The shell equivalent of one sweep step:  ``repro refit --new-lam 2.0``.
 
-Run it with:  python examples/sweep_lambda.py [n_train]
+Run it with:  PYTHONPATH=src python examples/sweep_lambda.py [n_train]
 """
 
 from __future__ import annotations
@@ -30,15 +29,31 @@ import time
 
 from repro.datasets import load_dataset
 from repro.krr import KernelRidgeClassifier
+from repro.runtime import resolve_runtime_config
 
 
 def main(n_train: int = 2048, n_test: int = 512) -> None:
     lambdas = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
-    print(f"Loading SUSY-like dataset: {n_train} train / {n_test} test samples")
-    data = load_dataset("susy", n_train=n_train, n_test=n_test, seed=0)
+    config = resolve_runtime_config(flags={
+        "dataset.name": "susy",
+        "dataset.n_train": n_train,
+        "dataset.n_test": n_test,
+    })
+    d = config.dataset
+    print(f"Loading SUSY-like dataset: {d.n_train} train / {d.n_test} test "
+          f"samples")
+    data = load_dataset(d.name, n_train=d.n_train, n_test=d.n_test,
+                        seed=d.seed, normalize=d.normalize)
 
-    clf = KernelRidgeClassifier(h=data.h, lam=lambdas[0], solver="hss",
-                                clustering="two_means", seed=0)
+    clf = KernelRidgeClassifier(
+        h=data.h, lam=lambdas[0], solver=config.solver.name,
+        clustering=config.clustering.method,
+        leaf_size=config.clustering.leaf_size, seed=config.clustering.seed,
+        workers=config.distributed.workers,
+        solver_options={"hss_options": config.hss_options(),
+                        "hmatrix_options": config.hmatrix_options(),
+                        "use_hmatrix_sampling":
+                            config.solver.use_hmatrix_sampling})
     t0 = time.perf_counter()
     clf.fit(data.X_train, data.y_train)
     cold_seconds = time.perf_counter() - t0

@@ -36,7 +36,12 @@ The library provides:
   :mod:`repro.distributed`;
 * unified observability — metrics registry, span tracing, per-request
   status trails and Prometheus/JSON exporters across the train / refit /
-  serve stack — :mod:`repro.obs`.
+  serve stack — :mod:`repro.obs`;
+* a layered runtime configuration spine (``repro.toml`` + ``REPRO_*`` env
+  vars + CLI flags, with per-value provenance) and the ``repro`` umbrella
+  CLI (``train`` / ``tune`` / ``refit`` / ``serve`` / ``bench`` /
+  ``inspect`` / ``env``) driving the whole lifecycle without writing
+  Python — :mod:`repro.runtime`, :mod:`repro.cli`.
 
 Quickstart
 ----------
@@ -49,6 +54,7 @@ Quickstart
 """
 
 from . import obs
+from . import runtime
 from . import clustering, datasets, hmatrix, hss, kernels, krr, lowrank, utils
 from . import serving
 from . import distributed
@@ -64,6 +70,7 @@ from .serving import (ModelStore, PredictionEngine, PredictionService,
                       load_model, save_model)
 from .distributed import (DistributedKRRPipeline, ShardPlan,
                           ShardedPredictionService)
+from .runtime import RuntimeConfig, resolve_runtime_config
 
 __version__ = "1.0.0"
 
@@ -97,6 +104,9 @@ __all__ = [
     "DistributedKRRPipeline",
     "ShardPlan",
     "ShardedPredictionService",
+    "RuntimeConfig",
+    "resolve_runtime_config",
     "obs",
+    "runtime",
     "__version__",
 ]

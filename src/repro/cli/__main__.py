@@ -1,0 +1,8 @@
+"""``python -m repro.cli`` — same as the ``repro`` console script."""
+
+import sys
+
+from . import main
+
+if __name__ == "__main__":
+    sys.exit(main())

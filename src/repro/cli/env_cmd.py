@@ -1,0 +1,82 @@
+"""``repro env`` — show the host context and the REPRO_* environment."""
+
+from __future__ import annotations
+
+import argparse
+
+from ..runtime import SCHEMA, host_context, repro_env
+from ._common import add_config_arguments, emit, resolve_config
+
+
+def add_parser(subparsers) -> argparse.ArgumentParser:
+    """Register the ``env`` subcommand.
+
+    Parameters
+    ----------
+    subparsers:
+        The argparse subparsers action of the umbrella parser.
+
+    Returns
+    -------
+    argparse.ArgumentParser
+        The subcommand parser.
+    """
+    parser = subparsers.add_parser(
+        "env",
+        help="show host context and which REPRO_* variables are set",
+        description="Print the host context (python/numpy/platform/git "
+                    "revision/visible cores) plus every REPRO_* variable "
+                    "currently set and the config knob each one maps to.")
+    add_config_arguments(parser)
+    parser.set_defaults(func=run)
+    return parser
+
+
+def _env_mapping():
+    """``{env_var: config_key}`` for every knob's recognized variables."""
+    mapping = {}
+    for knob in SCHEMA:
+        for var, _inverted in knob.env_vars:
+            mapping.setdefault(var, knob.key)
+    return mapping
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute ``repro env``.
+
+    Parameters
+    ----------
+    args:
+        Parsed command-line namespace.
+
+    Returns
+    -------
+    int
+        Process exit code.
+    """
+    config = resolve_config(args)
+    host = host_context()
+    env = repro_env()
+    mapping = _env_mapping()
+
+    human = [
+        f"python  {host['python']}",
+        f"numpy   {host['numpy']}",
+        f"platform {host['platform']} ({host['machine']})",
+        f"cores   {host['visible_cores']} visible / "
+        f"{host['cpu_count']} total",
+        f"git     {host['git_rev'] or '(no revision)'}",
+        f"config  {config.config_path or '(no repro.toml)'}",
+    ]
+    if env:
+        human.append("REPRO_* environment:")
+        for var in sorted(env):
+            target = mapping.get(var)
+            suffix = f"  -> {target}" if target else "  (unrecognized)"
+            human.append(f"  {var}={env[var]}{suffix}")
+    else:
+        human.append("REPRO_* environment: (none set)")
+
+    payload = {"host": host, "repro_env": env,
+               "env_mapping": {var: mapping.get(var) for var in env}}
+    return emit(args, "env", config, payload, human)

@@ -1,0 +1,130 @@
+"""``repro inspect`` — look at config provenance, stored models, metrics."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from ._common import (CLIError, add_config_arguments, emit, resolve_config)
+
+
+def add_parser(subparsers) -> argparse.ArgumentParser:
+    """Register the ``inspect`` subcommand.
+
+    Parameters
+    ----------
+    subparsers:
+        The argparse subparsers action of the umbrella parser.
+
+    Returns
+    -------
+    argparse.ArgumentParser
+        The subcommand parser.
+    """
+    parser = subparsers.add_parser(
+        "inspect",
+        help="inspect the resolved config, the model store or metrics",
+        description="Read-only views of the running setup: `inspect "
+                    "config` prints every knob with its value and "
+                    "provenance layer (default/file/env/flag), `inspect "
+                    "models` lists the store catalog, `inspect metrics` "
+                    "parses a Prometheus metrics dump.")
+    add_config_arguments(parser)
+    parser.add_argument(
+        "what", choices=("config", "models", "metrics"),
+        help="what to inspect")
+    parser.add_argument(
+        "--metrics-path", metavar="PATH", default=None,
+        help="metrics dump to parse (default: obs.dump_path / "
+             "REPRO_METRICS_DUMP)")
+    parser.set_defaults(func=run)
+    return parser
+
+
+def _inspect_config(config):
+    rows = config.describe()
+    width = max(len(r["key"]) for r in rows)
+    human = [f"config file: {config.config_path or '(none)'}",
+             f"{'key'.ljust(width)}  {'source'.ljust(7)}  value",
+             f"{'-' * width}  {'-' * 7}  {'-' * 5}"]
+    for row in rows:
+        human.append(f"{row['key'].ljust(width)}  "
+                     f"{row['source'].ljust(7)}  {row['value']!r}")
+    return {"config_file": config.config_path, "knobs": rows}, human
+
+
+def _inspect_models(config):
+    from ..serving import ModelStore
+
+    store = ModelStore.from_config(config)
+    records = store.list_models()
+    human = [f"store: {store.root} ({len(records)} model(s))"]
+    payload = []
+    for record in records:
+        meta = record.metadata or {}
+        payload.append({"name": record.name, "kind": record.kind,
+                        "created": record.created,
+                        "checksum": record.checksum,
+                        "metadata": meta})
+        lam = meta.get("lam", meta.get("lambda", "?"))
+        human.append(f"  {record.name}: kind={record.kind} "
+                     f"lam={lam} created={record.created} "
+                     f"checksum={record.checksum[:12]}...")
+    return {"store": store.root, "models": payload}, human
+
+
+def _inspect_metrics(config, path):
+    from ..obs import configured_dump_path, parse_prometheus, summarize_snapshot
+
+    path = path or configured_dump_path()
+    if not path:
+        raise CLIError(
+            "no metrics dump configured: set obs.dump_path in repro.toml, "
+            "REPRO_METRICS_DUMP, or pass --metrics-path")
+    if not os.path.exists(path):
+        raise CLIError(f"metrics dump {path!r} does not exist (run a "
+                       "command with obs.dump_path set first)")
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    human = [f"metrics from {path}:"]
+    try:
+        snapshot = json.loads(text)
+    except json.JSONDecodeError:
+        # Prometheus text exposition -> flat {series: value}.
+        flat = parse_prometheus(text)
+        for name in sorted(flat):
+            human.append(f"  {name} = {flat[name]:g}")
+        return {"path": path, "format": "prometheus", "series": flat}, human
+    summary = summarize_snapshot(snapshot)
+    for kind in ("counters", "gauges"):
+        for name in sorted(summary.get(kind, {})):
+            human.append(f"  {name} = {summary[kind][name]:g}")
+    for name in sorted(summary.get("histograms", {})):
+        hist = summary["histograms"][name]
+        human.append(f"  {name}: count={hist['count']} sum={hist['sum']:g} "
+                     f"p50<={hist['p50']:g} p95<={hist['p95']:g}")
+    return {"path": path, "format": "json", "summary": summary}, human
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute ``repro inspect``.
+
+    Parameters
+    ----------
+    args:
+        Parsed command-line namespace.
+
+    Returns
+    -------
+    int
+        Process exit code.
+    """
+    config = resolve_config(args)
+    if args.what == "config":
+        payload, human = _inspect_config(config)
+    elif args.what == "models":
+        payload, human = _inspect_models(config)
+    else:
+        payload, human = _inspect_metrics(config, args.metrics_path)
+    return emit(args, f"inspect_{args.what}", config, payload, human)

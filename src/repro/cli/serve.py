@@ -1,0 +1,139 @@
+"""``repro serve`` — stand up the batched prediction service."""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from ._common import (CLIError, add_config_arguments, emit, load_bundle,
+                      maybe_dump_metrics, resolve_config)
+
+
+def add_parser(subparsers) -> argparse.ArgumentParser:
+    """Register the ``serve`` subcommand.
+
+    Parameters
+    ----------
+    subparsers:
+        The argparse subparsers action of the umbrella parser.
+
+    Returns
+    -------
+    argparse.ArgumentParser
+        The subcommand parser.
+    """
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the prediction service over the stored model",
+        description="Load the configured model, build the "
+                    "PredictionEngine/PredictionService pair from the "
+                    "[serving] section, and either run a one-shot "
+                    "self-test (--check) or answer a batch of queries "
+                    "from an .npy file.")
+    add_config_arguments(parser)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--check", action="store_true",
+        help="one-shot self-test: serve a slice of the configured test "
+             "split through the live service and verify the answers "
+             "match direct model predictions")
+    mode.add_argument(
+        "--queries", metavar="PATH",
+        help="serve a query matrix loaded from this .npy file")
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write predictions to this .npy file (default: "
+             "repro_serve_predictions.npy; --queries mode only)")
+    parser.add_argument(
+        "--check-n", type=int, default=64, metavar="N",
+        help="number of test rows the self-test serves (default 64)")
+    parser.set_defaults(func=run)
+    return parser
+
+
+def _build_service(config):
+    from ..serving import ArtifactError, ModelStore, PredictionEngine
+    from ..serving import PredictionService
+
+    store = ModelStore.from_config(config)
+    try:
+        model = store.load(config.serving.model)
+    except ArtifactError as exc:
+        raise CLIError(f"{exc} (run `repro train` first)") from exc
+    engine = PredictionEngine.from_config(config, model)
+    service = PredictionService.from_config(config, engine)
+    return model, service
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute ``repro serve``.
+
+    Parameters
+    ----------
+    args:
+        Parsed command-line namespace.
+
+    Returns
+    -------
+    int
+        Process exit code.
+    """
+    config = resolve_config(args)
+    model, service = _build_service(config)
+
+    if args.check:
+        data = load_bundle(config)
+        n = max(1, min(int(args.check_n), data.X_test.shape[0]))
+        queries = np.asarray(data.X_test[:n], dtype=np.float64)
+        reference = np.asarray(model.predict(queries))
+    else:
+        try:
+            queries = np.load(args.queries)
+        except (OSError, ValueError) as exc:
+            raise CLIError(f"cannot read queries from "
+                           f"{args.queries!r}: {exc}") from exc
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        reference = None
+
+    with service:
+        served = service.predict_many(queries, timeout=120.0)
+        stats = service.stats()
+
+    result = {
+        "model": config.serving.model,
+        "mode": "check" if args.check else "batch",
+        "n_queries": int(queries.shape[0]),
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "batches": stats.batches,
+        "p50_latency_ms": stats.p50_latency_ms,
+        "p95_latency_ms": stats.p95_latency_ms,
+        "qps": stats.qps,
+    }
+    human = [
+        f"served {queries.shape[0]} queries through model "
+        f"{config.serving.model!r} "
+        f"(max_batch={config.serving.max_batch}, "
+        f"batch_window={config.serving.batch_window:g}s)",
+        f"service: {stats.summary()}",
+    ]
+    if args.check:
+        matches = bool(np.array_equal(served, reference))
+        result["check_passed"] = matches
+        human.append("self-test: served predictions "
+                     + ("MATCH" if matches else "DO NOT MATCH")
+                     + " direct model predictions")
+        if not matches:
+            emit(args, "serve", config, result, human)
+            raise CLIError("serve --check failed: served predictions "
+                           "diverge from direct model predictions")
+    else:
+        out = args.out or "repro_serve_predictions.npy"
+        np.save(out, served)
+        result["out"] = out
+        human.append(f"predictions written to {out}")
+    dumped = maybe_dump_metrics(config)
+    if dumped:
+        result["metrics_dump"] = dumped
+    return emit(args, "serve", config, result, human)

@@ -1,0 +1,85 @@
+"""``repro train`` — train a model from the config and persist it."""
+
+from __future__ import annotations
+
+import argparse
+
+from ._common import (add_config_arguments, effective_h_lam, emit,
+                      load_bundle, maybe_dump_metrics, resolve_config)
+
+
+def add_parser(subparsers) -> argparse.ArgumentParser:
+    """Register the ``train`` subcommand.
+
+    Parameters
+    ----------
+    subparsers:
+        The argparse subparsers action of the umbrella parser.
+
+    Returns
+    -------
+    argparse.ArgumentParser
+        The subcommand parser.
+    """
+    parser = subparsers.add_parser(
+        "train",
+        help="train a KRR model from the config and save it to the store",
+        description="Generate the configured dataset, train the configured "
+                    "pipeline and persist the fitted model (overwriting any "
+                    "previous model of the same name, so re-running is "
+                    "idempotent).")
+    add_config_arguments(parser)
+    parser.add_argument(
+        "--no-save", action="store_true",
+        help="train and evaluate only; skip the model store")
+    parser.set_defaults(func=run)
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute ``repro train``.
+
+    Parameters
+    ----------
+    args:
+        Parsed command-line namespace.
+
+    Returns
+    -------
+    int
+        Process exit code.
+    """
+    from ..krr import KRRPipeline
+    from ..serving import ModelStore
+
+    config = resolve_config(args)
+    data = load_bundle(config)
+    h, lam = effective_h_lam(config, data)
+
+    pipeline = KRRPipeline.from_config(config, h=h, lam=lam)
+    report = pipeline.run(data.X_train, data.y_train,
+                          data.X_test, data.y_test,
+                          dataset_name=config.dataset.name)
+
+    result = {"report": report.row(), "model": None}
+    human = [
+        f"trained {config.dataset.name}: n_train={report.n_train} "
+        f"n_test={report.n_test} solver={report.solver} "
+        f"clustering={report.clustering}",
+        f"h={report.h:.4g} lam={report.lam:.4g} "
+        f"accuracy={report.accuracy_percent:.2f}%",
+    ]
+    if not args.no_save:
+        store = ModelStore.from_config(config)
+        record = store.save(pipeline.classifier_, config.serving.model,
+                            report=report, overwrite=True)
+        result["model"] = {"name": record.name, "path": record.path,
+                           "checksum": record.checksum,
+                           "store": store.root}
+        human.append(f"saved model {record.name!r} to {store.root} "
+                     f"(checksum {record.checksum[:12]}...)")
+    dumped = maybe_dump_metrics(config)
+    if dumped:
+        result["metrics_dump"] = dumped
+        human.append(f"metrics dumped to {dumped}")
+    return emit(args, "train", config, result, human)

@@ -64,6 +64,50 @@ class DistributedKRRPipeline(KRRPipeline):
                          coupling_max_rank=coupling_max_rank,
                          cut_level=cut_level, grid=grid)
 
+    @classmethod
+    def from_config(cls, config, h: Optional[float] = None,
+                    lam: Optional[float] = None,
+                    grid=None) -> "DistributedKRRPipeline":
+        """Build a sharded pipeline from a :class:`repro.runtime.RuntimeConfig`.
+
+        Same mapping as :meth:`repro.krr.KRRPipeline.from_config`, minus
+        the solver/kernel names this subclass pins (the sharded path is
+        HSS + Gaussian only); ``distributed.shards`` left unset defaults
+        to this class's two-shard constructor default rather than the
+        serial path.
+
+        Parameters
+        ----------
+        config:
+            The resolved :class:`repro.runtime.RuntimeConfig`.
+        h, lam:
+            Optional hyper-parameter overrides winning over the config's
+            kernel section.
+        grid:
+            Optional warm :class:`repro.distributed.WorkerGrid`.
+
+        Returns
+        -------
+        DistributedKRRPipeline
+            The configured pipeline.
+        """
+        d = config.distributed
+        return cls(
+            h=float(h) if h is not None else config.kernel.h,
+            lam=float(lam) if lam is not None else config.kernel.lam,
+            clustering=config.clustering.method,
+            leaf_size=config.clustering.leaf_size,
+            hss_options=config.hss_options(),
+            hmatrix_options=config.hmatrix_options(),
+            use_hmatrix_sampling=config.solver.use_hmatrix_sampling,
+            seed=config.clustering.seed,
+            workers=d.workers,
+            shards=d.shards if d.shards is not None else 2,
+            coupling_rel_tol=d.coupling_rel_tol,
+            coupling_max_rank=d.coupling_max_rank,
+            cut_level=d.cut_level,
+            grid=grid)
+
     @property
     def plan_(self) -> Optional[ShardPlan]:
         """The shard plan of the last :meth:`run` (``None`` before)."""

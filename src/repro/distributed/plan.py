@@ -43,8 +43,11 @@ def resolve_shards(shards: Optional[int]) -> int:
         ``None`` consults the ``REPRO_SHARDS`` environment variable (the
         CI matrix uses it to route the distributed test module through 2
         worker processes) and defaults to 1 — single-process — when
-        unset.  ``0`` means "one shard per visible core"; positive values
-        are taken literally.
+        unset.  The variable must hold a positive integer; anything else
+        (garbage, zero, negative) raises a :class:`ValueError` naming the
+        variable instead of being silently ignored.  An explicit ``0``
+        argument means "one shard per visible core"; positive values are
+        taken literally.
 
     Returns
     -------
@@ -54,7 +57,8 @@ def resolve_shards(shards: Optional[int]) -> int:
     Raises
     ------
     ValueError
-        If ``shards`` is negative.
+        If ``shards`` is negative, or ``REPRO_SHARDS`` holds anything but
+        a positive integer.
     """
     if shards is None:
         env = os.environ.get("REPRO_SHARDS", "").strip()
@@ -63,8 +67,14 @@ def resolve_shards(shards: Optional[int]) -> int:
         try:
             value = int(env)
         except ValueError:
-            return 1
-        return default_worker_count() if value <= 0 else value
+            raise ValueError(
+                f"invalid REPRO_SHARDS={env!r}: must be a positive "
+                f"integer (unset it for the single-process default)") from None
+        if value <= 0:
+            raise ValueError(
+                f"invalid REPRO_SHARDS={env!r}: must be a positive "
+                f"integer (pass shards=0 explicitly for one per core)")
+        return value
     shards = int(shards)
     if shards < 0:
         raise ValueError("shards must be >= 0 or None")

@@ -15,7 +15,8 @@ The package provides:
 * accuracy metrics (Eq. (2.1)).
 """
 
-from .solvers import DenseSolver, HSSSolver, CGSolver, make_solver, SolveReport
+from .solvers import (DenseSolver, HSSSolver, CGSolver, make_solver,
+                      solver_from_config, SolveReport)
 from .classifier import KernelRidgeClassifier
 from .multiclass import OneVsAllClassifier
 from .regression import KernelRidgeRegressor
@@ -27,6 +28,7 @@ __all__ = [
     "HSSSolver",
     "CGSolver",
     "make_solver",
+    "solver_from_config",
     "SolveReport",
     "KernelRidgeClassifier",
     "OneVsAllClassifier",

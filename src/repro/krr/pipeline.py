@@ -29,6 +29,7 @@ class PipelineReport:
     dataset: str = ""
     clustering: str = ""
     solver: str = ""
+    kernel: str = "gaussian"
     h: float = 0.0
     lam: float = 0.0
     n_train: int = 0
@@ -59,6 +60,7 @@ class PipelineReport:
             "dataset": self.dataset,
             "clustering": self.clustering,
             "solver": self.solver,
+            "kernel": self.kernel,
             "h": self.h,
             "lambda": self.lam,
             "n_train": self.n_train,
@@ -122,6 +124,9 @@ class KRRPipeline:
         size, seed and shard count (see
         :meth:`repro.distributed.WorkerGrid.from_data`); it is never shut
         down by the pipeline.  Ignored when ``shards`` resolves to 1.
+    kernel:
+        Kernel family name understood by :func:`repro.kernels.get_kernel`
+        (default Gaussian, as in the paper).
     """
 
     def __init__(
@@ -141,11 +146,13 @@ class KRRPipeline:
         coupling_max_rank: Optional[int] = None,
         cut_level: Optional[int] = None,
         grid=None,
+        kernel: str = "gaussian",
     ):
         self.h = float(h)
         self.lam = float(lam)
         self.clustering = clustering
         self.solver_name = solver
+        self.kernel_name = str(kernel)
         self.leaf_size = int(leaf_size)
         self.hss_options = hss_options
         self.hmatrix_options = hmatrix_options
@@ -159,6 +166,55 @@ class KRRPipeline:
         self.grid = grid
         self.classifier_: Optional[KernelRidgeClassifier] = None
         self.report_: Optional[PipelineReport] = None
+
+    @classmethod
+    def from_config(cls, config, h: Optional[float] = None,
+                    lam: Optional[float] = None,
+                    grid=None) -> "KRRPipeline":
+        """Build a pipeline from a :class:`repro.runtime.RuntimeConfig`.
+
+        Maps the config's sections onto the constructor arguments — the
+        two paths are equivalent, so a pipeline built here produces
+        bitwise-identical results to the same explicit constructor call
+        (enforced by ``tests/test_runtime_config.py``).  Explicit
+        constructor-style overrides always win over the config.
+
+        Parameters
+        ----------
+        config:
+            The resolved :class:`repro.runtime.RuntimeConfig`.
+        h, lam:
+            Optional hyper-parameter overrides (e.g. the dataset's paper
+            values, or a tuning result) taking precedence over the
+            config's kernel section.
+        grid:
+            Optional warm :class:`repro.distributed.WorkerGrid` for the
+            sharded path, forwarded as-is.
+
+        Returns
+        -------
+        KRRPipeline
+            The configured pipeline.
+        """
+        d = config.distributed
+        return cls(
+            h=float(h) if h is not None else config.kernel.h,
+            lam=float(lam) if lam is not None else config.kernel.lam,
+            clustering=config.clustering.method,
+            solver=config.solver.name,
+            leaf_size=config.clustering.leaf_size,
+            hss_options=config.hss_options(),
+            hmatrix_options=config.hmatrix_options(),
+            use_hmatrix_sampling=config.solver.use_hmatrix_sampling,
+            seed=config.clustering.seed,
+            workers=d.workers,
+            shards=d.shards,
+            coupling_rel_tol=d.coupling_rel_tol,
+            coupling_max_rank=d.coupling_max_rank,
+            cut_level=d.cut_level,
+            grid=grid,
+            kernel=config.kernel.name,
+        )
 
     def _build_solver(self) -> Union[str, KernelSystemSolver]:
         from ..distributed.plan import resolve_shards
@@ -200,7 +256,8 @@ class KRRPipeline:
         log = TimingLog()
         clf = KernelRidgeClassifier(
             h=self.h, lam=self.lam, solver=self._build_solver(),
-            clustering=self.clustering, leaf_size=self.leaf_size, seed=self.seed)
+            clustering=self.clustering, kernel=self.kernel_name,
+            leaf_size=self.leaf_size, seed=self.seed)
         with log.phase("train_total"):
             clf.fit(X_train, y_train)
         with log.phase("predict_total"):
@@ -212,6 +269,7 @@ class KRRPipeline:
             dataset=dataset_name,
             clustering=self.clustering,
             solver=self.solver_name,
+            kernel=self.kernel_name,
             h=self.h,
             lam=self.lam,
             n_train=int(np.asarray(X_train).shape[0]),
@@ -289,6 +347,7 @@ class KRRPipeline:
                      else (previous.dataset if previous else "")),
             clustering=self.clustering,
             solver=self.solver_name,
+            kernel=self.kernel_name,
             h=self.h,
             lam=self.lam,
             n_train=(previous.n_train if previous else 0),

@@ -36,6 +36,7 @@ See ``docs/observability.md`` for the metric catalog.
 """
 
 from .export import (
+    configured_dump_path,
     dump_metrics,
     parse_prometheus,
     snapshot_to_prometheus,
@@ -56,6 +57,32 @@ from .registry import (
 from .requests_log import RequestRecord, RequestTrail
 from .tracing import Span, Tracer, trace
 
+
+def configure(enabled=None, dump_path=None) -> None:
+    """Apply runtime-config observability settings process-wide.
+
+    The hook the ``repro`` CLI (and any embedding application) uses to
+    thread a :class:`repro.runtime.RuntimeConfig`'s ``[obs]`` section into
+    this subsystem: the enable switch maps to :func:`set_enabled` and the
+    dump path becomes the default destination of :func:`dump_metrics`.
+
+    Parameters
+    ----------
+    enabled:
+        ``True`` / ``False`` flips metrics collection via
+        :func:`set_enabled`; ``None`` leaves the current state.
+    dump_path:
+        Default path for :func:`dump_metrics` calls without an explicit
+        path (``""`` clears it back to the ``REPRO_METRICS_DUMP``
+        environment fallback); ``None`` leaves the current value.
+    """
+    from . import export as _export
+
+    if enabled is not None:
+        set_enabled(bool(enabled))
+    if dump_path is not None:
+        _export._configured_dump_path = str(dump_path)
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "Counter",
@@ -67,6 +94,8 @@ __all__ = [
     "RequestTrail",
     "Span",
     "Tracer",
+    "configure",
+    "configured_dump_path",
     "dump_metrics",
     "global_registry",
     "is_enabled",

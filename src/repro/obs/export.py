@@ -189,7 +189,24 @@ def summarize_snapshot(snapshot: Dict) -> Dict:
     return out
 
 
-def dump_metrics(path: str, registry=None) -> str:
+#: process-wide default dump destination, set by :func:`repro.obs.configure`
+_configured_dump_path = ""
+
+
+def configured_dump_path() -> str:
+    """The process's default metrics dump destination.
+
+    Returns
+    -------
+    str
+        The path set by :func:`repro.obs.configure`, else the
+        ``REPRO_METRICS_DUMP`` environment variable, else ``""``.
+    """
+    return (_configured_dump_path
+            or os.environ.get("REPRO_METRICS_DUMP", "").strip())
+
+
+def dump_metrics(path: Optional[str] = None, registry=None) -> str:
     """Write the registry's merged snapshot to ``path`` and return the path.
 
     The format follows the extension: ``.prom`` / ``.txt`` → Prometheus
@@ -199,17 +216,28 @@ def dump_metrics(path: str, registry=None) -> str:
     Parameters
     ----------
     path:
-        Destination file path.
+        Destination file path; ``None`` falls back to
+        :func:`configured_dump_path` (set via :func:`repro.obs.configure`
+        — e.g. from a ``repro.toml``'s ``obs.dump_path`` — or the
+        ``REPRO_METRICS_DUMP`` environment variable) and raises
+        :class:`ValueError` when neither is configured.
     registry:
         Registry to export (``None`` → the global registry).
 
     Returns
     -------
     str
-        The ``path`` argument, for chaining.
+        The resolved destination path, for chaining.
     """
     from . import global_registry
 
+    if path is None:
+        path = configured_dump_path()
+        if not path:
+            raise ValueError(
+                "dump_metrics() needs a path: none given and no default "
+                "configured (repro.obs.configure(dump_path=...) / "
+                "REPRO_METRICS_DUMP)")
     if registry is None:
         registry = global_registry()
     ext = os.path.splitext(path)[1].lower()

@@ -58,9 +58,12 @@ def resolve_workers(workers: Optional[int]) -> int:
     ``None`` consults the ``REPRO_WORKERS`` environment variable (the CI
     matrix sets it to run the whole suite through the threaded paths) and
     defaults to 1 — serial — when unset, keeping single-threaded runs
-    deterministic-by-default.  ``0`` (or a non-positive env value) means
-    "all visible cores" per :func:`default_worker_count`; positive values
-    are used as given and explicit negative values are rejected.
+    deterministic-by-default.  The variable must hold a positive integer;
+    anything else (garbage, zero, negative) raises a :class:`ValueError`
+    naming the variable instead of being silently ignored.  An explicit
+    ``0`` argument means "all visible cores" per
+    :func:`default_worker_count`; positive values are used as given and
+    explicit negative values are rejected.
     """
     if workers is None:
         env = os.environ.get("REPRO_WORKERS", "").strip()
@@ -69,8 +72,14 @@ def resolve_workers(workers: Optional[int]) -> int:
         try:
             value = int(env)
         except ValueError:
-            return 1
-        return default_worker_count() if value <= 0 else value
+            raise ValueError(
+                f"invalid REPRO_WORKERS={env!r}: must be a positive "
+                f"integer (unset it for the serial default)") from None
+        if value <= 0:
+            raise ValueError(
+                f"invalid REPRO_WORKERS={env!r}: must be a positive "
+                f"integer (pass workers=0 explicitly for all cores)")
+        return value
     workers = int(workers)
     if workers < 0:
         raise ValueError("workers must be >= 0 or None")

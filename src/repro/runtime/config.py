@@ -1,0 +1,748 @@
+"""Layered :class:`RuntimeConfig`: one config spine for the whole stack.
+
+Every knob of the library — dataset choice, kernel ``(h, lambda)``,
+solver, clustering, HSS / H-matrix compression, tuning, serving,
+distributed execution and observability — resolves through **one**
+explicit precedence chain::
+
+    built-in defaults  <  repro.toml  <  REPRO_* env vars  <  CLI flags
+
+and every resolved value remembers *where it came from* (its
+``provenance``: ``"default"``, ``"file"``, ``"env"`` or ``"flag"``), so
+``repro inspect config`` can print the origin of every knob.  The section
+objects are plain frozen dataclasses; converting them to the library's
+existing option objects (:meth:`RuntimeConfig.hss_options`, ...) re-runs
+those objects' own validation, so a config that resolves cleanly also
+constructs cleanly.
+
+Environment variables follow the generic naming scheme
+``REPRO_<SECTION>_<FIELD>`` (e.g. ``REPRO_HSS_REL_TOL``,
+``REPRO_DATASET_N_TRAIN``); the four pre-existing variables
+(``REPRO_WORKERS``, ``REPRO_SHARDS``, ``REPRO_OBS_DISABLED``,
+``REPRO_METRICS_DUMP``) are kept as aliases of their new homes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..config import ClusteringOptions, HMatrixOptions, HSSOptions
+from .toml_io import TomlError, dumps_toml, load_toml
+
+#: provenance tags, in precedence order (later wins)
+SOURCE_DEFAULT = "default"
+SOURCE_FILE = "file"
+SOURCE_ENV = "env"
+SOURCE_FLAG = "flag"
+
+#: the canonical config file name discovered in the working directory
+CONFIG_FILENAME = "repro.toml"
+
+
+# ---------------------------------------------------------------------------
+# section dataclasses (defaults are the "built-in defaults" layer)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DatasetSection:
+    """Which dataset to generate and at what size."""
+
+    name: str = "gas"
+    n_train: int = 2048
+    n_test: int = 512
+    seed: int = 0
+    normalize: bool = True
+
+
+@dataclass(frozen=True)
+class KernelSection:
+    """Kernel family and its hyper-parameters.
+
+    ``h`` / ``lam`` left at their defaults mean "use the dataset's paper
+    values" in the CLI (the provenance map distinguishes an explicit 1.0
+    from the untouched default).
+    """
+
+    name: str = "gaussian"
+    h: float = 1.0
+    lam: float = 1.0
+
+
+@dataclass(frozen=True)
+class SolverSection:
+    """Training solver selection."""
+
+    name: str = "hss"
+    use_hmatrix_sampling: bool = True
+
+
+@dataclass(frozen=True)
+class ClusteringSection:
+    """Preprocessing / reordering step (mirrors ClusteringOptions)."""
+
+    method: str = "two_means"
+    leaf_size: int = 16
+    max_iter: int = 20
+    balance_threshold: float = 100.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class HSSSection:
+    """HSS compression knobs (mirrors HSSOptions, minus ``workers``)."""
+
+    leaf_size: int = 16
+    rel_tol: float = 1e-1
+    abs_tol: float = 1e-8
+    max_rank: Optional[int] = None
+    initial_samples: int = 32
+    sample_increment: int = 16
+    max_adaptive_rounds: int = 12
+    oversampling: int = 8
+    symmetric: bool = True
+
+
+@dataclass(frozen=True)
+class HMatrixSection:
+    """H-matrix compression knobs (mirrors HMatrixOptions)."""
+
+    leaf_size: int = 64
+    admissibility_eta: float = 1.0
+    admissibility: str = "centroid"
+    rel_tol: float = 1e-2
+    max_rank: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TuningSection:
+    """Hyper-parameter search configuration (``repro tune``)."""
+
+    strategy: str = "random"
+    budget: int = 32
+    points_per_dim: int = 8
+    h_min: float = 0.1
+    h_max: float = 10.0
+    lam_min: float = 0.01
+    lam_max: float = 10.0
+    backend: str = "dense"
+    lam_sweep: int = 4
+    val_fraction: float = 0.25
+    cache_size: int = 1
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ServingSection:
+    """Model store location and serving engine/service knobs."""
+
+    store: str = "models"
+    model: str = "model"
+    batch_size: int = 256
+    cache_size: int = 1024
+    max_batch: int = 256
+    batch_window: float = 0.001
+
+
+@dataclass(frozen=True)
+class DistributedSection:
+    """Thread / process parallelism of the training path."""
+
+    workers: Optional[int] = None
+    shards: Optional[int] = None
+    coupling_rel_tol: Optional[float] = None
+    coupling_max_rank: Optional[int] = None
+    cut_level: Optional[int] = None
+    collect_factors: bool = True
+
+
+@dataclass(frozen=True)
+class ObsSection:
+    """Observability switches (see :mod:`repro.obs`)."""
+
+    enabled: bool = True
+    dump_path: str = ""
+
+
+_SECTION_TYPES = {
+    "dataset": DatasetSection,
+    "kernel": KernelSection,
+    "solver": SolverSection,
+    "clustering": ClusteringSection,
+    "hss": HSSSection,
+    "hmatrix": HMatrixSection,
+    "tuning": TuningSection,
+    "serving": ServingSection,
+    "distributed": DistributedSection,
+    "obs": ObsSection,
+}
+
+
+# ---------------------------------------------------------------------------
+# knob schema: kinds, env names, parsing / coercion
+# ---------------------------------------------------------------------------
+
+_NONE_WORDS = ("", "none", "null", "auto")
+
+
+def _parse_bool(text: str, key: str) -> bool:
+    low = text.strip().lower()
+    if low in ("1", "true", "yes", "on"):
+        return True
+    if low in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"{key}: cannot parse boolean from {text!r}")
+
+
+def _parse_int(text: str, key: str) -> int:
+    try:
+        return int(text.strip())
+    except ValueError:
+        raise ValueError(f"{key}: cannot parse integer from {text!r}") from None
+
+
+def _parse_float(text: str, key: str) -> float:
+    try:
+        return float(text.strip())
+    except ValueError:
+        raise ValueError(f"{key}: cannot parse float from {text!r}") from None
+
+
+def _parse_text(kind: str, text: str, key: str) -> Any:
+    """Parse an env-var / CLI-flag string into the knob's value type."""
+    if kind.startswith("opt_") and text.strip().lower() in _NONE_WORDS:
+        return None
+    if kind == "bool":
+        return _parse_bool(text, key)
+    if kind in ("int", "opt_int"):
+        return _parse_int(text, key)
+    if kind in ("float", "opt_float"):
+        return _parse_float(text, key)
+    return str(text)
+
+
+def _coerce_value(kind: str, value: Any, key: str) -> Any:
+    """Coerce an already-typed (file / programmatic) value."""
+    if isinstance(value, str):
+        return _parse_text(kind, value, key)
+    if value is None and kind.startswith("opt_"):
+        return None
+    if kind == "bool":
+        if isinstance(value, bool):
+            return value
+        raise ValueError(f"{key}: expected a boolean, got {value!r}")
+    if kind in ("int", "opt_int"):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"{key}: expected an integer, got {value!r}")
+        return int(value)
+    if kind in ("float", "opt_float"):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"{key}: expected a number, got {value!r}")
+        return float(value)
+    raise ValueError(f"{key}: expected a string, got {value!r}")
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One configurable value in the schema.
+
+    Parameters
+    ----------
+    section, name:
+        Dotted address ``section.name`` of the knob.
+    kind:
+        Value type tag: ``"str"``, ``"bool"``, ``"int"``, ``"float"``,
+        ``"opt_int"`` or ``"opt_float"`` (the ``opt_`` kinds admit
+        ``None``, spelled ``"none"`` in env vars / flags).
+    env_aliases:
+        Extra environment variables consulted *before* the generic
+        ``REPRO_<SECTION>_<NAME>`` name, as ``(var, inverted)`` pairs —
+        ``inverted`` flips a boolean value (``REPRO_OBS_DISABLED``).
+    """
+
+    section: str
+    name: str
+    kind: str
+    env_aliases: Tuple[Tuple[str, bool], ...] = ()
+
+    @property
+    def key(self) -> str:
+        """Dotted ``section.name`` address."""
+        return f"{self.section}.{self.name}"
+
+    @property
+    def env_vars(self) -> Tuple[Tuple[str, bool], ...]:
+        """All environment variables consulted, highest priority first."""
+        generic = f"REPRO_{self.section.upper()}_{self.name.upper()}"
+        return self.env_aliases + ((generic, False),)
+
+    def default(self) -> Any:
+        """The built-in default value."""
+        section_cls = _SECTION_TYPES[self.section]
+        for f in fields(section_cls):
+            if f.name == self.name:
+                return f.default
+        raise KeyError(self.key)  # pragma: no cover - schema bug
+
+
+def _build_schema() -> List[Knob]:
+    kinds = {
+        "dataset.name": "str", "dataset.normalize": "bool",
+        "kernel.name": "str",
+        "solver.name": "str", "solver.use_hmatrix_sampling": "bool",
+        "clustering.method": "str",
+        "hss.max_rank": "opt_int", "hss.symmetric": "bool",
+        "hmatrix.admissibility": "str", "hmatrix.max_rank": "opt_int",
+        "tuning.strategy": "str", "tuning.backend": "str",
+        "serving.store": "str", "serving.model": "str",
+        "distributed.workers": "opt_int", "distributed.shards": "opt_int",
+        "distributed.coupling_rel_tol": "opt_float",
+        "distributed.coupling_max_rank": "opt_int",
+        "distributed.cut_level": "opt_int",
+        "distributed.collect_factors": "bool",
+        "obs.enabled": "bool", "obs.dump_path": "str",
+    }
+    aliases = {
+        "distributed.workers": (("REPRO_WORKERS", False),),
+        "distributed.shards": (("REPRO_SHARDS", False),),
+        "obs.enabled": (("REPRO_OBS_DISABLED", True),),
+        "obs.dump_path": (("REPRO_METRICS_DUMP", False),),
+    }
+    schema: List[Knob] = []
+    for section, cls in _SECTION_TYPES.items():
+        for f in fields(cls):
+            key = f"{section}.{f.name}"
+            kind = kinds.get(key)
+            if kind is None:
+                kind = {int: "int", float: "float", bool: "bool",
+                        str: "str"}[type(f.default)]
+            schema.append(Knob(section, f.name, kind,
+                               aliases.get(key, ())))
+    return schema
+
+
+#: the full knob schema, in section order
+SCHEMA: List[Knob] = _build_schema()
+_KNOBS: Dict[str, Knob] = {k.key: k for k in SCHEMA}
+
+
+def known_keys() -> List[str]:
+    """All dotted knob addresses in schema order.
+
+    Returns
+    -------
+    list of str
+        ``["dataset.name", ..., "obs.dump_path"]``.
+    """
+    return [k.key for k in SCHEMA]
+
+
+# ---------------------------------------------------------------------------
+# RuntimeConfig
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """The resolved, provenance-carrying configuration of one run.
+
+    Instances are produced by :func:`resolve_runtime_config` (or the
+    :meth:`resolve` classmethod); the section attributes are frozen
+    dataclasses holding plain values, and :attr:`provenance` maps every
+    dotted key to the layer that supplied it.
+
+    Parameters
+    ----------
+    dataset, kernel, solver, clustering, hss, hmatrix, tuning, serving,
+    distributed, obs:
+        The resolved section objects.
+    provenance:
+        ``{"section.field": "default"|"file"|"env"|"flag"}`` for every
+        knob in :data:`SCHEMA`.
+    config_path:
+        Path of the ``repro.toml`` that supplied the file layer, or
+        ``None`` when no file was read.
+    """
+
+    dataset: DatasetSection = field(default_factory=DatasetSection)
+    kernel: KernelSection = field(default_factory=KernelSection)
+    solver: SolverSection = field(default_factory=SolverSection)
+    clustering: ClusteringSection = field(default_factory=ClusteringSection)
+    hss: HSSSection = field(default_factory=HSSSection)
+    hmatrix: HMatrixSection = field(default_factory=HMatrixSection)
+    tuning: TuningSection = field(default_factory=TuningSection)
+    serving: ServingSection = field(default_factory=ServingSection)
+    distributed: DistributedSection = field(default_factory=DistributedSection)
+    obs: ObsSection = field(default_factory=ObsSection)
+    provenance: Mapping[str, str] = field(default_factory=dict, compare=False)
+    config_path: Optional[str] = field(default=None, compare=False)
+
+    # ------------------------------------------------------------- accessors
+    def get(self, key: str) -> Any:
+        """Return the value at dotted address ``key``.
+
+        Parameters
+        ----------
+        key:
+            ``"section.field"``, e.g. ``"hss.rel_tol"``.
+
+        Returns
+        -------
+        object
+            The resolved value.
+        """
+        if key not in _KNOBS:
+            raise KeyError(f"unknown config key {key!r}")
+        section, name = key.split(".", 1)
+        return getattr(getattr(self, section), name)
+
+    def source(self, key: str) -> str:
+        """Return the provenance layer that supplied ``key``.
+
+        Parameters
+        ----------
+        key:
+            ``"section.field"`` address.
+
+        Returns
+        -------
+        str
+            One of ``"default"``, ``"file"``, ``"env"``, ``"flag"``.
+        """
+        if key not in _KNOBS:
+            raise KeyError(f"unknown config key {key!r}")
+        return self.provenance.get(key, SOURCE_DEFAULT)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """Flat provenance table of every knob.
+
+        Returns
+        -------
+        list of dict
+            One ``{"key", "value", "source"}`` row per knob, in schema
+            order — the payload behind ``repro inspect config``.
+        """
+        return [{"key": k.key, "value": self.get(k.key),
+                 "source": self.source(k.key)} for k in SCHEMA]
+
+    # ------------------------------------------------------- option adapters
+    def hss_options(self) -> HSSOptions:
+        """Build the :class:`repro.config.HSSOptions` this config implies.
+
+        Returns
+        -------
+        HSSOptions
+            With ``workers`` taken from the distributed section.
+        """
+        s = self.hss
+        return HSSOptions(leaf_size=s.leaf_size, rel_tol=s.rel_tol,
+                          abs_tol=s.abs_tol, max_rank=s.max_rank,
+                          initial_samples=s.initial_samples,
+                          sample_increment=s.sample_increment,
+                          max_adaptive_rounds=s.max_adaptive_rounds,
+                          oversampling=s.oversampling,
+                          symmetric=s.symmetric,
+                          workers=self.distributed.workers)
+
+    def hmatrix_options(self) -> HMatrixOptions:
+        """Build the :class:`repro.config.HMatrixOptions` this config implies.
+
+        Returns
+        -------
+        HMatrixOptions
+            With ``workers`` taken from the distributed section.
+        """
+        s = self.hmatrix
+        return HMatrixOptions(leaf_size=s.leaf_size,
+                              admissibility_eta=s.admissibility_eta,
+                              admissibility=s.admissibility,
+                              rel_tol=s.rel_tol, max_rank=s.max_rank,
+                              workers=self.distributed.workers)
+
+    def clustering_options(self) -> ClusteringOptions:
+        """Build the :class:`repro.config.ClusteringOptions` this config implies.
+
+        Returns
+        -------
+        ClusteringOptions
+            Mirroring the clustering section.
+        """
+        s = self.clustering
+        return ClusteringOptions(method=s.method, leaf_size=s.leaf_size,
+                                 max_iter=s.max_iter,
+                                 balance_threshold=s.balance_threshold,
+                                 seed=s.seed)
+
+    def make_pipeline(self, h: Optional[float] = None,
+                      lam: Optional[float] = None):
+        """Construct a ready-to-run :class:`repro.krr.KRRPipeline`.
+
+        Parameters
+        ----------
+        h, lam:
+            Optional hyper-parameter overrides (e.g. the dataset's paper
+            values when the kernel section was left at its defaults).
+
+        Returns
+        -------
+        repro.krr.KRRPipeline
+            Configured exactly as the equivalent constructor call.
+        """
+        from ..krr.pipeline import KRRPipeline
+        return KRRPipeline.from_config(self, h=h, lam=lam)
+
+    # ------------------------------------------------------------- exporters
+    def section_dict(self, section: str) -> Dict[str, Any]:
+        """Plain ``{field: value}`` mapping of one section.
+
+        Parameters
+        ----------
+        section:
+            Section name, e.g. ``"hss"``.
+
+        Returns
+        -------
+        dict
+            Field values in declaration order.
+        """
+        cls = _SECTION_TYPES[section]
+        obj = getattr(self, section)
+        return {f.name: getattr(obj, f.name) for f in fields(cls)}
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Nested ``{section: {field: value}}`` mapping of all sections.
+
+        Returns
+        -------
+        dict
+            JSON-serializable nested mapping.
+        """
+        return {name: self.section_dict(name) for name in _SECTION_TYPES}
+
+    def to_toml(self, provenance_comments: bool = False) -> str:
+        """Serialize the resolved config as a ``repro.toml`` document.
+
+        Parameters
+        ----------
+        provenance_comments:
+            Stamp each non-default value with a trailing
+            ``# source: ...`` comment.
+
+        Returns
+        -------
+        str
+            TOML text that round-trips through
+            :func:`resolve_runtime_config` to an equal config.
+        """
+        comments = {}
+        if provenance_comments:
+            for knob in SCHEMA:
+                src = self.source(knob.key)
+                if src != SOURCE_DEFAULT:
+                    comments[knob.key] = f"source: {src}"
+        return dumps_toml(self.to_dict(), comments=comments)
+
+    def save(self, path: str) -> str:
+        """Write :meth:`to_toml` output to ``path`` atomically.
+
+        Parameters
+        ----------
+        path:
+            Destination file path.
+
+        Returns
+        -------
+        str
+            The ``path`` argument, for chaining.
+        """
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(self.to_toml())
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------ resolution
+    @classmethod
+    def resolve(cls, path: Optional[str] = None,
+                env: Optional[Mapping[str, str]] = None,
+                flags: Optional[Mapping[str, Any]] = None,
+                search_cwd: bool = False) -> "RuntimeConfig":
+        """Resolve a config through the full precedence chain.
+
+        Parameters
+        ----------
+        path:
+            Explicit ``repro.toml`` path (``None`` = no file layer unless
+            ``search_cwd`` finds one).
+        env:
+            Environment mapping (``None`` = ``os.environ``).
+        flags:
+            ``{"section.field": value}`` CLI-flag layer; string values
+            are parsed, typed values are validated.
+        search_cwd:
+            Look for ``repro.toml`` in the current directory when no
+            explicit ``path`` is given.
+
+        Returns
+        -------
+        RuntimeConfig
+            The resolved configuration.
+        """
+        return resolve_runtime_config(path=path, env=env, flags=flags,
+                                      search_cwd=search_cwd)
+
+
+def _file_layer(path: Optional[str],
+                search_cwd: bool) -> Tuple[Dict[str, Any], Optional[str]]:
+    if path is None and search_cwd and os.path.isfile(CONFIG_FILENAME):
+        path = CONFIG_FILENAME
+    if path is None:
+        return {}, None
+    if not os.path.isfile(path):
+        raise FileNotFoundError(f"config file not found: {path}")
+    data = load_toml(path)
+    values: Dict[str, Any] = {}
+    unknown: List[str] = []
+    for section, mapping in data.items():
+        if not isinstance(mapping, dict):
+            unknown.append(section)
+            continue
+        for name, value in mapping.items():
+            key = f"{section}.{name}"
+            if key not in _KNOBS:
+                unknown.append(key)
+                continue
+            values[key] = _coerce_value(_KNOBS[key].kind, value,
+                                        f"{path}: {key}")
+    if unknown:
+        raise TomlError(
+            f"{path}: unknown config key(s): {', '.join(sorted(unknown))}; "
+            f"known keys are section.field with sections "
+            f"{', '.join(_SECTION_TYPES)}")
+    return values, os.path.abspath(path)
+
+
+#: knobs whose env values must be strictly positive — the ``0`` spelling
+#: ("use all cores") is reserved for explicit constructor args / flags,
+#: matching :func:`repro.parallel.resolve_workers` /
+#: :func:`repro.distributed.resolve_shards`.
+_ENV_POSITIVE_KEYS = ("distributed.workers", "distributed.shards")
+
+
+def _env_layer(env: Mapping[str, str]) -> Dict[str, Any]:
+    values: Dict[str, Any] = {}
+    for knob in SCHEMA:
+        for var, inverted in knob.env_vars:
+            raw = env.get(var)
+            if raw is None or not raw.strip():
+                continue
+            value = _parse_text(knob.kind, raw, var)
+            if inverted:
+                value = not bool(value)
+            if (knob.key in _ENV_POSITIVE_KEYS and value is not None
+                    and value <= 0):
+                raise ValueError(
+                    f"invalid {var}={raw.strip()!r}: must be a positive "
+                    f"integer (unset it for the default, or pass the "
+                    f"explicit flag/constructor argument 0 for all cores)")
+            values[knob.key] = value
+            break
+    return values
+
+
+def _flag_layer(flags: Mapping[str, Any]) -> Dict[str, Any]:
+    values: Dict[str, Any] = {}
+    for key, raw in flags.items():
+        if key not in _KNOBS:
+            raise KeyError(
+                f"unknown config key {key!r}; see "
+                f"repro.runtime.known_keys()")
+        values[key] = _coerce_value(_KNOBS[key].kind, raw, key)
+    return values
+
+
+def resolve_runtime_config(path: Optional[str] = None,
+                           env: Optional[Mapping[str, str]] = None,
+                           flags: Optional[Mapping[str, Any]] = None,
+                           search_cwd: bool = False) -> RuntimeConfig:
+    """Build a :class:`RuntimeConfig` from all four layers.
+
+    Precedence (later wins): built-in defaults < ``repro.toml`` <
+    ``REPRO_*`` environment variables < CLI flags.  Every resolved value
+    records its winning layer in the returned config's ``provenance``.
+
+    Parameters
+    ----------
+    path:
+        Optional explicit config file path.
+    env:
+        Environment mapping; ``None`` uses ``os.environ``.
+    flags:
+        Optional ``{"section.field": value}`` flag layer.
+    search_cwd:
+        When ``True`` and ``path`` is ``None``, ``./repro.toml`` is used
+        if present.
+
+    Returns
+    -------
+    RuntimeConfig
+        The resolved, validated configuration.
+    """
+    env = os.environ if env is None else env
+    file_values, config_path = _file_layer(path, search_cwd)
+    env_values = _env_layer(env)
+    flag_values = _flag_layer(flags or {})
+
+    resolved: Dict[str, Any] = {}
+    provenance: Dict[str, str] = {}
+    for knob in SCHEMA:
+        value, src = knob.default(), SOURCE_DEFAULT
+        if knob.key in file_values:
+            value, src = file_values[knob.key], SOURCE_FILE
+        if knob.key in env_values:
+            value, src = env_values[knob.key], SOURCE_ENV
+        if knob.key in flag_values:
+            value, src = flag_values[knob.key], SOURCE_FLAG
+        resolved[knob.key] = value
+        provenance[knob.key] = src
+
+    sections = {}
+    for name, cls in _SECTION_TYPES.items():
+        kwargs = {f.name: resolved[f"{name}.{f.name}"] for f in fields(cls)}
+        sections[name] = cls(**kwargs)
+    config = RuntimeConfig(provenance=provenance, config_path=config_path,
+                           **sections)
+    _validate(config)
+    return config
+
+
+def _validate(config: RuntimeConfig) -> None:
+    """Fail fast on values the downstream constructors would reject."""
+    # Re-run the frozen option dataclasses' own __post_init__ validation.
+    config.hss_options()
+    config.hmatrix_options()
+    config.clustering_options()
+    if config.solver.name not in ("dense", "hss", "cg"):
+        raise ValueError(
+            f"solver.name must be 'dense', 'hss' or 'cg', got "
+            f"{config.solver.name!r}")
+    if config.tuning.strategy not in ("grid", "random", "bandit"):
+        raise ValueError(
+            f"tuning.strategy must be 'grid', 'random' or 'bandit', got "
+            f"{config.tuning.strategy!r}")
+    if config.tuning.backend not in ("dense", "hss"):
+        raise ValueError(
+            f"tuning.backend must be 'dense' or 'hss', got "
+            f"{config.tuning.backend!r}")
+    if not (0.0 < config.tuning.val_fraction < 1.0):
+        raise ValueError("tuning.val_fraction must be in (0, 1)")
+    if config.kernel.h <= 0:
+        raise ValueError("kernel.h must be positive")
+    if config.kernel.lam < 0:
+        raise ValueError("kernel.lam must be non-negative")
+    if config.dataset.n_train < 2 or config.dataset.n_test < 1:
+        raise ValueError("dataset.n_train must be >= 2 and n_test >= 1")
+    for key in ("distributed.workers", "distributed.shards"):
+        value = config.get(key)
+        if value is not None and value < 0:
+            raise ValueError(f"{key} must be >= 0 or none")

@@ -165,6 +165,29 @@ class PredictionEngine:
         self._m_eval = reg.histogram(
             "repro_serving_eval_seconds", "Per-call kernel evaluation seconds")
 
+    @classmethod
+    def from_config(cls, config, model) -> "PredictionEngine":
+        """Build an engine from a :class:`repro.runtime.RuntimeConfig`.
+
+        Parameters
+        ----------
+        config:
+            The resolved runtime config; ``serving.batch_size`` /
+            ``serving.cache_size`` and ``distributed.workers`` map onto
+            the constructor arguments.
+        model:
+            The fitted model to serve.
+
+        Returns
+        -------
+        PredictionEngine
+            The configured engine.
+        """
+        from ..parallel.executor import resolve_workers
+        return cls(model, batch_size=config.serving.batch_size,
+                   workers=resolve_workers(config.distributed.workers),
+                   cache_size=config.serving.cache_size)
+
     # ------------------------------------------------------------------ core
     @property
     def n_train(self) -> int:

@@ -149,6 +149,28 @@ class PredictionService:
         self._first_submit: Optional[float] = None
         self._last_done: Optional[float] = None
 
+    @classmethod
+    def from_config(cls, config, engine) -> "PredictionService":
+        """Build a service from a :class:`repro.runtime.RuntimeConfig`.
+
+        Parameters
+        ----------
+        config:
+            The resolved runtime config; ``serving.max_batch`` /
+            ``serving.batch_window`` map onto the constructor arguments
+            and ``serving.model`` becomes the metric label.
+        engine:
+            The :class:`PredictionEngine` (or fitted model) to serve.
+
+        Returns
+        -------
+        PredictionService
+            The configured (not yet started) service.
+        """
+        return cls(engine, max_batch=config.serving.max_batch,
+                   batch_window=config.serving.batch_window,
+                   model_name=config.serving.model)
+
     # -------------------------------------------------------------- lifecycle
     def start(self) -> "PredictionService":
         """Start the dispatcher thread (idempotent)."""

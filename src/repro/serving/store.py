@@ -129,6 +129,23 @@ class ModelStore:
         self.root = os.path.abspath(str(root))
         os.makedirs(self.root, exist_ok=True)
 
+    @classmethod
+    def from_config(cls, config) -> "ModelStore":
+        """Open the store a :class:`repro.runtime.RuntimeConfig` points at.
+
+        Parameters
+        ----------
+        config:
+            The resolved runtime config; ``serving.store`` is the root
+            directory.
+
+        Returns
+        -------
+        ModelStore
+            The opened (and, if necessary, created) store.
+        """
+        return cls(config.serving.store)
+
     # ----------------------------------------------------------------- paths
     def _model_dir(self, name: str) -> str:
         if not _NAME_RE.match(name):

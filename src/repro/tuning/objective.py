@@ -145,6 +145,40 @@ class KRRObjective:
         # clustering is (h, λ)-independent, computed exactly once (hss)
         self._clustering = None
 
+    @classmethod
+    def from_config(cls, config, X_train: np.ndarray, y_train: np.ndarray,
+                    X_val: np.ndarray, y_val: np.ndarray) -> "KRRObjective":
+        """Build an objective from a :class:`repro.runtime.RuntimeConfig`.
+
+        The tuning section supplies the backend (``tuning.backend``) and
+        per-``h`` cache size; the clustering / compression sections flow
+        into the ``"hss"`` backend exactly as the constructor arguments
+        would.
+
+        Parameters
+        ----------
+        config:
+            The resolved :class:`repro.runtime.RuntimeConfig`.
+        X_train, y_train:
+            Training split (±1 labels).
+        X_val, y_val:
+            Validation split scored by each evaluation.
+
+        Returns
+        -------
+        KRRObjective
+            The configured objective.
+        """
+        return cls(X_train, y_train, X_val, y_val,
+                   cache_kernels=True,
+                   cache_size=config.tuning.cache_size,
+                   solver=config.tuning.backend,
+                   leaf_size=config.clustering.leaf_size,
+                   seed=config.clustering.seed,
+                   hss_options=config.hss_options(),
+                   hmatrix_options=config.hmatrix_options(),
+                   use_hmatrix_sampling=config.solver.use_hmatrix_sampling)
+
     # ------------------------------------------------------------------ call
     def __call__(self, config: Dict[str, float]) -> float:
         """Evaluate the validation accuracy of one (h, lambda) configuration.

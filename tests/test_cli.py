@@ -1,0 +1,249 @@
+"""Tests for the ``repro`` umbrella CLI.
+
+In-process tests per subcommand (fast: tiny datasets, main() called
+directly) plus one subprocess lifecycle smoke that runs
+train -> tune -> refit -> serve --check -> inspect via
+``python -m repro.cli``, asserting every JSON result parses and the
+refit-λ prediction matches an in-Python reference.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import load_dataset
+from repro.serving import ModelStore
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+
+SMALL = ["--n-train", "160", "--n-test", "48", "-q"]
+
+
+def run_cli(tmp_path, monkeypatch, argv):
+    monkeypatch.chdir(tmp_path)
+    return main(argv)
+
+
+def read_result(tmp_path, command):
+    with open(tmp_path / f"repro_{command}.json", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestTrain:
+    def test_train_writes_model_and_json(self, tmp_path, monkeypatch):
+        assert run_cli(tmp_path, monkeypatch, ["train", *SMALL]) == 0
+        doc = read_result(tmp_path, "train")
+        assert doc["status"] == "ok"
+        assert doc["result"]["report"]["accuracy_percent"] > 50.0
+        assert doc["result"]["model"]["name"] == "model"
+        store = ModelStore(str(tmp_path / "models"))
+        assert "model" in store
+
+    def test_train_is_idempotent(self, tmp_path, monkeypatch):
+        assert run_cli(tmp_path, monkeypatch, ["train", *SMALL]) == 0
+        first = ModelStore(str(tmp_path / "models")).record("model").checksum
+        assert run_cli(tmp_path, monkeypatch, ["train", *SMALL]) == 0
+        second = ModelStore(str(tmp_path / "models")).record("model").checksum
+        assert first == second  # same config, same data, same artifact
+
+    def test_train_no_save(self, tmp_path, monkeypatch):
+        assert run_cli(tmp_path, monkeypatch,
+                       ["train", "--no-save", *SMALL]) == 0
+        assert read_result(tmp_path, "train")["result"]["model"] is None
+        assert not (tmp_path / "models").exists()
+
+    def test_flag_overrides_reach_pipeline(self, tmp_path, monkeypatch):
+        assert run_cli(tmp_path, monkeypatch,
+                       ["train", "--h", "1.75", "--lam", "0.5",
+                        *SMALL]) == 0
+        report = read_result(tmp_path, "train")["result"]["report"]
+        assert report["h"] == 1.75
+        assert report["lambda"] == 0.5
+
+
+class TestTuneRefitServe:
+    def test_tune_random(self, tmp_path, monkeypatch):
+        assert run_cli(tmp_path, monkeypatch,
+                       ["tune", "--strategy", "random", "--budget", "4",
+                        *SMALL]) == 0
+        doc = read_result(tmp_path, "tune")
+        best = doc["result"]["best"]
+        assert doc["result"]["evaluations"] >= 4
+        assert 0.0 <= best["validation_accuracy"] <= 1.0
+        assert best["h"] > 0 and best["lam"] > 0
+
+    def test_refit_matches_reference(self, tmp_path, monkeypatch):
+        assert run_cli(tmp_path, monkeypatch, ["train", *SMALL]) == 0
+        assert run_cli(tmp_path, monkeypatch,
+                       ["refit", "--new-lam", "6.0", *SMALL]) == 0
+        doc = read_result(tmp_path, "refit")
+        assert doc["result"]["new_lam"] == 6.0
+
+        # In-Python reference: cold fit at the same λ must predict the
+        # same labels as the CLI's refit-and-saved model.
+        data = load_dataset("gas", n_train=160, n_test=48, seed=0)
+        from repro.krr import KernelRidgeClassifier
+        reference = KernelRidgeClassifier(
+            h=data.h, lam=6.0, solver="hss", clustering="two_means",
+            seed=0).fit(data.X_train, data.y_train)
+        served = ModelStore(str(tmp_path / "models")).load("model")
+        assert served.lam == 6.0
+        np.testing.assert_array_equal(served.predict(data.X_test),
+                                      reference.predict(data.X_test))
+
+    def test_refit_without_model_errors(self, tmp_path, monkeypatch, capsys):
+        assert run_cli(tmp_path, monkeypatch,
+                       ["refit", "--new-lam", "2.0", *SMALL]) == 2
+        assert "repro train" in capsys.readouterr().err
+
+    def test_serve_check(self, tmp_path, monkeypatch):
+        assert run_cli(tmp_path, monkeypatch, ["train", *SMALL]) == 0
+        assert run_cli(tmp_path, monkeypatch,
+                       ["serve", "--check", "--check-n", "16",
+                        *SMALL]) == 0
+        doc = read_result(tmp_path, "serve")
+        assert doc["result"]["check_passed"] is True
+        assert doc["result"]["completed"] == 16
+
+    def test_serve_batch_queries(self, tmp_path, monkeypatch):
+        assert run_cli(tmp_path, monkeypatch, ["train", *SMALL]) == 0
+        data = load_dataset("gas", n_train=160, n_test=48, seed=0)
+        np.save(tmp_path / "queries.npy", data.X_test[:8])
+        assert run_cli(tmp_path, monkeypatch,
+                       ["serve", "--queries", "queries.npy",
+                        "--out", "answers.npy", *SMALL]) == 0
+        answers = np.load(tmp_path / "answers.npy")
+        assert answers.shape[0] == 8
+        assert set(np.unique(answers)) <= {-1.0, 1.0}
+
+
+class TestInspectEnvBench:
+    def test_inspect_config_shows_provenance_of_each_layer(
+            self, tmp_path, monkeypatch):
+        (tmp_path / "repro.toml").write_text("[dataset]\nn_train = 180\n")
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        assert run_cli(tmp_path, monkeypatch,
+                       ["inspect", "config", "--lam", "3.5", "-q"]) == 0
+        doc = read_result(tmp_path, "inspect_config")
+        sources = {row["key"]: (row["source"], row["value"])
+                   for row in doc["result"]["knobs"]}
+        assert sources["dataset.n_train"] == ("file", 180)
+        assert sources["distributed.shards"] == ("env", 2)
+        assert sources["kernel.lam"] == ("flag", 3.5)
+        assert sources["kernel.h"][0] == "default"
+
+    def test_inspect_models(self, tmp_path, monkeypatch):
+        assert run_cli(tmp_path, monkeypatch, ["train", *SMALL]) == 0
+        assert run_cli(tmp_path, monkeypatch,
+                       ["inspect", "models", "-q"]) == 0
+        doc = read_result(tmp_path, "inspect_models")
+        assert [m["name"] for m in doc["result"]["models"]] == ["model"]
+
+    def test_inspect_metrics_from_dump(self, tmp_path, monkeypatch):
+        assert run_cli(tmp_path, monkeypatch,
+                       ["train", "--set", "obs.dump_path=m.json",
+                        *SMALL]) == 0
+        assert run_cli(tmp_path, monkeypatch,
+                       ["inspect", "metrics", "--metrics-path", "m.json",
+                        "-q"]) == 0
+        doc = read_result(tmp_path, "inspect_metrics")
+        counters = doc["result"]["summary"]["counters"]
+        assert counters.get("repro_kernel_compressions_total", 0) >= 1
+
+    def test_inspect_metrics_without_dump_errors(self, tmp_path,
+                                                 monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_METRICS_DUMP", raising=False)
+        assert run_cli(tmp_path, monkeypatch,
+                       ["inspect", "metrics", "-q"]) == 2
+        assert "no metrics dump configured" in capsys.readouterr().err
+
+    def test_env_reports_mapping(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert run_cli(tmp_path, monkeypatch, ["env", "-q"]) == 0
+        doc = read_result(tmp_path, "env")
+        assert doc["result"]["env_mapping"]["REPRO_WORKERS"] == \
+            "distributed.workers"
+        assert doc["result"]["host"]["python"]
+
+    def test_bench_lifecycle(self, tmp_path, monkeypatch):
+        assert run_cli(tmp_path, monkeypatch,
+                       ["bench", "--refits", "1", "--serve-queries", "16",
+                        *SMALL]) == 0
+        result = read_result(tmp_path, "bench")["result"]
+        assert result["train_seconds"] > 0
+        assert len(result["refit_seconds"]) == 1
+        assert result["serve_queries"] == 16
+
+
+class TestErrors:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "COMMAND" in capsys.readouterr().out
+
+    def test_bad_set_syntax(self, tmp_path, monkeypatch, capsys):
+        assert run_cli(tmp_path, monkeypatch,
+                       ["train", "--set", "kernel.h"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_unknown_key_in_set(self, tmp_path, monkeypatch, capsys):
+        assert run_cli(tmp_path, monkeypatch,
+                       ["train", "--set", "kernel.nope=1"]) == 2
+        assert "kernel.nope" in capsys.readouterr().err
+
+    def test_bad_env_value_is_cli_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        assert run_cli(tmp_path, monkeypatch, ["train", *SMALL]) == 2
+        assert "REPRO_WORKERS" in capsys.readouterr().err
+
+
+class TestSubprocessLifecycle:
+    def test_full_lifecycle_via_module(self, tmp_path):
+        """The CI smoke, in miniature: every stage through a real
+        interpreter against a committed-style repro.toml."""
+        (tmp_path / "repro.toml").write_text(
+            '[dataset]\nn_train = 160\nn_test = 48\n\n'
+            '[kernel]\nh = 1.5\nlam = 2.0\n\n'
+            '[tuning]\nstrategy = "random"\nbudget = 3\n\n'
+            '[obs]\ndump_path = "metrics.json"\n')
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_WORKERS", None)
+        env.pop("REPRO_SHARDS", None)
+
+        def repro(*argv):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.cli", *argv],
+                cwd=str(tmp_path), env=env, capture_output=True,
+                text=True, timeout=240)
+            assert proc.returncode == 0, proc.stderr + proc.stdout
+            return proc
+
+        repro("train", "-q")
+        repro("tune", "-q")
+        repro("refit", "--new-lam", "4.0", "-q")
+        repro("serve", "--check", "--check-n", "8", "-q")
+        repro("inspect", "metrics", "-q")
+
+        for command in ("train", "tune", "refit", "serve",
+                        "inspect_metrics"):
+            doc = json.loads(
+                (tmp_path / f"repro_{command}.json").read_text())
+            assert doc["status"] == "ok", command
+
+        # The refit-λ prediction must match the in-Python reference.
+        data = load_dataset("gas", n_train=160, n_test=48, seed=0)
+        from repro.krr import KernelRidgeClassifier
+        reference = KernelRidgeClassifier(
+            h=1.5, lam=4.0, solver="hss", clustering="two_means",
+            seed=0).fit(data.X_train, data.y_train)
+        served = ModelStore(str(tmp_path / "models")).load("model")
+        assert served.lam == 4.0
+        np.testing.assert_array_equal(served.predict(data.X_test),
+                                      reference.predict(data.X_test))

@@ -145,6 +145,17 @@ def test_resolve_shards(monkeypatch):
         resolve_shards(-1)
 
 
+@pytest.mark.parametrize("garbage", ["junk", "0", "-1", "1.5"])
+def test_resolve_shards_env_garbage_raises(monkeypatch, garbage):
+    """Invalid/zero/negative REPRO_SHARDS must fail loudly, naming the
+    variable, instead of being silently ignored."""
+    monkeypatch.setenv("REPRO_SHARDS", garbage)
+    with pytest.raises(ValueError, match="REPRO_SHARDS"):
+        resolve_shards(None)
+    # Explicit arguments bypass the environment entirely.
+    assert resolve_shards(2) == 2
+
+
 # ---------------------------------------------------------------------------
 # Shared-memory transport
 # ---------------------------------------------------------------------------

@@ -273,7 +273,14 @@ class TestWorkerResolution:
         assert resolve_workers(None) == 1
         monkeypatch.setenv("REPRO_WORKERS", "5")
         assert resolve_workers(None) == 5
-        monkeypatch.setenv("REPRO_WORKERS", "0")
-        assert resolve_workers(None) == default_worker_count()
-        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
-        assert resolve_workers(None) == 1
+
+    @pytest.mark.parametrize("garbage", ["not-a-number", "0", "-2", "2.5"])
+    def test_resolve_workers_env_garbage_raises(self, monkeypatch, garbage):
+        """Invalid/zero/negative REPRO_WORKERS must fail loudly, naming
+        the variable, instead of being silently ignored."""
+        monkeypatch.setenv("REPRO_WORKERS", garbage)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+        # Explicit arguments bypass the environment entirely.
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == default_worker_count()
