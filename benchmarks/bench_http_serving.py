@@ -1,0 +1,213 @@
+"""HTTP serving tier: closed-loop QPS/latency and admission-control 429s.
+
+Measures the full network path — stdlib ``http.client`` keep-alive
+connections into the asyncio daemon, through the thread-pool bridge and
+the micro-batching :class:`repro.serving.PredictionService` — with
+closed-loop clients at 1 / 4 / 16 concurrency (each client waits for its
+response before sending the next request, so offered load scales with
+concurrency).  A second daemon with a tiny ``server.max_queue`` is then
+deliberately over-offered to measure the shed rate: past the in-flight
+cap the server must answer ``429 Too Many Requests`` immediately instead
+of queueing without bound, and every response must still be a clean 200
+or 429 — nothing dropped, nothing hung.
+
+Headline numbers land in ``BENCH_http_serving.json``.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_http_serving.py -q
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+from _harness import write_bench_json
+from conftest import scaled
+
+from repro.datasets import standardize, susy_like
+from repro.krr import KernelRidgeClassifier
+from repro.runtime import resolve_runtime_config
+from repro.server import ServerApp
+from repro.serving import ModelStore
+
+CONCURRENCIES = (1, 4, 16)
+OVERLOAD_MAX_QUEUE = 2
+OVERLOAD_CLIENTS = 16
+
+
+@pytest.fixture(scope="module")
+def trained_store(tmp_path_factory):
+    n_train = scaled(2048)
+    X, y = susy_like(n_train + 64, seed=0)
+    X = standardize(X)
+    clf = KernelRidgeClassifier(h=1.0, lam=4.0, solver="hss",
+                                clustering="two_means", seed=0)
+    clf.fit(X[:n_train], y[:n_train])
+    store = ModelStore(str(tmp_path_factory.mktemp("http-bench") / "store"))
+    store.save(clf, "bench")
+    return store, X[n_train:]
+
+
+class _Daemon:
+    """A ServerApp on a background thread, torn down on exit."""
+
+    def __init__(self, store, **server_flags):
+        flags = {"serving.store": store.root, "serving.model": "bench",
+                 "server.port": 0}
+        flags.update(server_flags)
+        self.app = ServerApp(resolve_runtime_config(env={}, flags=flags),
+                             store=store)
+        self.addr = None
+
+    def __enter__(self):
+        ready = threading.Event()
+
+        def on_ready(host, port):
+            self.addr = (host, port)
+            ready.set()
+
+        self.thread = threading.Thread(target=self.app.run,
+                                       kwargs={"ready": on_ready},
+                                       daemon=True)
+        self.thread.start()
+        assert ready.wait(60.0), "daemon did not come up"
+        return self
+
+    def __exit__(self, *exc_info):
+        self.app.request_shutdown()
+        self.thread.join(60.0)
+        assert not self.thread.is_alive(), "daemon did not drain"
+
+
+def _closed_loop(addr, n_clients: int, requests_per_client: int, row):
+    """Fire closed-loop clients; returns (wall_s, latencies_s, statuses)."""
+    host, port = addr
+    body = json.dumps({"inputs": [list(map(float, row))]})
+    headers = {"Content-Type": "application/json"}
+    lock = threading.Lock()
+    latencies, statuses = [], []
+    start_barrier = threading.Barrier(n_clients + 1)
+
+    def client():
+        conn = http.client.HTTPConnection(host, port, timeout=60.0)
+        local_lat, local_status = [], []
+        try:
+            start_barrier.wait(timeout=60)
+            for _ in range(requests_per_client):
+                t0 = time.perf_counter()
+                conn.request("POST", "/v1/predict", body=body,
+                             headers=headers)
+                resp = conn.getresponse()
+                resp.read()  # drain so the keep-alive socket is reusable
+                local_lat.append(time.perf_counter() - t0)
+                local_status.append(resp.status)
+        finally:
+            conn.close()
+        with lock:
+            latencies.extend(local_lat)
+            statuses.extend(local_status)
+
+    threads = [threading.Thread(target=client, daemon=True)
+               for _ in range(n_clients)]
+    for t in threads:
+        t.start()
+    start_barrier.wait(timeout=60)
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join(timeout=300)
+        assert not t.is_alive(), "client thread hung"
+    wall = time.perf_counter() - t0
+    return wall, latencies, statuses
+
+
+def _percentile_ms(latencies, q: float) -> float:
+    return float(np.percentile(np.asarray(latencies) * 1e3, q))
+
+
+def test_http_closed_loop_qps_and_latency(trained_store):
+    """QPS and p50/p95 at 1 / 4 / 16 closed-loop keep-alive clients."""
+    store, queries = trained_store
+    row = queries[0]
+    requests_per_client = scaled(64)
+    results = {}
+    with _Daemon(store) as daemon:
+        _closed_loop(daemon.addr, 2, 8, row)  # warm engines + thread pool
+        for n_clients in CONCURRENCIES:
+            wall, lats, statuses = _closed_loop(
+                daemon.addr, n_clients, requests_per_client, row)
+            assert statuses and all(s == 200 for s in statuses), \
+                f"non-200 under closed-loop load: {set(statuses)}"
+            results[f"clients_{n_clients}"] = {
+                "qps": round(len(lats) / wall, 1),
+                "p50_ms": round(_percentile_ms(lats, 50), 3),
+                "p95_ms": round(_percentile_ms(lats, 95), 3),
+            }
+            print(f"\n{n_clients:3d} clients: "
+                  f"{results[f'clients_{n_clients}']['qps']:8.1f} qps, "
+                  f"p50 {results[f'clients_{n_clients}']['p50_ms']:.2f} ms, "
+                  f"p95 {results[f'clients_{n_clients}']['p95_ms']:.2f} ms")
+
+    # Closed-loop throughput must rise with concurrency at least somewhat:
+    # 16 clients must beat a single client (micro-batching coalesces them).
+    assert results["clients_16"]["qps"] > results["clients_1"]["qps"]
+
+    overload = _measure_overload(store, row)
+    results["overload"] = overload
+    write_bench_json(
+        "http_serving",
+        results=results,
+        sizes={"n_train": scaled(2048),
+               "requests_per_client": requests_per_client,
+               "overload_clients": OVERLOAD_CLIENTS,
+               "overload_max_queue": OVERLOAD_MAX_QUEUE})
+
+
+def _measure_overload(store, row):
+    """Over-offer a daemon capped at a tiny in-flight queue; measure 429s."""
+    with _Daemon(store, **{"server.max_queue": OVERLOAD_MAX_QUEUE}) as daemon:
+        _closed_loop(daemon.addr, 1, 4, row)  # warm up without rejections
+        wall, lats, statuses = _closed_loop(
+            daemon.addr, OVERLOAD_CLIENTS, scaled(32), row)
+    completed = sum(1 for s in statuses if s == 200)
+    rejected = sum(1 for s in statuses if s == 429)
+    # Admission control fails fast and cleanly: every response is either
+    # a served 200 or a shed 429 — never a drop, hang or 5xx.
+    assert completed + rejected == len(statuses), \
+        f"unexpected statuses: {set(statuses)}"
+    assert completed > 0
+    overload = {
+        "max_queue": OVERLOAD_MAX_QUEUE,
+        "clients": OVERLOAD_CLIENTS,
+        "completed": completed,
+        "rejected_429": rejected,
+        "rejected_rate": round(rejected / len(statuses), 4),
+        "goodput_qps": round(completed / wall, 1),
+    }
+    print(f"\noverload ({OVERLOAD_CLIENTS} clients vs max_queue="
+          f"{OVERLOAD_MAX_QUEUE}): {completed} served, {rejected} shed "
+          f"({overload['rejected_rate']:.1%})")
+    return overload
+
+
+def test_http_predict_matches_in_process(trained_store):
+    """The network path must not change the numbers: HTTP predictions are
+    bitwise equal to the in-process model's."""
+    store, queries = trained_store
+    model = store.load("bench")
+    with _Daemon(store) as daemon:
+        host, port = daemon.addr
+        conn = http.client.HTTPConnection(host, port, timeout=60.0)
+        try:
+            conn.request("POST", "/v1/predict",
+                         body=json.dumps({"inputs": queries[:32].tolist()}),
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            assert resp.status == 200
+            served = np.asarray(json.loads(resp.read())["predictions"])
+        finally:
+            conn.close()
+    assert np.array_equal(served, model.predict(queries[:32]))

@@ -1,4 +1,17 @@
-"""``repro serve`` — stand up the batched prediction service."""
+"""``repro serve`` — the HTTP serving daemon (plus one-shot modes).
+
+The default invocation boots the :class:`repro.server.ServerApp` daemon:
+every model in the configured store is served over HTTP with blue/green
+hot-swap and admission control, on the address from the ``server.*``
+config section (``--host`` / ``--port`` override it; port ``0`` binds an
+ephemeral port).  The bound address is written into ``repro_serve.json``
+*before* the command blocks, so scripts can poll the file and connect.
+
+Two one-shot modes from the pre-daemon CLI are kept: ``--check`` runs the
+in-process self-test (serve a slice of the test split through the
+micro-batching service and compare against direct model predictions) and
+``--queries`` answers a batch from an ``.npy`` file.
+"""
 
 from __future__ import annotations
 
@@ -25,22 +38,26 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
     """
     parser = subparsers.add_parser(
         "serve",
-        help="run the prediction service over the stored model",
-        description="Load the configured model, build the "
-                    "PredictionEngine/PredictionService pair from the "
-                    "[serving] section, and either run a one-shot "
-                    "self-test (--check) or answer a batch of queries "
-                    "from an .npy file.")
+        help="run the HTTP serving daemon over the stored models",
+        description="Default: boot the asyncio HTTP daemon (POST "
+                    "/v1/predict, /healthz, /readyz, /metrics, /models, "
+                    "hot-swap) over every model in the configured store, "
+                    "using the [server] config section; the bound "
+                    "host/port land in repro_serve.json before the "
+                    "command blocks. --check runs the one-shot "
+                    "in-process self-test instead; --queries answers a "
+                    "batch of queries from an .npy file.")
     add_config_arguments(parser)
-    mode = parser.add_mutually_exclusive_group(required=True)
+    mode = parser.add_mutually_exclusive_group()
     mode.add_argument(
         "--check", action="store_true",
-        help="one-shot self-test: serve a slice of the configured test "
-             "split through the live service and verify the answers "
-             "match direct model predictions")
+        help="one-shot self-test instead of the daemon: serve a slice of "
+             "the configured test split through the live service and "
+             "verify the answers match direct model predictions")
     mode.add_argument(
         "--queries", metavar="PATH",
-        help="serve a query matrix loaded from this .npy file")
+        help="one-shot batch instead of the daemon: serve a query matrix "
+             "loaded from this .npy file")
     parser.add_argument(
         "--out", metavar="PATH", default=None,
         help="write predictions to this .npy file (default: "
@@ -48,7 +65,16 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
     parser.add_argument(
         "--check-n", type=int, default=64, metavar="N",
         help="number of test rows the self-test serves (default 64)")
-    parser.set_defaults(func=run)
+    daemon = parser.add_argument_group("daemon")
+    daemon.add_argument(
+        "--host", dest="host", default=argparse.SUPPRESS, metavar="HOST",
+        help="sets server.host (daemon bind address)")
+    daemon.add_argument(
+        "--port", dest="port", default=argparse.SUPPRESS, metavar="PORT",
+        help="sets server.port (0 binds an ephemeral port)")
+    parser.set_defaults(func=run,
+                        extra_flag_keys={"host": "server.host",
+                                         "port": "server.port"})
     return parser
 
 
@@ -66,6 +92,51 @@ def _build_service(config):
     return model, service
 
 
+def _run_daemon(args: argparse.Namespace, config) -> int:
+    """Boot the HTTP daemon and block until SIGTERM/SIGINT drains it."""
+    from ..server import RouterError, ServerApp
+    from ..serving import ModelStore
+
+    store = ModelStore.from_config(config)
+    names = store.names()
+    if not names:
+        raise CLIError(f"no models in store {store.root!r}; run "
+                       f"`repro train` first")
+    app = ServerApp(config, store=store)
+
+    def on_ready(host: str, port: int) -> None:
+        # Publish the *bound* address (port 0 resolves to a real port
+        # here) before blocking, so scripts can poll repro_serve.json.
+        result = {
+            "mode": "daemon",
+            "host": host,
+            "port": port,
+            "url": f"http://{host}:{port}",
+            "models": names,
+            "max_queue": config.server.max_queue,
+            "max_batch": config.server.max_batch,
+            "drain_timeout": config.server.drain_timeout,
+        }
+        human = [
+            f"serving {', '.join(names)} at http://{host}:{port}",
+            "endpoints: POST /v1/predict, /healthz, /readyz, /metrics, "
+            "/models, /models/<name>[/versions|/swap|/refit]",
+            f"admission: {config.server.max_queue} in-flight, then 429; "
+            f"SIGTERM drains within {config.server.drain_timeout:g}s",
+        ]
+        emit(args, "serve", config, result, human)
+
+    try:
+        app.run(ready=on_ready)
+    except RouterError as exc:
+        raise CLIError(str(exc)) from exc
+    except KeyboardInterrupt:
+        pass
+    if not args.quiet:
+        print("server drained; bye")
+    return 0
+
+
 def run(args: argparse.Namespace) -> int:
     """Execute ``repro serve``.
 
@@ -80,6 +151,8 @@ def run(args: argparse.Namespace) -> int:
         Process exit code.
     """
     config = resolve_config(args)
+    if not args.check and not args.queries:
+        return _run_daemon(args, config)
     model, service = _build_service(config)
 
     if args.check:

@@ -125,6 +125,17 @@ class ShardedPredictionService:
         """Number of per-shard prediction engines."""
         return len(self.engines)
 
+    @property
+    def X_train(self) -> np.ndarray:
+        """The full training matrix (all shards, permuted order).
+
+        Exposed so the sharded service satisfies the same duck-typed
+        engine contract as :class:`repro.serving.PredictionEngine`
+        (``predict_many`` + ``X_train``) and can sit directly behind a
+        :class:`repro.serving.PredictionService` or the HTTP router.
+        """
+        return self.model.X_train_
+
     # ------------------------------------------------------------ prediction
     def decision_many(self, X: np.ndarray) -> np.ndarray:
         """Decision scores of a batch: sum of per-shard partial scores.

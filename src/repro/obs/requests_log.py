@@ -48,6 +48,13 @@ class RequestRecord:
         When its future resolved (0 until then).
     batch_size:
         Size of the micro-batch it was evaluated in (0 until batched).
+    model:
+        Name of the model that served the request (``""`` when the
+        service carries no model label).
+    model_version:
+        Monotonic store revision of the model version that served the
+        request (0 when unversioned).  Under blue/green hot-swap the
+        trail shows a clean old→new boundary in this field.
     error:
         ``repr`` of the exception for failed requests, else ``None``.
     """
@@ -58,6 +65,8 @@ class RequestRecord:
     t_batch: float = 0.0
     t_complete: float = 0.0
     batch_size: int = 0
+    model: str = ""
+    model_version: int = 0
     error: Optional[str] = None
 
     @property
@@ -83,6 +92,8 @@ class RequestRecord:
             "t_batch": self.t_batch,
             "t_complete": self.t_complete,
             "batch_size": self.batch_size,
+            "model": self.model,
+            "model_version": self.model_version,
             "latency": self.latency,
             "queue_wait": self.queue_wait,
             "error": self.error,

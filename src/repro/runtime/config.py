@@ -146,6 +146,26 @@ class ServingSection:
 
 
 @dataclass(frozen=True)
+class ServerSection:
+    """HTTP serving daemon knobs (see :mod:`repro.server`).
+
+    ``port = 0`` binds an ephemeral port; the daemon reports the bound
+    address in its result JSON (``repro_serve.json``), so scripted
+    clients never have to guess.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: maximum predict requests admitted but not yet answered; beyond it
+    #: the daemon sheds load with 429 + Retry-After instead of queueing
+    max_queue: int = 64
+    #: seconds a graceful shutdown (SIGTERM) waits for in-flight requests
+    drain_timeout: float = 10.0
+    #: maximum query rows accepted in one POST /v1/predict body
+    max_batch: int = 256
+
+
+@dataclass(frozen=True)
 class DistributedSection:
     """Thread / process parallelism of the training path."""
 
@@ -174,6 +194,7 @@ _SECTION_TYPES = {
     "hmatrix": HMatrixSection,
     "tuning": TuningSection,
     "serving": ServingSection,
+    "server": ServerSection,
     "distributed": DistributedSection,
     "obs": ObsSection,
 }
@@ -354,7 +375,7 @@ class RuntimeConfig:
     Parameters
     ----------
     dataset, kernel, solver, clustering, hss, hmatrix, tuning, serving,
-    distributed, obs:
+    server, distributed, obs:
         The resolved section objects.
     provenance:
         ``{"section.field": "default"|"file"|"env"|"flag"}`` for every
@@ -372,6 +393,7 @@ class RuntimeConfig:
     hmatrix: HMatrixSection = field(default_factory=HMatrixSection)
     tuning: TuningSection = field(default_factory=TuningSection)
     serving: ServingSection = field(default_factory=ServingSection)
+    server: ServerSection = field(default_factory=ServerSection)
     distributed: DistributedSection = field(default_factory=DistributedSection)
     obs: ObsSection = field(default_factory=ObsSection)
     provenance: Mapping[str, str] = field(default_factory=dict, compare=False)
@@ -746,3 +768,13 @@ def _validate(config: RuntimeConfig) -> None:
         value = config.get(key)
         if value is not None and value < 0:
             raise ValueError(f"{key} must be >= 0 or none")
+    if not (0 <= config.server.port <= 65535):
+        raise ValueError("server.port must be in [0, 65535] (0 = ephemeral)")
+    if config.server.max_queue < 1:
+        raise ValueError("server.max_queue must be >= 1")
+    if config.server.drain_timeout < 0:
+        raise ValueError("server.drain_timeout must be >= 0")
+    if config.server.max_batch < 1:
+        raise ValueError("server.max_batch must be >= 1")
+    if not config.server.host:
+        raise ValueError("server.host must be non-empty")

@@ -1,0 +1,47 @@
+"""``repro.server`` — asyncio HTTP serving tier with blue/green hot-swap.
+
+The online half of the train-offline / serve-online split, as an actual
+network daemon.  Three layers, all standard library (no web framework):
+
+* :mod:`repro.server.http` — hand-rolled HTTP/1.1 over asyncio streams:
+  request parsing with hard header/body limits, JSON/text responses,
+  keep-alive.
+* :mod:`repro.server.router` — :class:`ModelRouter`, multi-tenant
+  blue/green routing over a :class:`repro.serving.ModelStore`: each
+  served model has a versioned active generation (a micro-batching
+  :class:`repro.serving.PredictionService` over a
+  :class:`repro.serving.PredictionEngine` or sharded backend), and a
+  hot-swap atomically flips new traffic to a freshly loaded revision
+  while in-flight requests drain on the old one — zero dropped requests.
+* :mod:`repro.server.app` — :class:`ServerApp`, the event loop: routes
+  (``POST /v1/predict``, ``/healthz``, ``/readyz``, ``/metrics``,
+  ``/models`` + per-model status/swap/refit), admission control that
+  sheds load with ``429 Too Many Requests`` past ``server.max_queue``
+  in-flight requests, and graceful ``SIGTERM`` drain.
+
+Boot it with ``repro serve`` (see ``docs/serving.md`` for the HTTP API
+and the ``server.*`` config knobs), or embed it::
+
+    from repro.runtime import resolve_runtime_config
+    from repro.server import ServerApp
+
+    config = resolve_runtime_config(config_path="repro.toml")
+    ServerApp(config).run()   # blocks; SIGTERM drains gracefully
+"""
+
+from .http import (HttpError, HttpRequest, HttpResponse, read_request,
+                   render_response)
+from .router import ModelNotServed, ModelRouter, RouterError
+from .app import ServerApp
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "read_request",
+    "render_response",
+    "ModelRouter",
+    "ModelNotServed",
+    "RouterError",
+    "ServerApp",
+]

@@ -1,0 +1,291 @@
+"""Hand-rolled HTTP/1.1 over asyncio streams — request parsing, responses.
+
+The serving daemon speaks plain HTTP/1.1 with JSON bodies and needs no
+web framework: the whole wire format lives in this module.  It parses a
+request line, headers and an optional ``Content-Length`` body from an
+``asyncio.StreamReader`` and renders :class:`HttpResponse` objects back,
+honouring keep-alive (the default in HTTP/1.1) so closed-loop clients can
+reuse one connection per session.
+
+Deliberately minimal, deliberately strict: no chunked transfer encoding,
+no multipart, hard limits on header and body sizes — anything outside the
+supported subset fails fast with a 4xx instead of hanging the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = ["HttpError", "HttpRequest", "HttpResponse", "read_request",
+           "render_response", "STATUS_PHRASES"]
+
+#: maximum bytes of request line + headers accepted before 431
+MAX_HEADER_BYTES = 32 * 1024
+#: maximum request body bytes accepted before 413
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+STATUS_PHRASES: Dict[int, str] = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request failure with an HTTP status code and JSON error payload.
+
+    Parameters
+    ----------
+    status:
+        HTTP status code of the failure.
+    message:
+        Human-readable error description (becomes the JSON ``error``
+        field of the response body).
+    headers:
+        Extra response headers (e.g. ``Retry-After`` on 429).
+    """
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = str(message)
+        self.headers = dict(headers or {})
+
+    def response(self) -> "HttpResponse":
+        """Render this error as a JSON :class:`HttpResponse`.
+
+        Returns
+        -------
+        HttpResponse
+            ``{"error": message, "status": status}`` with the error's
+            status code and extra headers.
+        """
+        return HttpResponse.json(
+            {"error": self.message, "status": self.status},
+            status=self.status, headers=self.headers)
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP/1.1 request.
+
+    Parameters
+    ----------
+    method:
+        Upper-case request method (``GET``, ``POST``, ...).
+    path:
+        URL-decoded request path without the query string.
+    query:
+        Parsed query-string parameters (last value wins per key).
+    headers:
+        Header mapping with lower-cased keys.
+    body:
+        Raw request body bytes (``b""`` when absent).
+    """
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """Decode the body as JSON.
+
+        Returns
+        -------
+        object
+            The decoded payload (an empty body decodes to ``{}``).
+        """
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to keep the connection open."""
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+@dataclass
+class HttpResponse:
+    """One HTTP response ready to render onto the wire.
+
+    Parameters
+    ----------
+    status:
+        HTTP status code.
+    body:
+        Response body bytes.
+    content_type:
+        ``Content-Type`` header value.
+    headers:
+        Extra headers merged into the response.
+    """
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload, status: int = 200,
+             headers: Optional[Dict[str, str]] = None) -> "HttpResponse":
+        """Build a JSON response from a serializable payload.
+
+        Parameters
+        ----------
+        payload:
+            JSON-serializable object.
+        status:
+            HTTP status code.
+        headers:
+            Extra response headers.
+
+        Returns
+        -------
+        HttpResponse
+            With the payload serialized (sorted keys, trailing newline).
+        """
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return cls(status=status, body=body,
+                   content_type="application/json",
+                   headers=dict(headers or {}))
+
+    @classmethod
+    def text(cls, text: str, status: int = 200,
+             content_type: str = "text/plain; charset=utf-8",
+             headers: Optional[Dict[str, str]] = None) -> "HttpResponse":
+        """Build a plain-text response (e.g. the Prometheus exposition).
+
+        Parameters
+        ----------
+        text:
+            Response body text.
+        status:
+            HTTP status code.
+        content_type:
+            ``Content-Type`` header value.
+        headers:
+            Extra response headers.
+
+        Returns
+        -------
+        HttpResponse
+            With the UTF-8 encoded text as body.
+        """
+        return cls(status=status, body=text.encode("utf-8"),
+                   content_type=content_type, headers=dict(headers or {}))
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = MAX_BODY_BYTES) -> Optional[HttpRequest]:
+    """Read and parse one HTTP/1.1 request from the stream.
+
+    Parameters
+    ----------
+    reader:
+        The connection's stream reader.
+    max_body:
+        Maximum accepted ``Content-Length``; larger bodies raise a 413
+        :class:`HttpError`.
+
+    Returns
+    -------
+    HttpRequest or None
+        The parsed request, or ``None`` when the peer closed the
+        connection cleanly before sending one.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests (keep-alive end)
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, f"request head exceeds {MAX_HEADER_BYTES} bytes")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(431, f"request head exceeds {MAX_HEADER_BYTES} bytes")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked transfer encoding is not supported")
+
+    body = b""
+    length_text = headers.get("content-length", "")
+    if length_text:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: {length_text!r}")
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {length_text!r}")
+        if length > max_body:
+            raise HttpError(413, f"request body exceeds {max_body} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated request body")
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return HttpRequest(method=method.upper(), path=unquote(split.path),
+                       query=query, headers=headers, body=body)
+
+
+def render_response(response: HttpResponse, keep_alive: bool) -> bytes:
+    """Serialize a response into HTTP/1.1 wire bytes.
+
+    Parameters
+    ----------
+    response:
+        The response to render.
+    keep_alive:
+        Whether the connection stays open afterwards (sets the
+        ``Connection`` header accordingly).
+
+    Returns
+    -------
+    bytes
+        The complete response: status line, headers, blank line, body.
+    """
+    phrase = STATUS_PHRASES.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {phrase}",
+             f"Content-Type: {response.content_type}",
+             f"Content-Length: {len(response.body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + response.body

@@ -82,11 +82,21 @@ class PredictionService:
         percentile statistics.
     trail_size:
         Number of most recent finished :class:`repro.obs.RequestRecord`
-        entries retained for :meth:`recent_requests`.
+        entries retained for :meth:`recent_requests` (ignored when an
+        explicit ``trail`` is supplied).
     model_name:
         Value of the ``model`` label on this service's registry metrics
         (``repro_service_requests_total{model=...}``, latency histogram);
         defaults to ``"default"``.
+    model_version:
+        Monotonic model revision stamped into every request record
+        (``0`` = unversioned).  Blue/green routers give each service
+        generation its version so the shared trail shows a clean old→new
+        boundary across a hot-swap.
+    trail:
+        Optional externally owned :class:`repro.obs.RequestTrail` to
+        append finished records to — the hot-swap router shares one trail
+        across service generations so ``recent_requests()`` spans swaps.
 
     Examples
     --------
@@ -104,8 +114,14 @@ class PredictionService:
 
     def __init__(self, engine, max_batch: int = 256,
                  batch_window: float = 0.002, latency_window: int = 8192,
-                 trail_size: int = 1024, model_name: Optional[str] = None):
-        if not isinstance(engine, PredictionEngine):
+                 trail_size: int = 1024, model_name: Optional[str] = None,
+                 model_version: int = 0,
+                 trail: Optional[RequestTrail] = None):
+        # Duck-typed engine contract: anything with predict_many + X_train
+        # serves (PredictionEngine, ShardedPredictionService, ...); fitted
+        # classifiers are wrapped in a default engine.
+        if not (hasattr(engine, "predict_many")
+                and getattr(engine, "X_train", None) is not None):
             engine = PredictionEngine(engine)
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -113,7 +129,9 @@ class PredictionService:
             raise ValueError("batch_window must be >= 0")
         self.engine = engine
         self.model_name = model_name or "default"
-        self.trail = RequestTrail(capacity=trail_size)
+        self.model_version = int(model_version)
+        self.trail = trail if trail is not None \
+            else RequestTrail(capacity=trail_size)
         reg = global_registry()
         label = {"model": self.model_name}
         self._m_requests = reg.counter(
@@ -252,7 +270,9 @@ class PredictionService:
             raise ValueError(f"query has dimension {x.shape[0]}, expected {d}")
         fut: Future = Future()
         now = time.perf_counter()
-        record = RequestRecord(request_id=next_request_id(), t_enqueue=now)
+        record = RequestRecord(request_id=next_request_id(), t_enqueue=now,
+                               model=self.model_name,
+                               model_version=self.model_version)
         with self._lock:
             # Check-and-enqueue under the lock: once stop() flips
             # _accepting, no request can enter the queue behind the stop

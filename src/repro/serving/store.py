@@ -7,10 +7,12 @@ A :class:`ModelStore` manages a flat directory of named model artifacts:
     <root>/
         susy-hss/
             model.npz     # checksummed archive written by serialize.save_model
-            record.json   # name, kind, checksum, created, metadata
+            record.json   # name, kind, checksum, created, revision, metadata
+            versions.json # bounded save history (monotonic revisions)
         mnist-ova/
             model.npz
             record.json
+            versions.json
 
 The record duplicates the artifact header so listing the store never has to
 open the (potentially large) archives.  Metadata is free-form JSON; the
@@ -41,7 +43,11 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 ARCHIVE_FILENAME = "model.npz"
 RECORD_FILENAME = "record.json"
+VERSIONS_FILENAME = "versions.json"
 LOCK_FILENAME = ".write.lock"
+
+#: history entries retained per model in ``versions.json``
+VERSION_HISTORY_LIMIT = 64
 
 
 @contextmanager
@@ -88,6 +94,11 @@ class ModelRecord:
     #: artifact schema version (see ``docs/serving.md``; 0 for records
     #: written before the field existed — read the archive header instead)
     version: int = 0
+    #: monotonic save counter of this entry: 1 on first save, +1 per
+    #: re-save, stamped under the per-model write lock so two concurrent
+    #: writers can never publish the same revision (0 for records written
+    #: before the field existed).  Blue/green routing keys on this.
+    revision: int = 0
     metadata: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -98,7 +109,8 @@ class ModelRecord:
         """One-line summary used by listings and the example scripts."""
         acc = self.metadata.get("accuracy_percent")
         acc_str = f" acc={acc}%" if acc is not None else ""
-        return f"{self.name}: {self.kind} [{self.checksum[:12]}]{acc_str}"
+        rev_str = f" r{self.revision}" if self.revision else ""
+        return f"{self.name}: {self.kind} [{self.checksum[:12]}]{rev_str}{acc_str}"
 
 
 class ModelStore:
@@ -207,23 +219,123 @@ class ModelStore:
             # corrupts a previously good artifact (the archive header stays
             # the source of truth if the crash lands between the renames).
             record_path = os.path.join(path, RECORD_FILENAME)
+            # Monotonic revision: previous record's counter + 1, read and
+            # stamped under the same lock that serializes the renames, so
+            # two racing writers can never publish the same revision and a
+            # reader comparing revisions always observes a re-save.
+            revision = self._current_revision(name) + 1
             artifact = save_model(model, os.path.join(path, ARCHIVE_FILENAME),
                                   metadata=meta,
                                   include_factorization=include_factorization)
             record = ModelRecord(name=name, path=path, kind=artifact.kind,
                                  checksum=artifact.checksum,
                                  created=artifact.created,
-                                 version=artifact.version, metadata=meta)
+                                 version=artifact.version,
+                                 revision=revision, metadata=meta)
             tmp_path = f"{record_path}.{os.getpid()}.tmp"
             with open(tmp_path, "w", encoding="utf-8") as fh:
                 json.dump({"name": record.name, "kind": record.kind,
                            "checksum": record.checksum,
                            "created": record.created,
                            "version": record.version,
+                           "revision": record.revision,
                            "metadata": record.metadata},
                           fh, indent=2, sort_keys=True)
             os.replace(tmp_path, record_path)
+            self._append_version_entry(name, record)
         return record
+
+    # -------------------------------------------------------------- versions
+    def _versions_path(self, name: str) -> str:
+        return os.path.join(self._model_dir(name), VERSIONS_FILENAME)
+
+    def _read_versions(self, name: str) -> List[Dict[str, object]]:
+        try:
+            with open(self._versions_path(name), "r", encoding="utf-8") as fh:
+                entries = json.load(fh)
+        except (OSError, ValueError):
+            return []
+        return [e for e in entries if isinstance(e, dict)]
+
+    def _current_revision(self, name: str) -> int:
+        """Highest revision published so far (0 when the entry is new).
+
+        Reads both the catalog record and the version history and takes
+        the maximum, so a crash between the record rename and the history
+        append can never roll the counter backwards.
+        """
+        best = 0
+        record_path = os.path.join(self._model_dir(name), RECORD_FILENAME)
+        try:
+            with open(record_path, "r", encoding="utf-8") as fh:
+                best = int(json.load(fh).get("revision", 0))
+        except (OSError, ValueError):
+            pass
+        for entry in self._read_versions(name):
+            try:
+                best = max(best, int(entry.get("revision", 0)))
+            except (TypeError, ValueError):
+                continue
+        return best
+
+    def _append_version_entry(self, name: str, record: ModelRecord) -> None:
+        """Append one history row to ``versions.json`` (caller holds lock)."""
+        entries = self._read_versions(name)
+        entries.append({"revision": record.revision, "kind": record.kind,
+                        "checksum": record.checksum,
+                        "created": record.created})
+        entries = entries[-VERSION_HISTORY_LIMIT:]
+        path = self._versions_path(name)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entries, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+
+    def versions(self, name: str) -> List[Dict[str, object]]:
+        """Save history of the named model, oldest first.
+
+        Each entry is ``{"revision", "kind", "checksum", "created"}``; the
+        last entry describes the current artifact.  The history is bounded
+        (:data:`VERSION_HISTORY_LIMIT` most recent saves) and survives
+        re-saves but not :meth:`delete`.  Entries written before revision
+        stamping existed synthesize a single row from the catalog record.
+
+        Parameters
+        ----------
+        name:
+            Registry key of the model.
+
+        Returns
+        -------
+        list of dict
+            The revision history, oldest first.
+        """
+        record = self.record(name)  # raises ArtifactError when absent
+        entries = self._read_versions(name)
+        if not entries:
+            entries = [{"revision": record.revision, "kind": record.kind,
+                        "checksum": record.checksum,
+                        "created": record.created}]
+        return entries
+
+    def latest(self, name: str) -> ModelRecord:
+        """Catalog entry of the newest saved version of ``name``.
+
+        Alias of :meth:`record` with intent: blue/green routers poll it
+        and compare :attr:`ModelRecord.revision` against the revision they
+        are currently serving to decide whether a swap is due.
+
+        Parameters
+        ----------
+        name:
+            Registry key of the model.
+
+        Returns
+        -------
+        ModelRecord
+            The current catalog entry (highest published revision).
+        """
+        return self.record(name)
 
     # ------------------------------------------------------------------ load
     def load(self, name: str):
@@ -243,6 +355,7 @@ class ModelStore:
                            checksum=raw.get("checksum", ""),
                            created=raw.get("created", ""),
                            version=int(raw.get("version", 0)),
+                           revision=int(raw.get("revision", 0)),
                            metadata=dict(raw.get("metadata") or {}))
 
     def artifact(self, name: str) -> ModelArtifact:

@@ -25,7 +25,8 @@ MODEL_NAME = "contended"
 SAVES_PER_WRITER = 4
 
 
-def _writer(root: str, writer_id: int, barrier, errors) -> None:
+def _writer(root: str, writer_id: int, barrier, errors,
+            revisions=None) -> None:
     """Train a tiny model and save it repeatedly under the shared name."""
     try:
         X, y = gaussian_mixture(n=48, d=3, seed=writer_id)
@@ -33,8 +34,11 @@ def _writer(root: str, writer_id: int, barrier, errors) -> None:
         store = ModelStore(root)
         barrier.wait(timeout=60)
         for i in range(SAVES_PER_WRITER):
-            store.save(clf, MODEL_NAME, overwrite=True,
-                       metadata={"writer": writer_id, "iteration": i})
+            record = store.save(clf, MODEL_NAME, overwrite=True,
+                                metadata={"writer": writer_id,
+                                          "iteration": i})
+            if revisions is not None:
+                revisions.put(record.revision)
     except Exception as exc:  # pragma: no cover - surfaced via assert below
         errors.put(f"writer {writer_id}: {type(exc).__name__}: {exc}")
 
@@ -65,6 +69,55 @@ def test_two_processes_saving_same_name(tmp_path):
     X, y = gaussian_mixture(n=48, d=3, seed=winner)
     reference = KernelRidgeClassifier(h=1.0, lam=1.0, solver="dense").fit(X, y)
     assert np.array_equal(model.predict(X), reference.predict(X))
+
+
+def test_two_processes_stamp_distinct_monotonic_revisions(tmp_path):
+    """Revision stamping under contention: two processes re-saving the
+    same name never publish the same revision, and after ``2 * k`` saves
+    the surviving record carries exactly revision ``2 * k``."""
+    ctx = multiprocessing.get_context("spawn")
+    barrier = ctx.Barrier(2)
+    errors = ctx.Queue()
+    revisions = ctx.Queue()
+    procs = [ctx.Process(target=_writer,
+                         args=(str(tmp_path), i, barrier, errors, revisions))
+             for i in range(2)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=180)
+        assert not p.is_alive(), "writer process hung"
+        assert p.exitcode == 0
+    assert errors.empty(), errors.get()
+
+    seen = sorted(revisions.get(timeout=5)
+                  for _ in range(2 * SAVES_PER_WRITER))
+    # Each save got a unique revision and nothing was skipped: the lock
+    # serializes read-increment-publish, so the 2k saves stamped 1..2k.
+    assert seen == list(range(1, 2 * SAVES_PER_WRITER + 1))
+
+    store = ModelStore(str(tmp_path))
+    assert store.record(MODEL_NAME).revision == 2 * SAVES_PER_WRITER
+    history = [entry["revision"] for entry in store.versions(MODEL_NAME)]
+    assert history == sorted(history)  # history never rolls backwards
+    assert history[-1] == 2 * SAVES_PER_WRITER
+
+
+def test_versions_and_latest_helpers(tmp_path):
+    """`versions()` keeps an oldest-first history; `latest()` tracks it."""
+    X, y = gaussian_mixture(n=48, d=3, seed=0)
+    clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="dense").fit(X, y)
+    store = ModelStore(str(tmp_path))
+    first = store.save(clf, "versioned")
+    assert first.revision == 1
+    assert store.latest("versioned").revision == 1
+    second = store.save(clf, "versioned", overwrite=True)
+    assert second.revision == 2
+    entries = store.versions("versioned")
+    assert [e["revision"] for e in entries] == [1, 2]
+    assert entries[-1]["checksum"] == store.latest("versioned").checksum
+    with pytest.raises(Exception):
+        store.versions("no-such-model")
 
 
 def test_lock_serializes_in_process(tmp_path):
