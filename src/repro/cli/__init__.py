@@ -7,6 +7,7 @@ One entry point for the whole model lifecycle, driven by the layered
     repro train                      # train + persist the configured model
     repro tune --strategy bandit     # search (h, lambda)
     repro refit --new-lam 4.0        # cheap λ-only re-train of the model
+    repro update --add new.npz       # stream rows in (Woodbury partial_fit)
     repro serve --check              # one-shot serving self-test
     repro bench                      # micro-benchmark of the lifecycle
     repro inspect config             # every knob + its provenance layer
@@ -24,7 +25,7 @@ import sys
 from typing import List, Optional
 
 from ._common import CLIError
-from . import bench, env_cmd, inspect_cmd, refit, serve, train, tune
+from . import bench, env_cmd, inspect_cmd, refit, serve, train, tune, update
 
 __all__ = ["CLIError", "build_parser", "main"]
 
@@ -51,6 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_parser(subparsers)
     tune.add_parser(subparsers)
     refit.add_parser(subparsers)
+    update.add_parser(subparsers)
     serve.add_parser(subparsers)
     bench.add_parser(subparsers)
     inspect_cmd.add_parser(subparsers)

@@ -209,6 +209,13 @@ class DistributedSolver(KernelSystemSolver):
                 self._owned_grid.shutdown()
             raise
         self.compression_count += 1
+        # Streaming context: partial_fit builds its Woodbury correction
+        # blocks against these points, with the base solves fanned out
+        # through _solve_impl (live coordinator round-trips while the grid
+        # is up — the workers hold the factors the correction right-hand
+        # sides are solved against — or the collected in-process factors
+        # after close()).
+        self._stream_context = (X_permuted, kernel)
         self.report.shards = self.plan_.n_shards
         self.report.workers = max(1, int(self.workers or 1))
         self.report.timings = dict(info["timings"])

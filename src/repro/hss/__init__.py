@@ -23,6 +23,9 @@ paper:
   per ``(dataset, kernel, tree)`` and re-factored cheaply per λ.
 * :class:`HSSStatistics` — memory (MB) and maximum off-diagonal rank, the
   paper's primary performance metrics.
+* :class:`StreamingULVSolver` / :class:`DriftBudget` — streaming row
+  insertion/deletion as Woodbury corrections around the factored system,
+  with drift thresholds deciding when to recompress from scratch.
 """
 
 from .generators import HSSNodeData
@@ -32,8 +35,11 @@ from .build_random import build_hss_randomized, SamplingStats
 from .compressed import CompressedKernel, CompressionReport, compress_kernel
 from .ulv import ULVFactorization
 from .memory import HSSStatistics
+from .streaming import DriftBudget, StreamingULVSolver
 
 __all__ = [
+    "DriftBudget",
+    "StreamingULVSolver",
     "HSSNodeData",
     "HSSMatrix",
     "build_hss_from_dense",

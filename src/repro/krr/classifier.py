@@ -119,6 +119,8 @@ class KernelRidgeClassifier:
         self.X_train_: Optional[np.ndarray] = None
         #: permuted ±1 training targets, kept so λ-only refits can re-solve
         self._y_perm: Optional[np.ndarray] = None
+        #: drift bookkeeping of the last partial_fit (None = never streamed)
+        self.stream_info_: Optional[dict] = None
 
     # ------------------------------------------------------------------ fit
     def _make_solver(self) -> KernelSystemSolver:
@@ -155,6 +157,7 @@ class KernelRidgeClassifier:
         self.weights_ = self.solver_.solve(y_perm)
         self.X_train_ = X_perm
         self._y_perm = y_perm
+        self.stream_info_ = None
         # Training is done: release any solver worker threads.  A later
         # solver_.solve() (e.g. re-solving for a new right-hand side)
         # lazily re-creates the pool.
@@ -210,6 +213,145 @@ class KernelRidgeClassifier:
         close = getattr(self.solver_, "close", None)
         if close is not None:
             close()
+        return self
+
+    # ------------------------------------------------------------- streaming
+    def _check_streamable(self) -> None:
+        if self.solver_ is None or self.weights_ is None:
+            raise RuntimeError(
+                "classifier must be fitted before streaming updates")
+
+    def _validate_update(self, X_new, y_new, remove):
+        """Shared add/remove validation; returns ``(X_new, y_add, idx)``."""
+        if (X_new is None) != (y_new is None):
+            raise ValueError("X_new and y_new must be given together")
+        y_add = None
+        if X_new is not None:
+            X_new = check_array_2d(X_new, "X_new")
+            check_same_dimension(X_new, self.X_train_, ("X_new", "X_train"))
+        idx = None
+        if remove is not None:
+            raw = np.asarray(remove, dtype=np.intp).ravel()
+            idx = np.unique(raw)
+            if idx.size != raw.size:
+                raise ValueError("remove contains duplicate indices")
+            n = self.X_train_.shape[0]
+            if idx.size and (idx[0] < 0 or idx[-1] >= n):
+                raise ValueError(
+                    f"remove indices must lie in [0, {n}), got "
+                    f"[{idx[0]}, {idx[-1]}]")
+        if X_new is None and (idx is None or not idx.size):
+            raise ValueError(
+                "nothing to update: pass X_new/y_new and/or remove")
+        return X_new, y_add, idx
+
+    def _apply_stream_update(self, X_new, y_eff, idx):
+        """Mutate the solver and re-solve; roll the stream back on failure."""
+        prev = None
+        if self.solver_.stream is not None:
+            prev = self.solver_.stream.state_arrays()
+        try:
+            self.solver_.partial_fit(X_add=X_new, remove=idx)
+            return self.solver_.solve(y_eff)
+        except BaseException:
+            stream = self.solver_.stream
+            if stream is not None:
+                if prev is not None:
+                    stream.restore_state(**prev)
+                else:
+                    stream.restore_state(
+                        np.arange(stream.n_base, dtype=np.intp),
+                        np.empty((0, stream.X_base.shape[1])))
+            raise
+
+    def _finish_stream_update(self, stream, weights, y_eff) -> None:
+        """Adopt the updated state and record drift bookkeeping."""
+        self.X_train_ = stream.X_effective
+        self.weights_ = weights
+        budget = stream.budget
+        residual = None
+        if budget.residual_tol > 0:
+            residual = stream.residual_estimate(weights, y_eff)
+        breached, reason = budget.check(stream, residual)
+        self.stream_info_ = dict(stream.drift_stats())
+        self.stream_info_.update(
+            {"breached": breached, "breach_reason": reason,
+             "residual": residual})
+        close = getattr(self.solver_, "close", None)
+        if close is not None:
+            close()
+
+    def partial_fit(self, X_new=None, y_new=None, remove=None,
+                    budget=None) -> "KernelRidgeClassifier":
+        """Stream rows into / out of the fitted model without refitting.
+
+        Removals (``remove``, indices into the *current* training-set
+        ordering — the rows of ``X_train_``) are applied first, then
+        ``(X_new, y_new)`` rows are appended; both land as Woodbury
+        corrections around the existing factors and the weight vector is
+        re-solved against the updated system (see
+        :class:`repro.hss.StreamingULVSolver`).  ``stream_info_`` records
+        the resulting correction rank and whether the drift budget is
+        breached — a breached budget calls for :meth:`recompress`.
+
+        Parameters
+        ----------
+        X_new, y_new:
+            Rows to append and their ±1 labels (given together).
+        remove:
+            Indices into the current training ordering to drop.
+        budget:
+            Optional :class:`repro.hss.DriftBudget` overriding the
+            stream's thresholds.
+
+        Returns
+        -------
+        KernelRidgeClassifier
+            ``self``, serving the updated training set.
+        """
+        self._check_streamable()
+        if self._y_perm is None:
+            raise RuntimeError(
+                "no training targets available for partial_fit (artifact "
+                "saved by an older version); call fit() instead")
+        X_new, y_add, idx = self._validate_update(X_new, y_new, remove)
+        if X_new is not None:
+            y_add = check_labels_binary(y_new, "y_new")
+            if y_add.shape[0] != X_new.shape[0]:
+                raise ValueError(
+                    f"X_new has {X_new.shape[0]} rows but y_new has "
+                    f"{y_add.shape[0]} entries")
+        y_eff = self._y_perm
+        if idx is not None and idx.size:
+            y_eff = np.delete(y_eff, idx, axis=0)
+        if y_add is not None:
+            y_eff = np.concatenate([y_eff, y_add])
+        weights = self._apply_stream_update(X_new, y_eff, idx)
+        stream = self.solver_.stream
+        if budget is not None:
+            stream.budget = budget
+        self._y_perm = y_eff
+        self._finish_stream_update(stream, weights, y_eff)
+        return self
+
+    def recompress(self) -> "KernelRidgeClassifier":
+        """Cold-refit on the current effective training set.
+
+        Re-clusters, recompresses and re-factors from scratch, dropping
+        every streamed correction.  Because the clustering is
+        deterministic in the row order, the result is bitwise identical
+        to a cold :meth:`fit` on ``(X_train_, labels)`` in the same row
+        order — this is the drift-budget escape hatch, and what the
+        serving tier hot-swaps in after a breach.
+        """
+        self._check_streamable()
+        if self._y_perm is None:
+            raise RuntimeError(
+                "no training targets available for recompress (artifact "
+                "saved by an older version); call fit() instead")
+        from ..hss.streaming import record_recompression
+        self.fit(self.X_train_.copy(), self._y_perm.copy())
+        record_recompression()
         return self
 
     # -------------------------------------------------------------- predict

@@ -84,6 +84,8 @@ class OneVsAllClassifier:
         #: permuted ±1 one-vs-all targets (n_train x n_classes), kept so
         #: λ-only refits can re-solve all classes in one multi-RHS call
         self._targets_perm: Optional[np.ndarray] = None
+        #: drift bookkeeping of the last partial_fit (None = never streamed)
+        self.stream_info_: Optional[dict] = None
 
     def _make_solver(self) -> KernelSystemSolver:
         return build_training_solver(self._solver_spec, seed=self.seed,
@@ -119,11 +121,84 @@ class OneVsAllClassifier:
             self.solver_.solve(targets), dtype=np.float64)
         self.X_train_ = X_perm
         self._targets_perm = targets
+        self.stream_info_ = None
         # Training is done: release any solver worker threads (a later
         # solver_.solve() lazily re-creates the pool).
         close = getattr(self.solver_, "close", None)
         if close is not None:
             close()
+        return self
+
+    def partial_fit(self, X_new=None, y_new=None, remove=None,
+                    budget=None) -> "OneVsAllClassifier":
+        """Stream rows into / out of the fitted ensemble without refitting.
+
+        Same contract as
+        :meth:`repro.krr.KernelRidgeClassifier.partial_fit`, with class
+        labels instead of ±1 targets: removals (indices into the current
+        ``X_train_`` ordering) are applied first, then the appended rows'
+        labels are expanded into ±1 one-vs-all target rows against the
+        *fitted* ``classes_`` — labels unseen at :meth:`fit` time are
+        rejected (a new class changes the weight matrix shape and needs a
+        full refit).  All ``c`` weight vectors are re-solved in one
+        multi-RHS pass through the Woodbury correction.
+        """
+        from .classifier import KernelRidgeClassifier
+        KernelRidgeClassifier._check_streamable(self)
+        if self._targets_perm is None:
+            raise RuntimeError(
+                "no training targets available for partial_fit (artifact "
+                "saved by an older version); call fit() instead")
+        X_new, _, idx = KernelRidgeClassifier._validate_update(
+            self, X_new, y_new, remove)
+        t_add = None
+        if X_new is not None:
+            y_add = np.asarray(y_new)
+            if y_add.ndim != 1 or y_add.shape[0] != X_new.shape[0]:
+                raise ValueError(
+                    "y_new must be 1-D with one label per row of X_new")
+            unseen = np.setdiff1d(np.unique(y_add), self.classes_)
+            if unseen.size:
+                raise ValueError(
+                    f"labels {unseen.tolist()} were not present at fit "
+                    "time; adding a new class requires a full fit()")
+            t_add = np.where(y_add[:, None] == self.classes_[None, :],
+                             1.0, -1.0)
+        targets = self._targets_perm
+        if idx is not None and idx.size:
+            targets = np.delete(targets, idx, axis=0)
+        if t_add is not None:
+            targets = np.vstack([targets, t_add])
+        targets = np.ascontiguousarray(targets, dtype=np.float64)
+        weights = KernelRidgeClassifier._apply_stream_update(
+            self, X_new, targets, idx)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        stream = self.solver_.stream
+        if budget is not None:
+            stream.budget = budget
+        self._targets_perm = targets
+        KernelRidgeClassifier._finish_stream_update(
+            self, stream, weights, targets)
+        return self
+
+    def recompress(self) -> "OneVsAllClassifier":
+        """Cold-refit on the current effective training set.
+
+        Bitwise identical to a cold :meth:`fit` on the effective data in
+        its current row order (the clustering is deterministic per row
+        order); drops every streamed correction.
+        """
+        if self.solver_ is None or self.weights_ is None:
+            raise RuntimeError(
+                "classifier must be fitted before recompress()")
+        if self._targets_perm is None:
+            raise RuntimeError(
+                "no training targets available for recompress (artifact "
+                "saved by an older version); call fit() instead")
+        from ..hss.streaming import record_recompression
+        labels = self.classes_[np.argmax(self._targets_perm, axis=1)]
+        self.fit(self.X_train_.copy(), labels)
+        record_recompression()
         return self
 
     def refit(self, lam: float) -> "OneVsAllClassifier":

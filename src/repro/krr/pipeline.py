@@ -366,6 +366,80 @@ class KRRPipeline:
         self.report_ = report
         return report
 
+    def partial_fit(
+        self,
+        X_new: Optional[np.ndarray] = None,
+        y_new: Optional[np.ndarray] = None,
+        remove=None,
+        X_test: Optional[np.ndarray] = None,
+        y_test: Optional[np.ndarray] = None,
+        dataset_name: Optional[str] = None,
+    ) -> PipelineReport:
+        """Stream rows into / out of the last :meth:`run`'s classifier.
+
+        The update lands as a Woodbury correction around the resident
+        factors (:meth:`repro.krr.KernelRidgeClassifier.partial_fit`) —
+        no recompression, no re-factorization.  The returned report's
+        timings are the update's own phases, so comparing against the
+        cold run's report shows the streaming saving directly; its
+        ``n_train`` reflects the *effective* training set.
+
+        Parameters
+        ----------
+        X_new, y_new:
+            Rows to append and their ±1 labels (given together).
+        remove:
+            Indices into the current training ordering to drop.
+        X_test, y_test:
+            Optional test set for re-evaluation (accuracy is ``nan``
+            when omitted).
+        dataset_name:
+            Optional dataset tag; defaults to the last run's.
+
+        Returns
+        -------
+        PipelineReport
+            A fresh report for the updated model.
+        """
+        if self.classifier_ is None:
+            raise RuntimeError("pipeline must run() before partial_fit()")
+        log = TimingLog()
+        with log.phase("update_total"):
+            self.classifier_.partial_fit(X_new=X_new, y_new=y_new,
+                                         remove=remove)
+        acc = float("nan")
+        n_test = 0
+        if X_test is not None and y_test is not None:
+            with log.phase("predict_total"):
+                y_pred = self.classifier_.predict(X_test)
+            acc = accuracy(np.asarray(y_test, dtype=np.float64), y_pred)
+            n_test = int(np.asarray(X_test).shape[0])
+
+        previous = self.report_
+        solve_report = self.classifier_.report
+        report = PipelineReport(
+            dataset=(dataset_name if dataset_name is not None
+                     else (previous.dataset if previous else "")),
+            clustering=self.clustering,
+            solver=self.solver_name,
+            kernel=self.kernel_name,
+            h=self.h,
+            lam=self.lam,
+            n_train=int(self.classifier_.X_train_.shape[0]),
+            n_test=n_test,
+            dim=(previous.dim if previous else 0),
+            accuracy=acc,
+            memory_mb=solve_report.memory_mb,
+            hss_memory_mb=solve_report.hss_memory_mb,
+            hmatrix_memory_mb=solve_report.hmatrix_memory_mb,
+            max_rank=solve_report.max_rank,
+            workers=solve_report.workers,
+            shards=solve_report.shards,
+        )
+        report.timings = log.as_dict()
+        self.report_ = report
+        return report
+
     # ------------------------------------------------------------ observability
     def dump_metrics(self, path: str) -> str:
         """Export the process's merged telemetry snapshot to ``path``.

@@ -34,6 +34,7 @@ import scipy.sparse.linalg
 from ..clustering.tree import ClusterTree
 from ..config import HMatrixOptions, HSSOptions
 from ..hss.compressed import CompressedKernel, compress_kernel
+from ..hss.streaming import StreamingULVSolver
 from ..hss.ulv import ULVFactorization
 from ..kernels.base import Kernel
 from ..kernels.operator import ShiftedKernelOperator
@@ -82,6 +83,8 @@ class KernelSystemSolver(abc.ABC):
         self._fitted = False
         #: ridge shift of the current factorization (set by fit / refit)
         self.lam_: Optional[float] = None
+        #: streaming wrapper once partial_fit has been called (else None)
+        self._stream: Optional[StreamingULVSolver] = None
 
     @abc.abstractmethod
     def _fit_impl(self, X_permuted: np.ndarray, tree: Optional[ClusterTree],
@@ -111,6 +114,7 @@ class KernelSystemSolver(abc.ABC):
         X_permuted = check_array_2d(X_permuted, "X_permuted")
         check_non_negative(lam, "lam")
         self.report = SolveReport(solver=self.name)
+        self._stream = None  # a cold fit starts a fresh streaming history
         self._fit_impl(X_permuted, tree, kernel, lam)
         self._fitted = True
         self.lam_ = float(lam)
@@ -152,6 +156,11 @@ class KernelSystemSolver(abc.ABC):
         check_non_negative(lam, "lam")
         refits = self.report.refits + 1
         self._refit_impl(float(lam))
+        if self._stream is not None:
+            # The base factors changed shift: drop the lam-dependent
+            # correction caches (the wrapper re-reads the factors through
+            # its base-solve closure, so nothing else is stale).
+            self._stream.refit(float(lam))
         self.report.refits = refits
         self.lam_ = float(lam)
         return self
@@ -161,11 +170,82 @@ class KernelSystemSolver(abc.ABC):
         raise NotImplementedError(
             f"the {self.name!r} solver does not support lambda-only refits")
 
+    def partial_fit(self, X_add=None, remove=None) -> "KernelSystemSolver":
+        """Stream rows into / out of the fitted system without re-factoring.
+
+        Mutations are applied as Woodbury corrections around the existing
+        factors (see :class:`repro.hss.StreamingULVSolver`): removals
+        first, then additions.  Subsequent :meth:`solve` calls expect
+        right-hand sides in the *effective* ordering — the kept original
+        rows (original order) followed by every added row, in insertion
+        order.
+
+        Parameters
+        ----------
+        X_add:
+            Rows to append, shape ``(m, d)`` (``None`` / empty = none).
+        remove:
+            Indices into the current effective ordering to drop
+            (``None`` / empty = none).
+
+        Returns
+        -------
+        KernelSystemSolver
+            ``self``, serving the updated system.
+
+        Raises
+        ------
+        RuntimeError
+            If unfitted, or the solver retains no training points to
+            build correction blocks from (e.g. the CG baseline, or a
+            factor-only legacy artifact).
+        """
+        if not self._fitted:
+            raise RuntimeError(
+                "solver must be fitted before calling partial_fit()")
+        stream = self._ensure_stream()
+        if remove is not None and np.asarray(remove).size:
+            stream.remove_rows(remove)
+        if X_add is not None and np.asarray(X_add).size:
+            stream.add_rows(np.asarray(X_add, dtype=np.float64))
+        return self
+
+    @property
+    def stream(self) -> Optional[StreamingULVSolver]:
+        """The streaming wrapper (``None`` until :meth:`partial_fit`)."""
+        return self._stream
+
+    def _ensure_stream(self) -> StreamingULVSolver:
+        if self._stream is None:
+            context = getattr(self, "_stream_context", None)
+            if context is None:
+                raise RuntimeError(
+                    f"the {self.name!r} solver does not support streaming "
+                    "updates (no training points retained to build "
+                    "correction blocks from)")
+            X_base, kernel = context
+            self._stream = StreamingULVSolver(
+                self._stream_base_solve, X_base, kernel, self.lam_)
+        return self._stream
+
+    def _stream_base_solve(self, b: np.ndarray) -> np.ndarray:
+        """Multi-RHS solve against the *base* factors (streaming hook)."""
+        return self._solve_impl(np.asarray(b, dtype=np.float64))
+
     def solve(self, y: np.ndarray) -> np.ndarray:
-        """Solve the fitted system for right-hand side(s) ``y``."""
+        """Solve the fitted system for right-hand side(s) ``y``.
+
+        With streamed updates in effect the right-hand side lives in the
+        effective ordering (kept rows, then added rows) and the solve
+        routes through the Woodbury correction; otherwise this is the
+        plain base solve.
+        """
         if not self._fitted:
             raise RuntimeError("solver must be fitted before calling solve()")
-        return self._solve_impl(np.asarray(y, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64)
+        if self._stream is not None and self._stream.active:
+            return self._stream.solve(y)
+        return self._solve_impl(y)
 
 
 class DenseSolver(KernelSystemSolver):
@@ -194,6 +274,7 @@ class DenseSolver(KernelSystemSolver):
         # memory profile); refits rebuild it lazily from this context.
         self._K = None
         self._refit_context = (X_permuted, kernel)
+        self._stream_context = self._refit_context
         self.report.timings = log.as_dict()
         self.report.memory_mb = megabytes(K.nbytes)
 
@@ -334,6 +415,7 @@ class HSSSolver(KernelSystemSolver):
             # Failed fits must not orphan a live thread pool.
             self._executor.shutdown()
             raise
+        self._stream_context = (X_permuted, kernel)
         build = self.compressed_.report
         self.report.timings = log.as_dict()
         self.report.hmatrix_memory_mb = build.hmatrix_memory_mb

@@ -166,6 +166,29 @@ class ServerSection:
 
 
 @dataclass(frozen=True)
+class StreamSection:
+    """Streaming-update drift budget (see :class:`repro.hss.DriftBudget`).
+
+    Governs when a streamed model (``repro update`` / ``POST
+    /models/<name>/update``) is recompressed: the Woodbury correction
+    stays exact but its per-query cost grows with the correction rank,
+    so once the budget is breached a background cold refit folds the
+    corrections back into a fresh compression.
+    """
+
+    #: correction rank (added + removed rows) that triggers recompression
+    max_updates: int = 64
+    #: correction rank as a fraction of the base training size
+    max_fraction: float = 0.25
+    #: sampled relative residual threshold (0 disables the residual check)
+    residual_tol: float = 0.0
+    #: rows sampled for the residual estimate
+    sample_size: int = 64
+    #: server-side recompression policy: auto (on breach), force or off
+    recompress: str = "auto"
+
+
+@dataclass(frozen=True)
 class DistributedSection:
     """Thread / process parallelism of the training path."""
 
@@ -195,6 +218,7 @@ _SECTION_TYPES = {
     "tuning": TuningSection,
     "serving": ServingSection,
     "server": ServerSection,
+    "stream": StreamSection,
     "distributed": DistributedSection,
     "obs": ObsSection,
 }
@@ -375,7 +399,7 @@ class RuntimeConfig:
     Parameters
     ----------
     dataset, kernel, solver, clustering, hss, hmatrix, tuning, serving,
-    server, distributed, obs:
+    server, stream, distributed, obs:
         The resolved section objects.
     provenance:
         ``{"section.field": "default"|"file"|"env"|"flag"}`` for every
@@ -394,6 +418,7 @@ class RuntimeConfig:
     tuning: TuningSection = field(default_factory=TuningSection)
     serving: ServingSection = field(default_factory=ServingSection)
     server: ServerSection = field(default_factory=ServerSection)
+    stream: StreamSection = field(default_factory=StreamSection)
     distributed: DistributedSection = field(default_factory=DistributedSection)
     obs: ObsSection = field(default_factory=ObsSection)
     provenance: Mapping[str, str] = field(default_factory=dict, compare=False)
@@ -778,3 +803,15 @@ def _validate(config: RuntimeConfig) -> None:
         raise ValueError("server.max_batch must be >= 1")
     if not config.server.host:
         raise ValueError("server.host must be non-empty")
+    if config.stream.max_updates < 1:
+        raise ValueError("stream.max_updates must be >= 1")
+    if not (0.0 < config.stream.max_fraction <= 1.0):
+        raise ValueError("stream.max_fraction must be in (0, 1]")
+    if config.stream.residual_tol < 0:
+        raise ValueError("stream.residual_tol must be >= 0 (0 disables)")
+    if config.stream.sample_size < 1:
+        raise ValueError("stream.sample_size must be >= 1")
+    if config.stream.recompress not in ("auto", "force", "off"):
+        raise ValueError(
+            f"stream.recompress must be 'auto', 'force' or 'off', got "
+            f"{config.stream.recompress!r}")

@@ -284,6 +284,10 @@ class ServerApp:
                 return "/models/<name>/refit", \
                     (self._handle_refit if method == "POST" else None), \
                     {"name": name}
+            if action == "update":
+                return "/models/<name>/update", \
+                    (self._handle_update if method == "POST" else None), \
+                    {"name": name}
         if parts == ["v1", "predict"]:
             return "/v1/predict", \
                 (self._handle_predict if method == "POST" else None), {}
@@ -297,7 +301,8 @@ class ServerApp:
             "endpoints": ["/healthz", "/readyz", "/metrics", "/models",
                           "/models/<name>", "/models/<name>/versions",
                           "POST /models/<name>/swap",
-                          "POST /models/<name>/refit", "POST /v1/predict"],
+                          "POST /models/<name>/refit",
+                          "POST /models/<name>/update", "POST /v1/predict"],
         })
 
     async def _handle_healthz(self, request: HttpRequest) -> HttpResponse:
@@ -355,6 +360,58 @@ class ServerApp:
             raise HttpError(400, f"bad lam value: {payload['lam']!r}")
         result = await self._loop.run_in_executor(
             self._executor, self.router.refit, name, lam)
+        return HttpResponse.json(result)
+
+    async def _handle_update(self, request: HttpRequest,
+                             name: str) -> HttpResponse:
+        """Streaming update: Woodbury ``partial_fit`` + hot-swap.
+
+        Body: ``{"add": {"X": [[...]], "y": [...]}, "remove": [i, ...],
+        "recompress": "auto"|"force"|"off", "wait": bool}`` — at least
+        one of ``add``/``remove`` is required.
+        """
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "update requires a JSON object body")
+        add = payload.get("add")
+        remove = payload.get("remove")
+        if not add and not remove:
+            raise HttpError(
+                400, 'update requires "add" ({"X": ..., "y": ...}) '
+                     'and/or "remove" ([indices])')
+        X_new = y_new = None
+        if add:
+            if not isinstance(add, dict) or "X" not in add or "y" not in add:
+                raise HttpError(
+                    400, '"add" must be an object with "X" and "y"')
+            try:
+                X_new = np.asarray(add["X"], dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f'add.X is not numeric: {exc}')
+            if X_new.ndim == 1:
+                X_new = X_new[None, :]
+            y_new = np.asarray(add["y"])
+            if X_new.shape[0] > self.max_batch:
+                raise HttpError(
+                    413, f"update of {X_new.shape[0]} rows exceeds "
+                         f"server.max_batch={self.max_batch}; split it")
+        if remove is not None:
+            try:
+                remove = [int(i) for i in remove]
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f'"remove" must be a list of row '
+                                     f'indices: {exc}')
+        recompress = payload.get("recompress")
+        if recompress is not None and recompress not in ("auto", "force",
+                                                         "off"):
+            raise HttpError(400, f'"recompress" must be "auto", "force" or '
+                                 f'"off", got {recompress!r}')
+        result = await self._loop.run_in_executor(
+            self._executor,
+            functools.partial(self.router.update, name, X_new=X_new,
+                              y_new=y_new, remove=remove,
+                              recompress=recompress,
+                              wait=bool(payload.get("wait", False))))
         return HttpResponse.json(result)
 
     def _resolve_model_name(self, payload: Dict) -> str:

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..hss.streaming import DriftBudget
 from ..obs import RequestTrail, global_registry
 from ..serving import ModelStore, PredictionEngine, PredictionService
 
@@ -110,7 +111,13 @@ class ModelRouter:
                  workers: Optional[int] = None,
                  shards: Optional[int] = None,
                  drain_timeout: float = 10.0,
-                 trail_size: int = 4096):
+                 trail_size: int = 4096,
+                 stream_budget: Optional[DriftBudget] = None,
+                 recompress_mode: str = "auto"):
+        if recompress_mode not in ("auto", "force", "off"):
+            raise ValueError(
+                f"recompress_mode must be 'auto', 'force' or 'off', "
+                f"got {recompress_mode!r}")
         self.store = store
         self.batch_size = int(batch_size)
         self.cache_size = int(cache_size)
@@ -120,7 +127,11 @@ class ModelRouter:
         self.shards = shards
         self.drain_timeout = float(drain_timeout)
         self.trail_size = int(trail_size)
+        self.stream_budget = stream_budget
+        self.recompress_mode = recompress_mode
         self._entries: Dict[str, _ModelEntry] = {}
+        self._recompressing: Dict[str, threading.Thread] = {}
+        self._recompress_results: Dict[str, Dict[str, object]] = {}
         self._registry_lock = threading.Lock()
         reg = global_registry()
         self._m_predictions = reg.counter(
@@ -157,6 +168,14 @@ class ModelRouter:
         ModelRouter
             The configured router (no models served yet).
         """
+        stream = getattr(config, "stream", None)
+        budget, mode = None, "auto"
+        if stream is not None:
+            budget = DriftBudget(max_updates=stream.max_updates,
+                                 max_fraction=stream.max_fraction,
+                                 residual_tol=stream.residual_tol,
+                                 sample_size=stream.sample_size)
+            mode = stream.recompress
         return cls(store if store is not None
                    else ModelStore.from_config(config),
                    batch_size=config.serving.batch_size,
@@ -165,7 +184,9 @@ class ModelRouter:
                    batch_window=config.serving.batch_window,
                    workers=config.distributed.workers,
                    shards=config.distributed.shards,
-                   drain_timeout=config.server.drain_timeout)
+                   drain_timeout=config.server.drain_timeout,
+                   stream_budget=budget,
+                   recompress_mode=mode)
 
     # ------------------------------------------------------------- generations
     def _build_generation(self, name: str, trail: RequestTrail) -> _Generation:
@@ -315,6 +336,138 @@ class ModelRouter:
         result["lam"] = float(lam)
         return result
 
+    def update(self, name: str, X_new=None, y_new=None, remove=None,
+               recompress: Optional[str] = None,
+               wait: bool = False) -> Dict[str, object]:
+        """Stream rows into/out of ``name`` and hot-swap to the result.
+
+        The stored model is loaded, :meth:`~repro.krr.KernelRidgeClassifier.partial_fit`
+        applies the removals and appended rows as a Woodbury correction
+        (no recompression), the streamed artifact is re-saved (bumping
+        the store revision) and traffic flips to it via :meth:`swap` —
+        the cost of picking up new data is one capacitance solve, not a
+        cold fit.  When the router's :class:`repro.hss.DriftBudget` is
+        breached (or ``recompress="force"``), a *background* cold refit
+        of the effective training set is scheduled; once it lands, the
+        store revision bumps again and a second hot-swap publishes the
+        recompressed model — serving continues on the corrected
+        (slightly slower) model in the meantime, with zero dropped
+        requests at either flip.
+
+        Parameters
+        ----------
+        name:
+            Served model to update.
+        X_new, y_new:
+            Rows (and their labels) to append, or ``None``.
+        remove:
+            Indices into the model's current training ordering to drop.
+        recompress:
+            ``"auto"`` (recompress only on budget breach, the default
+            from the ``[stream]`` config), ``"force"`` or ``"off"``.
+        wait:
+            Block until a scheduled recompression (and its swap)
+            completed instead of returning while it runs.
+
+        Returns
+        -------
+        dict
+            The :meth:`swap` result plus ``"stream"`` (drift bookkeeping
+            of the applied update) and ``"recompress"`` (whether a
+            background recompression was scheduled / completed).
+        """
+        mode = self.recompress_mode if recompress is None else recompress
+        if mode not in ("auto", "force", "off"):
+            raise RouterError(
+                f"recompress must be 'auto', 'force' or 'off', got {mode!r}")
+        self._entry(name)  # must already be served
+        model = self.store.load(name)
+        partial_fit = getattr(model, "partial_fit", None)
+        if partial_fit is None:
+            raise RouterError(
+                f"model {name!r} does not support streaming updates")
+        X_arr = None if X_new is None else np.asarray(X_new, dtype=np.float64)
+        y_arr = None if y_new is None else np.asarray(y_new)
+        partial_fit(X_new=X_arr, y_new=y_arr, remove=remove,
+                    budget=self.stream_budget)
+        info = dict(getattr(model, "stream_info_", None) or {})
+        record = self.store.record(name)
+        meta = dict(record.metadata)
+        meta["streamed"] = True
+        self.store.save(model, name, metadata=meta, overwrite=True)
+        result = self.swap(name)
+        result["stream"] = info
+        should = mode == "force" or (mode == "auto"
+                                     and bool(info.get("breached")))
+        if should:
+            result["recompress"] = self._schedule_recompress(name, wait=wait)
+        else:
+            result["recompress"] = {"mode": mode, "scheduled": False}
+        result["recompress"]["mode"] = mode
+        return result
+
+    def recompress(self, name: str, wait: bool = False) -> Dict[str, object]:
+        """Schedule a background recompression of ``name`` (see :meth:`update`).
+
+        Parameters
+        ----------
+        name:
+            Served model to recompress.
+        wait:
+            Block until the recompression and its hot-swap completed.
+
+        Returns
+        -------
+        dict
+            ``{"scheduled", "running"}`` plus, once finished (always
+            when ``wait``), the completed job's swap result or error.
+        """
+        self._entry(name)  # must already be served
+        return self._schedule_recompress(name, wait=wait)
+
+    def _schedule_recompress(self, name: str, wait: bool) -> Dict[str, object]:
+        """Start (or join) the single in-flight recompress job of ``name``."""
+        with self._registry_lock:
+            thread = self._recompressing.get(name)
+            started = thread is None or not thread.is_alive()
+            if started:
+                self._recompress_results.pop(name, None)
+                thread = threading.Thread(
+                    target=self._recompress_job, args=(name,),
+                    name=f"repro-server-recompress-{name}", daemon=True)
+                self._recompressing[name] = thread
+        if started:
+            thread.start()
+        if wait:
+            thread.join()
+        result: Dict[str, object] = {"scheduled": started,
+                                     "running": thread.is_alive()}
+        done = self._recompress_results.get(name)
+        if done is not None and not thread.is_alive():
+            result.update(done)
+        return result
+
+    def _recompress_job(self, name: str) -> None:
+        """Background worker: cold-refit the effective data and hot-swap."""
+        try:
+            model = self.store.load(name)
+            recompress = getattr(model, "recompress", None)
+            if recompress is None:
+                raise RouterError(
+                    f"model {name!r} does not support recompress()")
+            recompress()
+            record = self.store.record(name)
+            meta = dict(record.metadata)
+            meta.pop("streamed", None)
+            meta["recompressed"] = True
+            self.store.save(model, name, metadata=meta, overwrite=True)
+            swap = self.swap(name)
+            self._recompress_results[name] = {"status": "completed",
+                                              "swap": swap}
+        except Exception as exc:  # noqa: BLE001 - surfaced via results dict
+            self._recompress_results[name] = {"status": "failed",
+                                              "error": str(exc)}
+
     def stop(self, name: str) -> None:
         """Stop serving ``name`` (drains the active generation).
 
@@ -462,8 +615,12 @@ class ModelRouter:
         with entry.lock:
             generation = entry.active
             draining = sum(1 for t in entry.draining if t.is_alive())
+        with self._registry_lock:
+            job = self._recompressing.get(name)
+        recompressing = job is not None and job.is_alive()
         if generation is None:
-            return {"model": name, "status": "stopped", "draining": draining}
+            return {"model": name, "status": "stopped", "draining": draining,
+                    "recompressing": recompressing}
         stats = generation.service.stats()
         try:
             latest = self.store.latest(name).revision
@@ -478,6 +635,7 @@ class ModelRouter:
             "latest_revision": latest,
             "swap_available": latest > generation.revision,
             "draining": draining,
+            "recompressing": recompressing,
             "stats": {
                 "completed": stats.completed,
                 "failed": stats.failed,

@@ -441,23 +441,45 @@ def _json_safe_seed(seed) -> Optional[object]:
     return seed if isinstance(seed, (bool, int, float, str, type(None))) else None
 
 
+def _stream_arrays(solver: KernelSystemSolver) -> Dict[str, np.ndarray]:
+    """Streaming-state section (``stream.*``) of a solver with live
+    Woodbury corrections; empty when the solver never streamed (or the
+    corrections net out to nothing).  The stored base factors describe
+    ``stream.X_base``; ``stream.kept`` + ``stream.X_add`` rebuild the
+    effective training set on load."""
+    stream = getattr(solver, "stream", None)
+    if stream is None or not stream.active:
+        return {}
+    return {
+        "stream.kept": np.asarray(stream.kept_indices, dtype=np.int64),
+        "stream.X_add": np.asarray(stream.state_arrays()["X_add"],
+                                   dtype=np.float64),
+        "stream.X_base": np.asarray(stream.X_base, dtype=np.float64),
+    }
+
+
 def _solver_arrays(solver: Optional[KernelSystemSolver],
                    include_factorization: bool):
     """Per-solver persisted state: (state tag, extra config, arrays)."""
     if solver is None or not include_factorization:
         return "none", {}, {}
+    stream_arrays = _stream_arrays(solver)
+    stream_cfg = {"streaming": True} if stream_arrays else {}
     if isinstance(solver, HSSSolver) and solver.hss_ is not None:
         arrays = hss_to_arrays(solver.hss_)
         if solver.factorization_ is not None:
             arrays.update(ulv_to_arrays(solver.factorization_))
+        arrays.update(stream_arrays)
         # Whether the stored generators are λ-free (current trainers) or
         # carry the baked-in shift (legacy artifacts); refit() consults
         # this so it never double-shifts an old compression.
         lam_free = bool(getattr(solver, "_hss_lam_free", False))
-        return "hss", {"hss_lam_free": lam_free}, arrays
+        return "hss", {"hss_lam_free": lam_free, **stream_cfg}, arrays
     if isinstance(solver, DenseSolver) and hasattr(solver, "_cho"):
         c, lower = solver._cho
-        return "dense", {"cho_lower": bool(lower)}, {"solver.cho_c": np.asarray(c)}
+        arrays = {"solver.cho_c": np.asarray(c)}
+        arrays.update(stream_arrays)
+        return "dense", {"cho_lower": bool(lower), **stream_cfg}, arrays
     if isinstance(solver, CGSolver):
         max_iter = solver.max_iter
         return "cg", {"cg_tol": solver.tol,
@@ -474,9 +496,45 @@ def _solver_arrays(solver: Optional[KernelSystemSolver],
         # rather than an inconsistent one.
         factors = solver.factors if solver._fitted else None
     if factors is not None:
-        return ("sharded", {"shards": int(factors.plan.n_shards)},
-                factors.to_arrays(prefix="dist."))
+        arrays = factors.to_arrays(prefix="dist.")
+        arrays.update(stream_arrays)
+        return ("sharded",
+                {"shards": int(factors.plan.n_shards), **stream_cfg},
+                arrays)
     return "none", {}, {}
+
+
+def _attach_stream(solver: KernelSystemSolver, config: Dict[str, object],
+                   arrays: Dict[str, np.ndarray], X_train: np.ndarray,
+                   kernel: Kernel) -> KernelSystemSolver:
+    """Reattach the streaming layer of a restored solver.
+
+    Every factor-carrying restored solver gets a streaming context so
+    ``partial_fit`` works offline on reloaded artifacts; artifacts saved
+    with live corrections (``streaming`` config flag) additionally
+    rehydrate the correction state, with the base factors applying to the
+    stored ``stream.X_base`` rather than the effective training set.
+    """
+    if not getattr(solver, "_fitted", False):
+        return solver
+    if config.get("streaming"):
+        try:
+            X_base = np.asarray(arrays["stream.X_base"], dtype=np.float64)
+            kept = np.asarray(arrays["stream.kept"], dtype=np.intp)
+            X_add = np.asarray(arrays["stream.X_add"], dtype=np.float64)
+        except KeyError as exc:
+            raise ArtifactError(
+                f"artifact flags streaming state but is missing {exc}"
+            ) from exc
+        solver._stream_context = (X_base, kernel)
+        if isinstance(solver, DenseSolver):
+            # Dense refits rebuild the kernel matrix from the *base* rows
+            # (the Cholesky factor is over X_base, not the effective set).
+            solver._refit_context = (X_base, kernel)
+        solver._ensure_stream().restore_state(kept, X_add)
+    else:
+        solver._stream_context = (X_train, kernel)
+    return solver
 
 
 def _restore_solver(config: Dict[str, object], arrays: Dict[str, np.ndarray],
@@ -492,7 +550,7 @@ def _restore_solver(config: Dict[str, object], arrays: Dict[str, np.ndarray],
                 f"corrupted sharded-factor payload: {exc}") from exc
         solver = ShardedULVSolver(factors)
         solver.lam_ = lam
-        return solver
+        return _attach_stream(solver, config, arrays, X_train, kernel)
     if state == "hss":
         hss = hss_from_arrays(arrays, tree)
         solver = HSSSolver(seed=config.get("seed"))
@@ -503,7 +561,7 @@ def _restore_solver(config: Dict[str, object], arrays: Dict[str, np.ndarray],
             solver.factorization_ = ulv_from_arrays(arrays, hss)
         solver._fitted = solver.factorization_ is not None
         solver.lam_ = lam
-        return solver
+        return _attach_stream(solver, config, arrays, X_train, kernel)
     if state == "dense":
         solver = DenseSolver()
         solver._cho = (np.asarray(arrays["solver.cho_c"], dtype=np.float64),
@@ -513,7 +571,7 @@ def _restore_solver(config: Dict[str, object], arrays: Dict[str, np.ndarray],
         # The λ-free kernel matrix is not persisted; refit() rebuilds it
         # lazily from the stored training points.
         solver._refit_context = (X_train, kernel)
-        return solver
+        return _attach_stream(solver, config, arrays, X_train, kernel)
     if state == "cg":
         max_iter = config.get("cg_max_iter")
         solver = CGSolver(tol=float(config.get("cg_tol", 1e-6)),

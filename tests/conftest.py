@@ -1,6 +1,8 @@
-"""Shared pytest fixtures for the test suite."""
+"""Shared pytest fixtures and timing helpers for the test suite."""
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
@@ -16,6 +18,40 @@ from repro.parallel import resolve_workers
 #: default-configured solver/pipeline in the suite run its threaded paths
 #: when the variable is set (the CI matrix sets ``REPRO_WORKERS=2``).
 SUITE_WORKERS = resolve_workers(None)
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.01,
+               message: str = "condition not met in time"):
+    """Poll ``predicate`` until it is truthy or ``timeout`` elapses.
+
+    The suite's replacement for fixed ``time.sleep(...)`` synchronization:
+    it returns as soon as the condition holds (fast on quick machines) and
+    only fails after a generous deadline (robust on slow / loaded CI), so
+    timing-dependent tests neither flake nor waste wall-clock.
+
+    Parameters
+    ----------
+    predicate:
+        Zero-argument callable; its last return value is also returned.
+    timeout:
+        Seconds before giving up and asserting.
+    interval:
+        Seconds between polls.
+    message:
+        Assertion message on timeout.
+
+    Returns
+    -------
+    The first truthy value the predicate produced.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"{message} (after {timeout:.1f}s)")
+        time.sleep(interval)
 
 
 @pytest.fixture(scope="session")

@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 import pytest
+from conftest import wait_until
 
 from repro.clustering import cluster
 from repro.config import HSSOptions
@@ -280,10 +281,9 @@ def test_worker_crash_fails_fast_without_orphans(clustered_tree):
         elapsed = time.monotonic() - t0
         assert elapsed < 60.0, f"fail-fast took {elapsed:.1f}s"
         # No orphaned processes: the failed session tears everything down.
-        deadline = time.monotonic() + 10.0
-        while any(p.is_alive() for p in processes) \
-                and time.monotonic() < deadline:
-            time.sleep(0.05)
+        wait_until(lambda: not any(p.is_alive() for p in processes),
+                   timeout=10.0, interval=0.05,
+                   message="worker processes were orphaned")
         assert not any(p.is_alive() for p in processes)
         assert grid._workers == []
         assert not grid.running

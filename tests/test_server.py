@@ -28,6 +28,7 @@ import urllib.request
 
 import numpy as np
 import pytest
+from conftest import wait_until
 
 from repro.datasets import gaussian_mixture
 from repro.krr import KernelRidgeClassifier
@@ -219,13 +220,18 @@ def test_hot_swap_under_load_zero_failures(server, store, fitted):
 
     client = threading.Thread(target=hammer, daemon=True)
     client.start()
-    time.sleep(0.3)  # let traffic build on revision 1
+    # let traffic build on revision 1
+    wait_until(lambda: len(served_versions) >= 5 or failures,
+               message="no traffic reached revision 1")
     store.save(clf, MODEL, overwrite=True)  # publish revision 2
     status, body, _ = _post(f"{url}/models/{MODEL}/swap", {"wait": True})
     assert status == 200
     assert body == {"model": MODEL, "old_revision": 1, "new_revision": 2,
                     "swapped": True}
-    time.sleep(0.3)  # traffic on revision 2
+    # traffic on revision 2
+    wait_until(lambda: failures or (served_versions
+                                    and served_versions[-1] == 2),
+               message="no traffic reached revision 2")
     stop.set()
     client.join(30.0)
     assert not client.is_alive()
@@ -304,7 +310,9 @@ def test_admission_control_sheds_load_with_429(store, fitted):
 
         first = threading.Thread(target=client, daemon=True)
         first.start()
-        time.sleep(0.3)  # first request is now in flight (max_queue=1)
+        # first request is now in flight (max_queue=1)
+        wait_until(lambda: app._inflight >= 1,
+                   message="first request never entered flight")
         status, body, headers = _post(f"{url}/v1/predict",
                                       {"inputs": X[:1].tolist()})
         assert status == 429
@@ -323,6 +331,66 @@ def test_admission_control_sheds_load_with_429(store, fitted):
         rejected = [value for key, value in parse_prometheus(text).items()
                     if key.startswith("repro_server_rejected_total")]
         assert rejected and max(rejected) >= 1
+
+
+# ------------------------------------------------------------ drain contract
+def test_drain_flips_readyz_while_inflight_completes(store, fitted):
+    """The graceful-drain contract: once shutdown is requested (SIGTERM /
+    request_shutdown), ``/readyz`` reports 503 so load balancers stop
+    routing, while every predict admitted *before* the drain began still
+    completes successfully."""
+    X, _, clf = fitted
+    with _running_app(_make_config(store), store) as (app, url):
+        host, port = url.removeprefix("http://").split(":")
+        # A keep-alive connection opened before the drain: the listener
+        # stops accepting new connections during shutdown, so this is the
+        # vantage point from which the 503 readiness flip is observable.
+        conn = http.client.HTTPConnection(host, int(port), timeout=10.0)
+        conn.request("GET", "/healthz")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        resp.read()
+
+        # Hold one admitted predict in flight until released.
+        release = threading.Event()
+        original = app.router.predict
+
+        def gated_predict(name, Xq, timeout=None):
+            assert release.wait(10.0), "gate never released"
+            return original(name, Xq, timeout)
+
+        app.router.predict = gated_predict
+        results = []
+
+        def client():
+            results.append(_post(f"{url}/v1/predict",
+                                 {"inputs": X[:2].tolist()}))
+
+        inflight = threading.Thread(target=client, daemon=True)
+        inflight.start()
+        wait_until(lambda: app._inflight >= 1,
+                   message="predict never entered flight")
+
+        app.request_shutdown()  # same path as SIGTERM
+        wait_until(lambda: app._shutting_down,
+                   message="drain never began")
+
+        # Readiness flips to 503 while the admitted request still runs.
+        conn.request("GET", "/readyz")
+        resp = conn.getresponse()
+        body = json.loads(resp.read())
+        conn.close()
+        assert resp.status == 503
+        assert body["status"] == "draining"
+        assert app._inflight >= 1  # the admitted predict is still in flight
+
+        # ... and that request completes successfully once unblocked.
+        release.set()
+        inflight.join(15.0)
+        assert not inflight.is_alive()
+        assert results and results[0][0] == 200
+        assert np.array_equal(np.asarray(results[0][1]["predictions"]),
+                              clf.predict(X[:2]))
 
 
 # -------------------------------------------------------------- error paths

@@ -125,23 +125,34 @@ def test_lock_serializes_in_process(tmp_path):
     fcntl = pytest.importorskip("fcntl")
     del fcntl
     import threading
-    import time
 
     lock_path = str(tmp_path / LOCK_FILENAME)
     order = []
+    acquired = threading.Event()
+    release = threading.Event()
 
     def hold_then_release():
         with _exclusive_lock(lock_path):
             order.append("first-acquired")
-            time.sleep(0.3)
+            acquired.set()
+            assert release.wait(10.0), "release signal never arrived"
             order.append("first-released")
 
-    t = threading.Thread(target=hold_then_release)
-    t.start()
-    time.sleep(0.1)  # let the thread take the lock
-    with _exclusive_lock(lock_path):
-        order.append("second-acquired")
-    t.join()
+    def second_acquirer():
+        with _exclusive_lock(lock_path):
+            order.append("second-acquired")
+
+    holder = threading.Thread(target=hold_then_release)
+    holder.start()
+    assert acquired.wait(10.0), "first thread never took the lock"
+    second = threading.Thread(target=second_acquirer)
+    second.start()
+    # The lock is released only after "first-released" is recorded, so
+    # the ordering assertion below is deterministic — no timing window.
+    release.set()
+    holder.join(10.0)
+    second.join(10.0)
+    assert not holder.is_alive() and not second.is_alive()
     assert order == ["first-acquired", "first-released", "second-acquired"]
 
 
