@@ -77,6 +77,8 @@ def _serial_sweep(problem):
             t1 = time.perf_counter()
             solver.refit(lam)
             refit_seconds.append(time.perf_counter() - t1)
+        serial_counts = {"kernel_constructions": solver.compression_count,
+                         "refits": solver.report.refits}
         assert solver.compression_count == 1, \
             "serial λ sweep must not recompress"
         assert solver.report.refits == len(LAMBDAS) - 1
@@ -94,7 +96,7 @@ def _serial_sweep(problem):
         cold.close()
     assert np.array_equal(w_refit, w_cold), \
         "serial refit must be bitwise equal to a cold fit at the same λ"
-    return cold_fit_s, cold_last_s, refit_seconds
+    return cold_fit_s, cold_last_s, refit_seconds, serial_counts
 
 
 def _warm_grid_sweep(problem):
@@ -119,6 +121,8 @@ def _warm_grid_sweep(problem):
             "warm-grid λ sweep must spawn zero new processes"
         assert solver.compression_count == 1, \
             "warm-grid λ sweep must not recompress"
+        results["kernel_constructions"] = solver.compression_count
+        results["refits"] = len(LAMBDAS) - 1
         results["refit_seconds"] = refit_seconds
         w_refit = solver.solve(rhs).copy()
         solver.close()
@@ -142,7 +146,8 @@ def _warm_grid_sweep(problem):
 def test_lambda_sweep_refit_speedup(benchmark, sweep_problem):
     X_perm, tree, kernel, hss_opts, h_opts, rhs = sweep_problem
 
-    cold_fit_s, cold_last_s, serial_refits = _serial_sweep(sweep_problem)
+    cold_fit_s, cold_last_s, serial_refits, serial_counts = \
+        _serial_sweep(sweep_problem)
     serial_refit_s = min(serial_refits)
     serial_speedup = cold_last_s / serial_refit_s
 
@@ -171,6 +176,10 @@ def test_lambda_sweep_refit_speedup(benchmark, sweep_problem):
             "serial_refit_s": round(serial_refit_s, 4),
             "serial_refit_speedup": round(serial_speedup, 3),
             "serial_sweep_refit_total_s": round(sum(serial_refits), 4),
+            "serial_kernel_constructions": serial_counts["kernel_constructions"],
+            "serial_refits": serial_counts["refits"],
+            "grid_kernel_constructions": dist["kernel_constructions"],
+            "grid_refits": dist["refits"],
             "grid_cold_fit_s": round(dist["cold_fit_s"], 4),
             "grid_cold_last_s": round(dist["cold_last_s"], 4),
             "grid_refit_s": round(dist_refit_s, 4),

@@ -37,9 +37,26 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
     parser.add_argument(
         "--budget", type=int, default=argparse.SUPPRESS,
         help="sets tuning.budget (random / bandit evaluation count)")
+    parser.add_argument(
+        "--cv", type=int, default=argparse.SUPPRESS,
+        help="sets tuning.cv: K>1 scores configurations by K-fold "
+             "cross-validation on the training set (fold-removal "
+             "multi-RHS solves on the shared factorization) instead of "
+             "the held-out validation split")
+    parser.add_argument(
+        "--lam-sweep", type=int, default=argparse.SUPPRESS,
+        help="sets tuning.lam_sweep (λ values batched per sampled h in "
+             "random search)")
+    parser.add_argument(
+        "--cost-aware", choices=("true", "false"), default=argparse.SUPPRESS,
+        help="sets tuning.cost_aware (bandit divides success rate by "
+             "observed move cost: λ-refit < recompression < cold build)")
     parser.set_defaults(func=run,
                         extra_flag_keys={"strategy": "tuning.strategy",
-                                         "budget": "tuning.budget"})
+                                         "budget": "tuning.budget",
+                                         "cv": "tuning.cv",
+                                         "lam_sweep": "tuning.lam_sweep",
+                                         "cost_aware": "tuning.cost_aware"})
     return parser
 
 
@@ -56,7 +73,8 @@ def _make_searcher(config):
         return RandomSearch(space, budget=t.budget, seed=t.seed,
                             lam_sweep=t.lam_sweep)
     if t.strategy == "bandit":
-        return BanditTuner(space, budget=t.budget, seed=t.seed)
+        return BanditTuner(space, budget=t.budget, seed=t.seed,
+                           cost_aware=t.cost_aware)
     raise CLIError(f"unknown tuning strategy {t.strategy!r}")
 
 
@@ -88,23 +106,33 @@ def run(args: argparse.Namespace) -> int:
     result = searcher.optimize(objective)
 
     best = result.best_config
+    moves = objective.move_counts
     payload = {
         "strategy": t.strategy,
         "evaluations": result.evaluations,
         "kernel_constructions": objective.kernel_constructions,
         "refits": result.refits,
+        "cv": int(t.cv),
+        "moves": {"cold": moves.get("cold", 0),
+                  "h_move": moves.get("h_move", 0),
+                  "lam_move": moves.get("lam_move", 0)},
+        "cache_hits": sum(1 for r in objective.records if r.reused_kernel),
         "best": {"h": float(best["h"]), "lam": float(best["lam"]),
                  "validation_accuracy": float(result.best_value)},
         "n_train": int(X_tr.shape[0]),
         "n_val": int(X_val.shape[0]),
     }
+    score_name = (f"{t.cv}-fold CV accuracy" if t.cv > 1
+                  else "validation accuracy")
     human = [
         f"tune[{t.strategy}] on {config.dataset.name}: "
         f"{result.evaluations} evaluations, "
         f"{objective.kernel_constructions} kernel builds, "
         f"{result.refits} λ-only refits",
+        f"moves: {moves.get('cold', 0)} cold / {moves.get('h_move', 0)} "
+        f"h-moves (recompression) / {moves.get('lam_move', 0)} λ-moves",
         f"best h={best['h']:.4g} lam={best['lam']:.4g} "
-        f"validation accuracy={100 * result.best_value:.2f}%",
+        f"{score_name}={100 * result.best_value:.2f}%",
         "apply with: repro refit --lam "
         f"{best['lam']:.6g}   (or retrain: repro train --h {best['h']:.6g} "
         f"--lam {best['lam']:.6g})",

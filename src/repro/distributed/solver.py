@@ -271,6 +271,45 @@ class DistributedSolver(KernelSystemSolver):
             "(collect_factors=False); a full fit is required to change "
             "lambda")
 
+    # ---------------------------------------------------------- kernel refit
+    def _refit_kernel_impl(self, kernel, lam: float) -> None:
+        # Kernel moves need the live grid: the coupling blocks are
+        # kernel-dependent (unlike a λ-refit), so the workers must redo
+        # their numerics + coupling round.  The resident local trees and
+        # admissibility partitions are reused — no process is spawned and
+        # no geometry is recomputed.
+        if self.coordinator_ is None or not self.coordinator_.current:
+            # Grid down (close() after training) or reused by a newer
+            # fit: the collected factors cannot express a kernel change,
+            # so rebuild distributed from the retained context — a fresh
+            # fit of the new kernel, trivially identical to a cold one.
+            context = getattr(self, "_stream_context", None)
+            if context is None or self.plan_ is None:
+                raise RuntimeError(
+                    "distributed workers are not running and no training "
+                    "context was retained; a full fit is required to "
+                    "change the kernel")
+            X_permuted, _ = context
+            self._fit_impl(X_permuted, self.plan_.tree, kernel, lam)
+            return
+        info = self.coordinator_.recompress(kernel, lam=lam)
+        self.compression_count += 1
+        if self.collect_factors:
+            # Both the HSS generators and the ULV payload changed: a full
+            # re-collect is required (refresh_factors only ships ulv.*).
+            self.factors_ = self.coordinator_.collect_factors()
+            self._local_solver = None
+        self._stream_context = (self._stream_context[0], kernel) \
+            if getattr(self, "_stream_context", None) is not None else None
+        self.report.timings = dict(info["timings"])
+        self.report.hss_memory_mb = float(info["hss_memory_mb"])
+        self.report.hmatrix_memory_mb = float(info["hmatrix_memory_mb"])
+        self.report.memory_mb = (float(info["hss_memory_mb"])
+                                 + float(info["hmatrix_memory_mb"])
+                                 + float(info["coupling_memory_mb"]))
+        self.report.max_rank = int(info["max_rank"])
+        self.report.random_vectors = int(info["random_vectors"])
+
     # ----------------------------------------------------------------- solve
     def _solve_impl(self, y: np.ndarray) -> np.ndarray:
         # The live path requires the coordinator's fit to still be the

@@ -157,12 +157,31 @@ class _ShardState:
         self.z: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ fit
-    def fit(self, spec: FitSpec) -> Tuple[dict, Dict[str, np.ndarray]]:
+    def fit(self, spec: FitSpec,
+            reuse_structure: bool = False
+            ) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Full local build; with ``reuse_structure`` the h-move variant.
+
+        ``reuse_structure=True`` serves the ``recompress`` command: the
+        resident compression's kernel-independent skeleton (local tree
+        geometry + H-matrix admissibility partition) is kept and only the
+        kernel-dependent numerics and coupling blocks are redone.  The
+        sampling stream is re-derived from ``(seed, shard_id)`` exactly
+        like a cold fit, so the result is bitwise identical to fitting
+        the new kernel cold on this grid.
+        """
         cfg = self.config
         from ..serving.serialize import kernel_from_spec
         kernel = kernel_from_spec(spec.kernel_spec)
         X_local = self.X[self.start:self.stop]
         log = TimingLog()
+
+        structure = None
+        if reuse_structure:
+            if self.compressed is None:
+                raise RuntimeError(
+                    "worker received 'recompress' before 'fit'")
+            structure = self.compressed.structure
 
         # Refitting replaces all per-fit state; stale coupling factors of a
         # previous fit must not leak into the new capacitance system, and
@@ -189,7 +208,8 @@ class _ShardState:
             hss_options=spec.hss_options,
             hmatrix_options=spec.hmatrix_options,
             use_hmatrix_sampling=spec.use_hmatrix_sampling,
-            seed=rng, timing=log, executor=self.executor)
+            seed=rng, timing=log, executor=self.executor,
+            structure=structure)
         hss = self.compressed.hss
         stats_random_vectors = self.compressed.report.random_vectors
         hmatrix_memory_mb = self.compressed.report.hmatrix_memory_mb
@@ -215,6 +235,7 @@ class _ShardState:
             "coupling_ranks": coupling_ranks,
             "n_local": self.stop - self.start,
             "recompressed": True,
+            "structure_reused": structure is not None,
         }
         return info, arrays
 
@@ -393,6 +414,12 @@ def worker_main(config: WorkerConfig, x_spec: ArraySpec,
                     # Ship the worker's *cumulative* telemetry with every
                     # reply that carries a report; the coordinator absorbs
                     # with replace semantics, so this never double-counts.
+                    info["metrics"] = global_registry().local_snapshot()
+                    response.send("fitted", info, arrays=out)
+                elif tag == "recompress":
+                    # Kernel change on a warm grid: keep the resident
+                    # structural skeleton, redo numerics + coupling.
+                    info, out = state.fit(payload, reuse_structure=True)
                     info["metrics"] = global_registry().local_snapshot()
                     response.send("fitted", info, arrays=out)
                 elif tag == "refit":

@@ -37,6 +37,9 @@ class Fig6Result:
     kernel_constructions: Dict[str, int] = field(default_factory=dict)
     #: per-strategy count of evaluations that rode the refit path
     refits: Dict[str, int] = field(default_factory=dict)
+    #: per-strategy evaluation counts by move cost class
+    #: (``cold`` / ``h_move`` / ``lam_move``, see docs/tuning.md)
+    moves: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: measured wall-clock of one cold HSS fit at the best configuration
     cold_fit_seconds: float = 0.0
     #: measured wall-clock of the λ-only refit reaching the same λ
@@ -57,11 +60,14 @@ class Fig6Result:
             if result is None:
                 continue
             key = "bandit" if name == "opentuner-like" else name
+            moves = self.moves.get(key, {})
             table.add_row(
                 strategy=name,
                 evaluations=self.evaluations.get(key, result.evaluations),
                 kernel_builds=self.kernel_constructions.get(key, 0),
                 refit_evals=self.refits.get(key, result.refits),
+                h_moves=moves.get("h_move", 0),
+                lam_moves=moves.get("lam_move", 0),
                 best_accuracy_percent=round(100 * result.best_value, 2),
                 best_h=round(result.best_config.get("h", float("nan")), 4),
                 best_lambda=round(result.best_config.get("lam", float("nan")), 4),
@@ -120,6 +126,7 @@ def run_fig6_tuning(
     result.evaluations["grid"] = grid_objective.evaluations
     result.kernel_constructions["grid"] = grid_objective.kernel_constructions
     result.refits["grid"] = grid_objective.refits
+    result.moves["grid"] = grid_objective.move_counts
     grid_objective.close()
 
     # --- OpenTuner-style bandit tuner (deep enough per-h cache that the
@@ -131,6 +138,7 @@ def run_fig6_tuning(
     result.evaluations["bandit"] = bandit_objective.evaluations
     result.kernel_constructions["bandit"] = bandit_objective.kernel_constructions
     result.refits["bandit"] = bandit_objective.refits
+    result.moves["bandit"] = bandit_objective.move_counts
     bandit_objective.close()
 
     # --- plain random search (extra baseline, λ-sweeping per sampled h)
@@ -141,6 +149,7 @@ def run_fig6_tuning(
         result.evaluations["random"] = random_objective.evaluations
         result.kernel_constructions["random"] = random_objective.kernel_constructions
         result.refits["random"] = random_objective.refits
+        result.moves["random"] = random_objective.move_counts
         random_objective.close()
 
     if measure_refit:

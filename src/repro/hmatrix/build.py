@@ -69,6 +69,7 @@ def build_hmatrix(
     options: Optional[HMatrixOptions] = None,
     timing: Optional[TimingLog] = None,
     executor: Optional[BlockExecutor] = None,
+    block_tree: Optional[BlockClusterTree] = None,
 ) -> HMatrix:
     """Compress the kernel matrix of ``X_permuted`` into an H matrix.
 
@@ -92,6 +93,12 @@ def build_hmatrix(
         Optional shared :class:`repro.parallel.BlockExecutor`; callers
         running several training phases should pass one executor so the
         thread pool is reused across phases.
+    block_tree:
+        Optional pre-built :class:`repro.hmatrix.BlockClusterTree` of an
+        earlier build over the *same* ``(X_permuted, tree, options)``.  The
+        admissibility partition is purely geometric (kernel-independent),
+        so a bandwidth change can reuse it and skip the geometry pass —
+        only the block numerics are redone.
 
     Returns
     -------
@@ -106,10 +113,14 @@ def build_hmatrix(
 
     try:
         with log.phase("h_construction"):
-            geometries = cluster_geometries(X_permuted, tree)
-            btree = BlockClusterTree(tree, geometries, eta=opts.admissibility_eta,
-                                     leaf_size=opts.leaf_size,
-                                     criterion=opts.admissibility)
+            if block_tree is not None:
+                btree = block_tree
+            else:
+                geometries = cluster_geometries(X_permuted, tree)
+                btree = BlockClusterTree(tree, geometries,
+                                         eta=opts.admissibility_eta,
+                                         leaf_size=opts.leaf_size,
+                                         criterion=opts.admissibility)
             blocks = ex.map(
                 lambda block_id: _assemble_leaf(operator, btree, block_id, opts),
                 list(btree.leaves()))

@@ -32,7 +32,8 @@ from .generators import HSSNodeData
 from .hss_matrix import HSSMatrix
 from .build_dense import build_hss_from_dense
 from .build_random import build_hss_randomized, SamplingStats
-from .compressed import CompressedKernel, CompressionReport, compress_kernel
+from .compressed import (CompressedKernel, CompressionReport,
+                         CompressionStructure, compress_kernel)
 from .ulv import ULVFactorization
 from .memory import HSSStatistics
 from .streaming import DriftBudget, StreamingULVSolver
@@ -47,6 +48,7 @@ __all__ = [
     "SamplingStats",
     "CompressedKernel",
     "CompressionReport",
+    "CompressionStructure",
     "compress_kernel",
     "ULVFactorization",
     "HSSStatistics",

@@ -88,6 +88,29 @@ class _NodeFactors:
         return total
 
 
+class _SharedSweep:
+    """λ-independent elimination state shared across ridge shifts.
+
+    The left orthogonal transform of every node comes from a QR of the
+    node's row basis ``U`` — and ``U`` never sees the diagonal shift: at
+    leaves it is a stored generator, and at internal nodes it is
+    assembled from the children's (λ-independent) ``U_hat`` blocks.  One
+    instance of this cache therefore lets
+    :meth:`ULVFactorization.factor_many` compute each node's ``(Omega,
+    U_hat)`` pair and internal-``U`` assembly exactly once and reuse them
+    for every shift, while all λ-dependent quantities (the shifted
+    diagonals, the right transforms ``Q``, the triangular factors) are
+    recomputed per shift — keeping each factorization bitwise identical
+    to a sequential :meth:`ULVFactorization.factor` call.
+    """
+
+    def __init__(self):
+        #: node_id -> (omega, u_hat) from the QR of the node's U
+        self.qr: Dict[int, tuple] = {}
+        #: node_id -> assembled internal-node row basis U
+        self.u_mats: Dict[int, np.ndarray] = {}
+
+
 @dataclass
 class _SolveState:
     """Per-node right-hand-side data produced by the forward sweep."""
@@ -130,10 +153,12 @@ class ULVFactorization:
     """
 
     def __init__(self, hss: HSSMatrix, timing: Optional[TimingLog] = None,
-                 executor: Optional[BlockExecutor] = None, lam: float = 0.0):
+                 executor: Optional[BlockExecutor] = None, lam: float = 0.0,
+                 shared: Optional[_SharedSweep] = None):
         self.hss = hss
         self.lam = float(lam)
         self._executor = executor
+        self._shared = shared
         log = timing if timing is not None else TimingLog()
         with log.phase("factorization"):
             self._factor()
@@ -172,6 +197,46 @@ class ULVFactorization:
         hss = getattr(compressed, "hss", compressed)
         return cls(hss, timing=timing, executor=executor, lam=lam)
 
+    @classmethod
+    def factor_many(cls, compressed, lams,
+                    timing: Optional[TimingLog] = None,
+                    executor: Optional[BlockExecutor] = None
+                    ) -> List["ULVFactorization"]:
+        """Factor one compression at several shifts, sharing sweep setup.
+
+        The per-node left transforms (QR of the λ-free row bases) and the
+        internal-node ``U`` assemblies are computed once and reused for
+        every shift via a :class:`_SharedSweep` cache; only the genuinely
+        λ-dependent work (shifted diagonals, right transforms, triangular
+        factors, root LU) is redone per shift.  Each returned
+        factorization is **bitwise identical** to a sequential
+        :meth:`factor` call at that shift — the shared arrays are exactly
+        the values the cold path would recompute.
+
+        Parameters
+        ----------
+        compressed:
+            A :class:`repro.hss.CompressedKernel` or bare
+            :class:`repro.hss.HSSMatrix`.
+        lams:
+            Iterable of ridge shifts, factored in order.
+        timing:
+            Optional :class:`repro.utils.TimingLog`; the ``factorization``
+            phases of all shifts accumulate into it.
+        executor:
+            Optional shared :class:`repro.parallel.BlockExecutor`.
+
+        Returns
+        -------
+        list of ULVFactorization
+            One factorization per entry of ``lams``, in order.
+        """
+        hss = getattr(compressed, "hss", compressed)
+        shared = _SharedSweep()
+        return [cls(hss, timing=timing, executor=executor, lam=float(lam),
+                    shared=shared)
+                for lam in lams]
+
     @property
     def executor(self) -> BlockExecutor:
         """Executor used for the level-parallel sweeps (serial fallback).
@@ -204,10 +269,19 @@ class ULVFactorization:
             fac.g2 = V.copy()
             return fac
 
-        # 1) Omega U = [U_hat; 0]  via a full QR of U.
-        qfull, rfull = scipy.linalg.qr(U, mode="full")
-        omega = qfull.T
-        u_hat = rfull[:ru]
+        # 1) Omega U = [U_hat; 0]  via a full QR of U.  U never carries
+        # the ridge shift, so across a factor_many λ batch the QR inputs
+        # are bitwise identical — the shared cache skips the recompute.
+        shared = getattr(self, "_shared", None)
+        cached = shared.qr.get(node_id) if shared is not None else None
+        if cached is not None:
+            omega, u_hat = cached
+        else:
+            qfull, rfull = scipy.linalg.qr(U, mode="full")
+            omega = qfull.T
+            u_hat = rfull[:ru]
+            if shared is not None:
+                shared.qr[node_id] = (omega, u_hat)
         n_elim = n_loc - ru
         d_tilde = omega @ D
 
@@ -267,8 +341,18 @@ class ULVFactorization:
                     U = np.zeros((D.shape[0], 0))
                     V = np.zeros((D.shape[0], 0))
                 else:
-                    ru1 = f1.u_hat.shape[1]
-                    U = np.vstack([f1.u_hat @ d.U[:ru1], f2.u_hat @ d.U[ru1:]])
+                    # The assembled U is λ-independent (children's u_hat
+                    # come from λ-free QRs); V is not — its r["V"] factors
+                    # pass through the shift-dependent right transforms.
+                    shared = getattr(self, "_shared", None)
+                    U = shared.u_mats.get(node_id) if shared is not None \
+                        else None
+                    if U is None:
+                        ru1 = f1.u_hat.shape[1]
+                        U = np.vstack([f1.u_hat @ d.U[:ru1],
+                                       f2.u_hat @ d.U[ru1:]])
+                        if shared is not None:
+                            shared.u_mats[node_id] = U
                     rv1 = r1["V"].shape[1]
                     V = np.vstack([r1["V"] @ d.V[:rv1], r2["V"] @ d.V[rv1:]])
 

@@ -215,6 +215,72 @@ class KernelRidgeClassifier:
             close()
         return self
 
+    def refit_kernel(self, h, lam: Optional[float] = None
+                     ) -> "KernelRidgeClassifier":
+        """Re-train at a new bandwidth without redoing the structure.
+
+        The clustering, permutation and — for the HSS path — the H-matrix
+        admissibility partition are kernel-independent and stay resident;
+        only the kernel-dependent numerics are rebuilt (see
+        :meth:`repro.krr.solvers.KernelSystemSolver.refit_kernel`).  The
+        resulting weights are identical to a cold :meth:`fit` at the same
+        ``(h, lam)`` (bitwise for the serial solvers) at a fraction of the
+        cost: this is the *h*-move of a 2-D hyperparameter sweep, sitting
+        between the cheap λ-only :meth:`refit` and a full cold fit.
+
+        Parameters
+        ----------
+        h:
+            New bandwidth (same kernel family), or a
+            :class:`repro.kernels.Kernel` instance to swap in directly.
+        lam:
+            Optional new ridge parameter; ``None`` keeps the current one.
+
+        Returns
+        -------
+        KernelRidgeClassifier
+            ``self``, refitted for the new kernel.
+
+        Raises
+        ------
+        RuntimeError
+            If the model is unfitted, the solver does not support kernel
+            refits, or a legacy artifact lacks the training targets.
+        """
+        if self.solver_ is None or self.weights_ is None:
+            raise RuntimeError(
+                "classifier must be fitted before refit_kernel()")
+        if self._y_perm is None:
+            raise RuntimeError(
+                "no training targets available for refit_kernel (artifact "
+                "saved by an older version); call fit() instead")
+        stream = self.solver_.stream
+        if stream is not None and stream.active:
+            raise RuntimeError(
+                "streamed updates are in effect; the Woodbury corrections "
+                "were built against the old kernel and cannot survive a "
+                "kernel change — call recompress() first")
+        if isinstance(h, Kernel):
+            kernel = h
+            new_h = float(getattr(kernel, "h", self.h))
+        else:
+            new_h = check_positive(h, "h")
+            kernel = get_kernel(self.kernel.name, h=new_h)
+        new_lam = self.lam if lam is None else check_non_negative(lam, "lam")
+        self.solver_.refit_kernel(kernel, new_lam)
+        weights = self.solver_.solve(self._y_perm)
+        # Adopt kernel, h, λ and weights together only after both the
+        # solver rebuild and the re-solve succeeded (same invariant as
+        # refit()).
+        self.kernel = kernel
+        self.h = new_h
+        self.lam = new_lam
+        self.weights_ = weights
+        close = getattr(self.solver_, "close", None)
+        if close is not None:
+            close()
+        return self
+
     # ------------------------------------------------------------- streaming
     def _check_streamable(self) -> None:
         if self.solver_ is None or self.weights_ is None:

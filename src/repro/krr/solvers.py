@@ -170,6 +170,59 @@ class KernelSystemSolver(abc.ABC):
         raise NotImplementedError(
             f"the {self.name!r} solver does not support lambda-only refits")
 
+    def refit_kernel(self, kernel: Kernel,
+                     lam: Optional[float] = None) -> "KernelSystemSolver":
+        """Rebuild the fitted system for a *new kernel* on the same data.
+
+        The kernel-independent structure — the cluster tree, permutation
+        and H-matrix admissibility partition for the HSS solver, the
+        retained training points for the dense solver, the matrix-free
+        operator for CG — is reused; only the kernel-dependent numerics
+        are redone.  For the HSS solver the result is bitwise identical
+        to a cold :meth:`fit` of the new kernel on the same tree (see
+        :meth:`repro.hss.CompressedKernel.recompress`), at a fraction of
+        the cost: this is the cheap *h*-move of a bandwidth sweep, the
+        middle rung of the move-cost ladder λ ≪ h ≪ cold.
+
+        Parameters
+        ----------
+        kernel:
+            The new kernel (typically the same family at a different
+            bandwidth).
+        lam:
+            Optional new ridge shift; ``None`` keeps the current ``lam_``.
+
+        Returns
+        -------
+        KernelSystemSolver
+            ``self``, re-fitted for ``kernel``.
+
+        Raises
+        ------
+        RuntimeError
+            If the solver has not been fitted, or retains no state to
+            rebuild from (e.g. a factor-only legacy artifact).
+        """
+        if not self._fitted:
+            raise RuntimeError(
+                "solver must be fitted before calling refit_kernel()")
+        new_lam = self.lam_ if lam is None else float(lam)
+        check_non_negative(new_lam, "lam")
+        # A kernel change invalidates any streamed Woodbury corrections:
+        # they were built against the old kernel's factors.
+        self._stream = None
+        self._refit_kernel_impl(kernel, float(new_lam))
+        # The rebuilt numerics are a fresh λ-free state: the refit counter
+        # restarts exactly as after a cold fit.
+        self.report.refits = 0
+        self.lam_ = float(new_lam)
+        return self
+
+    def _refit_kernel_impl(self, kernel: Kernel, lam: float) -> None:
+        """Kernel-swap re-fit; overridden by structure-reusing solvers."""
+        raise NotImplementedError(
+            f"the {self.name!r} solver does not support kernel refits")
+
     def partial_fit(self, X_add=None, remove=None) -> "KernelSystemSolver":
         """Stream rows into / out of the fitted system without re-factoring.
 
@@ -298,6 +351,24 @@ class DenseSolver(KernelSystemSolver):
             self._cho = scipy.linalg.cho_factor(A, lower=True)
         self.report.timings = log.as_dict()
 
+    def _refit_kernel_impl(self, kernel: Kernel, lam: float) -> None:
+        context = getattr(self, "_refit_context", None)
+        if context is None:
+            raise RuntimeError(
+                "dense solver retains no training points to rebuild the "
+                "kernel matrix from; a full fit is required")
+        X_permuted, _ = context
+        log = TimingLog()
+        with log.phase("construction"):
+            self._K = kernel.matrix(X_permuted)
+        with log.phase("factorization"):
+            A = self._K.copy()
+            A[np.diag_indices_from(A)] += lam
+            self._cho = scipy.linalg.cho_factor(A, lower=True)
+        self._refit_context = (X_permuted, kernel)
+        self._stream_context = self._refit_context
+        self.report.timings = log.as_dict()
+
     def _solve_impl(self, y: np.ndarray) -> np.ndarray:
         log = TimingLog()
         with log.phase("solve"):
@@ -378,6 +449,8 @@ class HSSSolver(KernelSystemSolver):
         #: legacy artifacts that baked the shift in at compression time)
         self._hss_lam_free = True
         self._executor: Optional[BlockExecutor] = None
+        #: λ -> ULVFactorization cache filled by :meth:`prefactor`
+        self._prefactored: Dict[float, ULVFactorization] = {}
 
     def _resolve_workers(self) -> int:
         spec = self.workers
@@ -396,6 +469,7 @@ class HSSSolver(KernelSystemSolver):
         if self._executor is not None:
             self._executor.shutdown()
         self._executor = BlockExecutor(workers=n_workers)
+        self._prefactored = {}
         try:
             self.compressed_ = compress_kernel(
                 X_permuted, tree, kernel,
@@ -424,7 +498,7 @@ class HSSSolver(KernelSystemSolver):
         self.report.max_rank = build.max_rank
         self.report.random_vectors = build.random_vectors
 
-    def _refit_impl(self, lam: float) -> None:
+    def _check_lam_free(self) -> None:
         if self.hss_ is None:
             raise RuntimeError(
                 "HSS solver holds no compression (factor-only artifact); "
@@ -436,6 +510,19 @@ class HSSSolver(KernelSystemSolver):
                 "refit-many split); lambda-only refits require retraining "
                 "with the current version (re-saving cannot remove the "
                 "baked-in shift)")
+
+    def _refit_impl(self, lam: float) -> None:
+        self._check_lam_free()
+        cached = getattr(self, "_prefactored", None)
+        if cached:
+            hit = cached.get(float(lam))
+            if hit is not None:
+                # Adopt the batch-built factorization (bitwise identical
+                # to factoring here — see ULVFactorization.factor_many);
+                # the refit itself then costs nothing.
+                self.factorization_ = hit
+                self.report.timings = {"factorization": 0.0}
+                return
         if self._executor is None:
             self._executor = BlockExecutor(workers=self._resolve_workers())
         log = TimingLog()
@@ -448,6 +535,100 @@ class HSSSolver(KernelSystemSolver):
             self._executor.shutdown()
             raise
         self.report.timings = log.as_dict()
+
+    def prefactor(self, lams) -> "HSSSolver":
+        """Batch-factor the resident compression at several ridge shifts.
+
+        One :meth:`repro.hss.ULVFactorization.factor_many` sweep shares
+        the λ-independent elimination setup (QR of the row bases,
+        internal-node assemblies) across all shifts; subsequent
+        :meth:`~KernelSystemSolver.refit` calls at any of the given λ
+        values adopt the cached factorization for free.  The cache is
+        dropped on the next :meth:`~KernelSystemSolver.fit` or
+        :meth:`~KernelSystemSolver.refit_kernel`.
+
+        Parameters
+        ----------
+        lams:
+            Ridge shifts to pre-factor.
+
+        Returns
+        -------
+        HSSSolver
+            ``self``, with the λ cache populated.
+        """
+        if not self._fitted:
+            raise RuntimeError(
+                "solver must be fitted before calling prefactor()")
+        self._check_lam_free()
+        lams = [float(l) for l in lams]
+        for lam in lams:
+            check_non_negative(lam, "lam")
+        if self._executor is None:
+            self._executor = BlockExecutor(workers=self._resolve_workers())
+        log = TimingLog()
+        try:
+            source = self.compressed_ if self.compressed_ is not None \
+                else self.hss_
+            factors = ULVFactorization.factor_many(
+                source, lams, timing=log, executor=self._executor)
+        except BaseException:
+            self._executor.shutdown()
+            raise
+        self._prefactored = dict(zip(lams, factors))
+        for name, sec in log.as_dict().items():
+            self.report.timings[name] = \
+                self.report.timings.get(name, 0.0) + sec
+        return self
+
+    def _refit_kernel_impl(self, kernel: Kernel, lam: float) -> None:
+        self._check_lam_free()
+        context = getattr(self, "_stream_context", None)
+        if context is None:
+            raise RuntimeError(
+                "HSS solver retains no training points to recompress "
+                "from; a full fit is required")
+        X_permuted, _ = context
+        if self._executor is None:
+            self._executor = BlockExecutor(workers=self._resolve_workers())
+        log = TimingLog()
+        try:
+            structure = (self.compressed_.structure
+                         if self.compressed_ is not None else None)
+            if structure is not None:
+                # Structure-reuse h-move: redo only the kernel-dependent
+                # numerics on the resident admissibility partition.
+                self.compressed_ = self.compressed_.recompress(
+                    kernel, timing=log, executor=self._executor)
+            else:
+                # Restored artifact (the structure is not persisted):
+                # fall back to a cold compression on the resident tree.
+                self.compressed_ = compress_kernel(
+                    X_permuted, self.hss_.tree, kernel,
+                    hss_options=self.hss_options,
+                    hmatrix_options=self.hmatrix_options,
+                    use_hmatrix_sampling=self.use_hmatrix_sampling,
+                    seed=self.seed, timing=log, executor=self._executor,
+                    matmat_col_tile=self.matmat_col_tile)
+            self.compression_count += 1
+            self._hss_lam_free = True
+            self.hss_ = self.compressed_.hss
+            self.hmatrix_ = self.compressed_.hmatrix
+            self._prefactored = {}
+            self.factorization_ = ULVFactorization.factor(
+                self.compressed_, lam=lam, timing=log,
+                executor=self._executor)
+        except BaseException:
+            self._executor.shutdown()
+            raise
+        self._stream_context = (X_permuted, kernel)
+        build = self.compressed_.report
+        self.report.timings = log.as_dict()
+        self.report.hmatrix_memory_mb = build.hmatrix_memory_mb
+        self.report.hss_memory_mb = build.hss_memory_mb
+        self.report.memory_mb = build.memory_mb
+        self.report.max_rank = build.max_rank
+        self.report.random_vectors = build.random_vectors
 
     def _solve_impl(self, y: np.ndarray) -> np.ndarray:
         log = TimingLog()
@@ -484,6 +665,13 @@ class CGSolver(KernelSystemSolver):
     def _refit_impl(self, lam: float) -> None:
         # CG keeps no factorization; the shift is a field of the
         # matrix-free operator, so a refit is a scalar update.
+        self._operator.lam = lam
+        self.report.timings = {}
+
+    def _refit_kernel_impl(self, kernel: Kernel, lam: float) -> None:
+        # Equally trivial for the matrix-free operator: both the kernel
+        # and the shift are fields read per matvec.
+        self._operator.kernel = kernel
         self._operator.lam = lam
         self.report.timings = {}
 

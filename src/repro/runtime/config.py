@@ -130,6 +130,13 @@ class TuningSection:
     lam_sweep: int = 4
     val_fraction: float = 0.25
     cache_size: int = 1
+    #: k-fold cross-validation folds; 1 = score the held-out validation
+    #: split, K > 1 = K-fold CV on the training set computed as
+    #: fold-removal multi-RHS solves against the shared factorization
+    cv: int = 1
+    #: bandit credit assignment divides success rate by observed move
+    #: cost (λ-refit ≪ recompression ≪ cold) when the objective reports it
+    cost_aware: bool = True
     seed: int = 0
 
 
@@ -783,6 +790,8 @@ def _validate(config: RuntimeConfig) -> None:
             f"{config.tuning.backend!r}")
     if not (0.0 < config.tuning.val_fraction < 1.0):
         raise ValueError("tuning.val_fraction must be in (0, 1)")
+    if config.tuning.cv < 1:
+        raise ValueError("tuning.cv must be >= 1")
     if config.kernel.h <= 0:
         raise ValueError("kernel.h must be positive")
     if config.kernel.lam < 0:

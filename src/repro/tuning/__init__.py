@@ -21,14 +21,26 @@ varying fastest, random search can sweep several λ values per sampled
 configuration, and the bandit carries a λ-only perturbation technique —
 so a refit-capable objective (``KRRObjective``, either backend) pays one
 kernel build / compression per distinct ``h`` and a cheap refit per λ.
+
+The cost model is three-tiered (``lam_move`` ≪ ``h_move`` ≪ ``cold``;
+see :data:`MOVE_COSTS` and ``docs/tuning.md``): an ``h``-move
+recompresses on the retained clustering / admissibility structure
+(:meth:`repro.krr.solvers.KernelSystemSolver.refit_kernel`) instead of
+rebuilding from scratch, searchers announce λ groups up front so the
+objective can batch-factor every shift in one shared sweep
+(:meth:`KRRObjective.prepare_lam_schedule`), and ``KRRObjective(cv=K)``
+swaps the held-out score for K-fold cross-validation computed as
+fold-removal multi-RHS solves on the shared factorization.  Every
+evaluation's move class is recorded (``EvaluationRecord.move``,
+``TuningResult.moves``).
 """
 
 from .search_space import ParameterSpace, ContinuousParameter, LogUniformParameter
 from .grid_search import GridSearch, order_lam_fastest
 from .random_search import RandomSearch
-from .bandit import BanditTuner
+from .bandit import BanditTuner, MOVE_COSTS
 from .objective import KRRObjective, EvaluationRecord
-from .result import TuningResult, observed_refit
+from .result import TuningResult, observed_move, observed_refit
 
 __all__ = [
     "ParameterSpace",
@@ -38,8 +50,10 @@ __all__ = [
     "order_lam_fastest",
     "RandomSearch",
     "BanditTuner",
+    "MOVE_COSTS",
     "KRRObjective",
     "EvaluationRecord",
     "TuningResult",
+    "observed_move",
     "observed_refit",
 ]

@@ -29,8 +29,13 @@ from typing import Callable, Deque, Dict, List, Optional
 import numpy as np
 
 from ..utils.random import as_generator
-from .result import TuningResult, observed_refit
+from .result import TuningResult, observed_move, observed_refit
 from .search_space import ParameterSpace
+
+#: Relative evaluation costs by move class (λ-refit ≪ recompression ≪ cold
+#: build), used by the cost-aware credit assignment.  The exact ratios only
+#: shape arm preference, they are not timings.
+MOVE_COSTS = {"lam_move": 1.0, "h_move": 4.0, "cold": 20.0}
 
 
 class _Technique(abc.ABC):
@@ -162,10 +167,22 @@ class BanditTuner:
         Length of the sliding success window used by the credit assignment.
     exploration:
         UCB exploration constant.
+    cost_aware:
+        When ``True`` (default) and the objective reports move cost
+        classes (see :class:`repro.tuning.KRRObjective`), each arm's
+        exploitation term becomes *success per unit cost*: the sliding-
+        window success rate is divided by the arm's mean observed move
+        cost (:data:`MOVE_COSTS` — λ-refit ≪ recompression ≪ cold build).
+        Arms whose proposals ride the cheap refit path (notably the
+        λ-perturbation technique) then win ties against equally-successful
+        expensive arms, steering the budget toward cheap moves.  With an
+        objective that does not report moves this is a no-op and the
+        trajectory is identical to ``cost_aware=False``.
     """
 
     def __init__(self, space: ParameterSpace, budget: int = 100, seed=None,
-                 window: int = 30, exploration: float = 1.0):
+                 window: int = 30, exploration: float = 1.0,
+                 cost_aware: bool = True):
         if budget < 1:
             raise ValueError("budget must be >= 1")
         if window < 1:
@@ -175,6 +192,7 @@ class BanditTuner:
         self.seed = seed
         self.window = int(window)
         self.exploration = float(exploration)
+        self.cost_aware = bool(cost_aware)
         self.technique_usage_: Dict[str, int] = {}
 
     def _make_techniques(self, rng: np.random.Generator) -> List[_Technique]:
@@ -192,6 +210,7 @@ class BanditTuner:
         techniques = self._make_techniques(rng)
         n_tech = len(techniques)
         successes: List[Deque[int]] = [deque(maxlen=self.window) for _ in range(n_tech)]
+        costs: List[Deque[float]] = [deque(maxlen=self.window) for _ in range(n_tech)]
         counts = np.zeros(n_tech, dtype=np.int64)
         result = TuningResult()
         self.technique_usage_ = {t.name: 0 for t in techniques}
@@ -205,6 +224,9 @@ class BanditTuner:
                     wins = sum(successes[i]) if successes[i] else 0
                     plays = len(successes[i]) if successes[i] else 1
                     mean = wins / plays
+                    if self.cost_aware and costs[i]:
+                        # success per unit cost: cheap arms win ties
+                        mean /= (sum(costs[i]) / len(costs[i]))
                     bonus = self.exploration * np.sqrt(
                         np.log(step + 1) / max(counts[i], 1))
                     scores[i] = mean + bonus
@@ -214,9 +236,13 @@ class BanditTuner:
             config = self.space.clip(technique.propose(result))
             previous_best = result.best_value
             value = objective(config)
-            result.record(config, value, refit=observed_refit(objective))
+            move = observed_move(objective)
+            result.record(config, value, refit=observed_refit(objective),
+                          move=move)
             improved = int(value > previous_best)
             successes[pick].append(improved)
+            if move is not None:
+                costs[pick].append(MOVE_COSTS.get(move, 1.0))
             counts[pick] += 1
             self.technique_usage_[technique.name] += 1
 

@@ -57,6 +57,17 @@ class EvaluationRecord:
         returning to a still-cached ``h`` does too (the hss backend
         literally calls ``solver.refit`` there), so this flag counts
         *avoided rebuilds*, not strictly consecutive λ-only pairs.
+    move:
+        Cost class of the evaluation, cheapest first:
+
+        * ``"lam_move"`` — the per-``h`` cache held the λ-free state, only
+          a factorization (or a prefactored lookup) + solve was paid;
+        * ``"h_move"`` — a resident solver was re-targeted to the new
+          ``h`` via :meth:`~repro.krr.solvers.KernelSystemSolver.refit_kernel`
+          (structure-reuse recompression: the clustering, permutation and
+          admissibility partition were kept, only the kernel numerics were
+          redone);
+        * ``"cold"`` — everything was built from scratch.
     """
 
     h: float
@@ -64,6 +75,7 @@ class EvaluationRecord:
     accuracy: float
     reused_kernel: bool
     refit: bool = False
+    move: str = "cold"
 
 
 class KRRObjective:
@@ -103,6 +115,19 @@ class KRRObjective:
         exactly once).
     hss_options, hmatrix_options, use_hmatrix_sampling:
         Compression options of the ``"hss"`` backend.
+    cv:
+        With the default 1 each evaluation scores the held-out validation
+        split.  With ``cv = K > 1`` the objective instead returns K-fold
+        cross-validation accuracy on the *training* set (folds assign
+        original index ``i`` to fold ``i % K``) and the validation split
+        is ignored.  Each fold is solved against the **shared** full-data
+        factorization: removing a fold from the training set is a
+        principal-submatrix update, so per fold the hss backend performs
+        one multi-RHS solve (fold-indicator columns plus the masked
+        labels) and a small dense fold-sized correction solve instead of
+        a fresh compression + factorization; the dense backend solves the
+        exact complement submatrix system.  Both are algebraically
+        identical to training each fold's complement from scratch.
     """
 
     def __init__(self, X_train: np.ndarray, y_train: np.ndarray,
@@ -114,7 +139,8 @@ class KRRObjective:
                  seed=0,
                  hss_options=None,
                  hmatrix_options=None,
-                 use_hmatrix_sampling: bool = True):
+                 use_hmatrix_sampling: bool = True,
+                 cv: int = 1):
         self.X_train = check_array_2d(X_train, "X_train")
         self.y_train = check_labels_binary(y_train, "y_train")
         self.X_val = check_array_2d(X_val, "X_val")
@@ -130,6 +156,13 @@ class KRRObjective:
             raise ValueError(f"solver must be 'dense' or 'hss', got {solver!r}")
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+        cv = int(cv)
+        if cv < 1:
+            raise ValueError("cv must be >= 1")
+        if cv > self.X_train.shape[0]:
+            raise ValueError(
+                f"cv={cv} exceeds the number of training points "
+                f"({self.X_train.shape[0]})")
         self.solver = solver
         self.cache_kernels = bool(cache_kernels)
         self.cache_size = int(cache_size)
@@ -138,12 +171,16 @@ class KRRObjective:
         self.hss_options = hss_options
         self.hmatrix_options = hmatrix_options
         self.use_hmatrix_sampling = bool(use_hmatrix_sampling)
+        self.cv = cv
         self.records: List[EvaluationRecord] = []
         # LRU cache of λ-independent per-h state: dense -> (K, K_val),
         # hss -> (HSSSolver holding the λ-free compression, K_val).
         self._cache: "dict[float, tuple]" = {}
         # clustering is (h, λ)-independent, computed exactly once (hss)
         self._clustering = None
+        # λ values announced by the searcher for the upcoming group;
+        # consumed (batch-prefactored) by the next hss evaluation.
+        self._lam_schedule: Optional[List[float]] = None
 
     @classmethod
     def from_config(cls, config, X_train: np.ndarray, y_train: np.ndarray,
@@ -177,7 +214,8 @@ class KRRObjective:
                    seed=config.clustering.seed,
                    hss_options=config.hss_options(),
                    hmatrix_options=config.hmatrix_options(),
-                   use_hmatrix_sampling=config.solver.use_hmatrix_sampling)
+                   use_hmatrix_sampling=config.solver.use_hmatrix_sampling,
+                   cv=getattr(config.tuning, "cv", 1))
 
     # ------------------------------------------------------------------ call
     def __call__(self, config: Dict[str, float]) -> float:
@@ -198,19 +236,73 @@ class KRRObjective:
         if h <= 0 or lam < 0:
             raise ValueError(f"invalid configuration h={h}, lam={lam}")
         if self.solver == "hss":
-            acc, reused, refit = self._evaluate_hss(h, lam)
+            acc, reused, refit, move = self._evaluate_hss(h, lam)
         else:
-            acc, reused, refit = self._evaluate_dense(h, lam)
+            acc, reused, refit, move = self._evaluate_dense(h, lam)
         self.records.append(EvaluationRecord(h=h, lam=lam, accuracy=acc,
                                              reused_kernel=reused,
-                                             refit=refit))
+                                             refit=refit, move=move))
         from ..obs import global_registry
-        global_registry().counter(
+        registry = global_registry()
+        registry.counter(
             "repro_tuning_evaluations_total",
             "Hyper-parameter configurations evaluated",
             labelnames=("mode",)).labels(
                 mode="refit" if refit else "fit").inc()
+        registry.counter(
+            "repro_tune_moves_total",
+            "Tuning evaluations by move cost class",
+            labelnames=("move",)).labels(move=move).inc()
+        if reused:
+            registry.counter(
+                "repro_tune_cache_hits_total",
+                "Tuning evaluations served from the per-h state cache").inc()
+        else:
+            registry.counter(
+                "repro_tune_cache_misses_total",
+                "Tuning evaluations that missed the per-h state cache").inc()
         return acc
+
+    # ------------------------------------------------------------- scheduling
+    def prepare_lam_schedule(self, lams) -> None:
+        """Announce the λ values about to be evaluated for one ``h`` group.
+
+        Cost-aware searchers call this right before a run of evaluations
+        that share everything but ``lam``.  The ``"hss"`` backend then
+        batch-factors the whole schedule on the group's first evaluation
+        (:meth:`repro.krr.solvers.HSSSolver.prefactor`, which shares the
+        λ-independent per-node orthogonalization sweep across shifts via
+        :meth:`repro.hss.ULVFactorization.factor_many`), so each later
+        λ-move inside the group is a cache lookup + solve.  The dense
+        backend ignores the announcement (its per-λ refactor is already a
+        single Cholesky).  Each schedule is consumed by exactly one
+        evaluation; announcing an empty schedule clears a pending one.
+
+        Parameters
+        ----------
+        lams:
+            The λ values of the upcoming group, in evaluation order.
+        """
+        lams = [float(l) for l in lams]
+        self._lam_schedule = lams if (lams and self.solver == "hss") else None
+
+    def _consume_schedule(self, solver, lam: float, exclude_current: bool) -> None:
+        """Batch-prefactor the pending λ schedule on ``solver`` (hss only)."""
+        schedule, self._lam_schedule = self._lam_schedule, None
+        if not schedule:
+            return
+        prefactor = getattr(solver, "prefactor", None)
+        if prefactor is None:
+            return
+        seen = set()
+        pending = []
+        for l in schedule:
+            if l in seen or (exclude_current and l == lam):
+                continue
+            seen.add(l)
+            pending.append(l)
+        if pending:
+            prefactor(pending)
 
     def _cache_get(self, h: float):
         """Fetch (and LRU-refresh) the λ-independent state cached for ``h``."""
@@ -232,7 +324,23 @@ class KRRObjective:
             if close is not None:
                 close()
 
-    def _evaluate_dense(self, h: float, lam: float) -> Tuple[float, bool, bool]:
+    def _pop_for_reuse(self):
+        """Pop the LRU-oldest per-h state when the cache is at capacity.
+
+        Returns the resident state to be *re-targeted* (an ``h``-move)
+        instead of discarded: the hss backend hands the popped solver to
+        :meth:`~repro.krr.solvers.KernelSystemSolver.refit_kernel`, which
+        recompresses on the retained clustering / admissibility structure.
+        Returns ``None`` while the cache still has room (the new ``h``
+        then gets a cold build without sacrificing a resident one).
+        """
+        if not self.cache_kernels or len(self._cache) < self.cache_size:
+            return None
+        oldest = next(iter(self._cache))
+        state = self._cache.pop(oldest)
+        return state[0]
+
+    def _evaluate_dense(self, h: float, lam: float) -> Tuple[float, bool, bool, str]:
         """Exact dense evaluation; λ-only moves reuse the cached kernels."""
         cached = self._cache_get(h)
         reused = cached is not None
@@ -241,17 +349,30 @@ class KRRObjective:
         else:
             kernel = GaussianKernel(h=h)
             K = kernel.matrix(self.X_train)
-            K_val = kernel.matrix(self.X_val, self.X_train)
+            K_val = (None if self.cv > 1
+                     else kernel.matrix(self.X_val, self.X_train))
             self._cache_put(h, (K, K_val))
+        # A dense h-miss rebuilds the kernel matrix outright — there is no
+        # reusable structure, so the move is cold, never "h_move".
+        move = "lam_move" if reused else "cold"
 
+        if self.cv > 1:
+            return self._cv_score_dense(K, lam), reused, reused, move
         A = K + lam * np.eye(K.shape[0])
         weights = scipy.linalg.solve(A, self.y_train, assume_a="pos")
         scores = K_val @ weights
         pred = np.where(scores >= 0.0, 1.0, -1.0)
-        return accuracy(self.y_val, pred), reused, reused
+        return accuracy(self.y_val, pred), reused, reused, move
 
-    def _evaluate_hss(self, h: float, lam: float) -> Tuple[float, bool, bool]:
-        """HSS evaluation: compress once per h, ULV-refit per λ."""
+    def _evaluate_hss(self, h: float, lam: float) -> Tuple[float, bool, bool, str]:
+        """HSS evaluation: compress once per h, ULV-refit per λ.
+
+        ``h``-misses with a full cache ride the recompression path: the
+        LRU-oldest resident solver keeps its clustering, permutation and
+        admissibility partition and redoes only the kernel numerics
+        (bitwise identical to a cold build on the same tree), which is
+        the ``h_move ≪ cold`` cost asymmetry the searchers exploit.
+        """
         from ..clustering.api import cluster
         from ..krr.solvers import HSSSolver
 
@@ -262,28 +383,92 @@ class KRRObjective:
         clustering = self._clustering
         y_perm = clustering.permute_labels(self.y_train)
 
+        kernel = GaussianKernel(h=h)
         cached = self._cache_get(h)
         refit = cached is not None
         if cached is not None:
             solver, K_val = cached
+            move = "lam_move"
+            # Prefactor before the refit so the refit adopts the batched
+            # factorization (bitwise identical to a sequential one).
+            self._consume_schedule(solver, lam, exclude_current=False)
             solver.refit(lam)
         else:
-            kernel = GaussianKernel(h=h)
-            solver = HSSSolver(hss_options=self.hss_options,
-                               hmatrix_options=self.hmatrix_options,
-                               use_hmatrix_sampling=self.use_hmatrix_sampling,
-                               seed=self.seed)
-            solver.fit(clustering.X, clustering.tree, kernel, lam)
-            K_val = kernel.matrix(self.X_val, clustering.X)
+            resident = self._pop_for_reuse()
+            if resident is not None:
+                move = "h_move"
+                solver = resident
+                solver.refit_kernel(kernel, lam)
+            else:
+                move = "cold"
+                solver = HSSSolver(hss_options=self.hss_options,
+                                   hmatrix_options=self.hmatrix_options,
+                                   use_hmatrix_sampling=self.use_hmatrix_sampling,
+                                   seed=self.seed)
+                solver.fit(clustering.X, clustering.tree, kernel, lam)
+            # fit/refit_kernel already factored `lam`; prefactor the rest.
+            self._consume_schedule(solver, lam, exclude_current=True)
+            K_val = (None if self.cv > 1
+                     else kernel.matrix(self.X_val, clustering.X))
             self._cache_put(h, (solver, K_val))
 
-        weights = solver.solve(y_perm)
-        scores = K_val @ weights
-        pred = np.where(scores >= 0.0, 1.0, -1.0)
-        acc = accuracy(self.y_val, pred)
+        if self.cv > 1:
+            acc = self._cv_score_hss(solver, kernel, clustering, y_perm)
+        else:
+            weights = solver.solve(y_perm)
+            scores = K_val @ weights
+            pred = np.where(scores >= 0.0, 1.0, -1.0)
+            acc = accuracy(self.y_val, pred)
         if not self.cache_kernels:
             solver.close()
-        return acc, refit, refit
+        return acc, refit, refit, move
+
+    # ----------------------------------------------------------------- k-fold
+    def _cv_score_dense(self, K: np.ndarray, lam: float) -> float:
+        """Exact K-fold CV: solve each fold-complement submatrix system."""
+        n = K.shape[0]
+        idx = np.arange(n)
+        preds = np.empty(n)
+        for fold in range(self.cv):
+            mask = (idx % self.cv) == fold
+            F, C = idx[mask], idx[~mask]
+            A = K[np.ix_(C, C)].copy()
+            A[np.diag_indices_from(A)] += lam
+            w = scipy.linalg.solve(A, self.y_train[C], assume_a="pos")
+            preds[F] = np.where(K[np.ix_(F, C)] @ w >= 0.0, 1.0, -1.0)
+        return accuracy(self.y_train, preds)
+
+    def _cv_score_hss(self, solver, kernel, clustering, y_perm) -> float:
+        """K-fold CV against the shared full-data factorization.
+
+        Training on a fold's complement solves the principal submatrix
+        system ``A[C, C] w = y[C]`` of the already-factored full matrix
+        ``A = K + λI``.  With ``B = A^{-1}`` the block-inverse identity
+        gives ``w = (B y~)[C] - (B[:, F] t)[C]`` where ``y~`` is the
+        fold-masked label vector and ``t = B[F, F]^{-1} (B y~)[F]`` — so
+        each fold costs ONE multi-RHS solve on the shared factorization
+        (the ``|F|`` fold-indicator columns and ``y~`` together) plus a
+        dense ``|F| x |F|`` correction solve, never a recompression or
+        refactorization.
+        """
+        n = y_perm.shape[0]
+        orig = clustering.tree.perm  # original index at each permuted slot
+        pos = np.arange(n)
+        preds = np.empty(n)
+        for fold in range(self.cv):
+            mask = (orig % self.cv) == fold
+            F, C = pos[mask], pos[~mask]
+            m = F.shape[0]
+            rhs = np.zeros((n, m + 1))
+            rhs[F, np.arange(m)] = 1.0
+            rhs[C, m] = y_perm[C]
+            G = solver.solve(rhs)
+            z = G[:, m]                       # B @ y~
+            t = scipy.linalg.solve(G[F, :m], z[F])
+            w_C = (z - G[:, :m] @ t)[C]
+            K_FC = kernel.matrix(clustering.X[F], clustering.X[C])
+            preds[F] = np.where(K_FC @ w_C >= 0.0, 1.0, -1.0)
+        return accuracy(y_perm, preds)
 
     # ------------------------------------------------------------- reporting
     @property
@@ -305,6 +490,19 @@ class KRRObjective:
     def last_was_refit(self) -> bool:
         """Whether the most recent evaluation rode the refit path."""
         return bool(self.records) and self.records[-1].refit
+
+    @property
+    def last_move(self) -> Optional[str]:
+        """Cost class of the most recent evaluation (``None`` before any)."""
+        return self.records[-1].move if self.records else None
+
+    @property
+    def move_counts(self) -> Dict[str, int]:
+        """Evaluation counts per move cost class (``cold``/``h_move``/``lam_move``)."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.move] = counts.get(record.move, 0) + 1
+        return counts
 
     def close(self) -> None:
         """Release the cached per-h state (worker threads included).

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from ..utils.random import as_generator
-from .result import TuningResult, observed_refit
+from .result import TuningResult, observed_move, observed_refit
 from .search_space import ParameterSpace
 
 
@@ -64,21 +64,28 @@ class RandomSearch:
         rng = as_generator(self.seed)
         result = TuningResult()
         has_lam = "lam" in self.space.names
+        prepare = getattr(objective, "prepare_lam_schedule", None)
+        lam_param = (next(p for p in self.space.parameters
+                          if p.name == "lam") if has_lam else None)
         evaluated = 0
         while evaluated < self.budget:
             config = self.space.sample(rng)
-            result.record(config, objective(config),
-                          refit=observed_refit(objective))
-            evaluated += 1
-            if not has_lam:
-                continue
-            # λ-only follow-ups inside the group: same h, fresh lam draws.
-            for _ in range(min(self.lam_sweep - 1,
-                               self.budget - evaluated)):
-                sweep = dict(config)
-                sweep["lam"] = next(p for p in self.space.parameters
-                                    if p.name == "lam").sample(rng)
-                result.record(sweep, objective(sweep),
-                              refit=observed_refit(objective))
+            # Pre-draw the whole group's λ values (the draws consume the
+            # rng in the same order as interleaved drawing would, since
+            # evaluations never touch it) so a schedule-aware objective
+            # can batch-factor the group on its first evaluation.
+            group = [config]
+            if has_lam:
+                for _ in range(min(self.lam_sweep - 1,
+                                   self.budget - evaluated - 1)):
+                    sweep = dict(config)
+                    sweep["lam"] = lam_param.sample(rng)
+                    group.append(sweep)
+            if prepare is not None and len(group) > 1:
+                prepare([c["lam"] for c in group])
+            for member in group:
+                result.record(member, objective(member),
+                              refit=observed_refit(objective),
+                              move=observed_move(objective))
                 evaluated += 1
         return result

@@ -10,7 +10,7 @@ from typing import Dict, List, Optional
 class TuningResult:
     """Outcome of a hyper-parameter search.
 
-    Attributes
+    Parameters
     ----------
     best_config:
         The configuration with the highest objective value.
@@ -30,19 +30,27 @@ class TuningResult:
     #: evaluations that rode the objective's refit path (populated
     #: by the searchers when the objective reports it)
     refits: int = 0
+    #: evaluation counts per move cost class (``cold``/``h_move``/
+    #: ``lam_move``), populated when the objective reports moves
+    moves: Dict[str, int] = field(default_factory=dict)
 
     @property
     def evaluations(self) -> int:
+        """Number of objective evaluations recorded."""
         return len(self.history)
 
     def record(self, config: Dict[str, float], value: float,
-               refit: Optional[bool] = None) -> None:
+               refit: Optional[bool] = None,
+               move: Optional[str] = None) -> None:
         """Add one evaluation and update the incumbent if it improved."""
         entry = dict(config)
         entry["objective"] = float(value)
         if refit is not None:
             entry["refit"] = bool(refit)
             self.refits += int(bool(refit))
+        if move is not None:
+            entry["move"] = str(move)
+            self.moves[str(move)] = self.moves.get(str(move), 0) + 1
         self.history.append(entry)
         if value > self.best_value:
             self.best_value = float(value)
@@ -80,3 +88,23 @@ def observed_refit(objective) -> Optional[bool]:
     """
     flag = getattr(objective, "last_was_refit", None)
     return None if flag is None else bool(flag)
+
+
+def observed_move(objective) -> Optional[str]:
+    """Cost class of the objective's last evaluation, when reported.
+
+    Parameters
+    ----------
+    objective:
+        The objective callable just evaluated.  Move-aware objectives
+        (e.g. :class:`repro.tuning.KRRObjective`) expose a ``last_move``
+        attribute with values ``"cold"``, ``"h_move"`` or ``"lam_move"``;
+        plain callables do not.
+
+    Returns
+    -------
+    str or None
+        The move class, or ``None`` when the objective does not report one.
+    """
+    move = getattr(objective, "last_move", None)
+    return None if move is None else str(move)

@@ -1,0 +1,309 @@
+"""The (h, λ) tuning fabric: recompression, batched factorization, CV.
+
+Pins the contracts of ``docs/tuning.md``:
+
+* ``CompressedKernel.recompress(kernel)`` is **bitwise identical** to a
+  cold ``compress_kernel`` on the same tree — serially, with
+  ``shards = 2`` (the coordinator's ``recompress`` round), and through
+  the cold-compress fallback after an artifact reload;
+* ``ULVFactorization.factor_many`` is bitwise identical per shift to
+  sequential ``factor`` calls, and ``HSSSolver.prefactor`` hands those
+  factorizations to later refits unchanged;
+* ``KRRObjective(cv=K)``'s fold-removal multi-RHS solves agree with
+  per-fold cold fits;
+* the searchers classify moves (``cold`` / ``h_move`` / ``lam_move``)
+  without changing any objective value versus an all-cold evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import cluster
+from repro.datasets import gaussian_mixture
+from repro.hss import ULVFactorization, compress_kernel
+from repro.kernels import GaussianKernel
+from repro.krr import KernelRidgeClassifier
+from repro.krr.solvers import HSSSolver
+from repro.tuning import (GridSearch, KRRObjective, ParameterSpace,
+                          RandomSearch)
+
+_HSS_ARRAYS = ("D", "U", "V", "B12", "B21")
+_FACTOR_ARRAYS = ("omega", "q", "lower", "d_hat1", "d_hat2", "u_hat",
+                  "g1", "g2")
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, y = gaussian_mixture(n=260, d=3, n_components=4, separation=3.0,
+                            noise=0.7, seed=0)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def compressed_pair(data):
+    """(clustering, cold compression at h=1) shared by the bitwise tests."""
+    X, _ = data
+    clustering = cluster(X, method="two_means", leaf_size=16, seed=0)
+    compressed = compress_kernel(clustering.X, clustering.tree,
+                                 GaussianKernel(h=1.0), seed=0)
+    return clustering, compressed
+
+
+def _assert_same_arrays(obj_a, obj_b, names):
+    for name in names:
+        a, b = getattr(obj_a, name, None), getattr(obj_b, name, None)
+        if a is None or b is None:
+            assert a is None and b is None, name
+            continue
+        assert np.array_equal(np.asarray(a), np.asarray(b)), name
+
+
+def _assert_hss_equal(hss_a, hss_b):
+    assert hss_a.n == hss_b.n
+    for node_id in range(hss_a.tree.n_nodes):
+        _assert_same_arrays(hss_a.node_data[node_id],
+                            hss_b.node_data[node_id], _HSS_ARRAYS)
+
+
+# ---------------------------------------------------------------------------
+# recompress: bitwise identical to a cold compression on the same tree
+# ---------------------------------------------------------------------------
+
+class TestRecompressBitwise:
+    def test_serial_recompress_equals_cold_compress(self, compressed_pair):
+        clustering, compressed = compressed_pair
+        new_kernel = GaussianKernel(h=2.3)
+        warm = compressed.recompress(new_kernel)
+        cold = compress_kernel(clustering.X, clustering.tree, new_kernel,
+                               seed=0)
+        _assert_hss_equal(warm.hss, cold.hss)
+        rng = np.random.default_rng(7)
+        b = rng.normal(size=clustering.X.shape[0])
+        x_warm = ULVFactorization.factor(warm, lam=0.5).solve(b)
+        x_cold = ULVFactorization.factor(cold, lam=0.5).solve(b)
+        np.testing.assert_array_equal(x_warm, x_cold)
+        # the structure survives the round-trip, so h-moves chain
+        again = warm.recompress(GaussianKernel(h=1.0))
+        _assert_hss_equal(again.hss, compressed.hss)
+
+    def test_recompress_requires_structure(self, compressed_pair):
+        _, compressed = compressed_pair
+        stripped = type(compressed)(hss=compressed.hss,
+                                    report=compressed.report,
+                                    hmatrix=compressed.hmatrix,
+                                    structure=None)
+        with pytest.raises(RuntimeError, match="CompressionStructure"):
+            stripped.recompress(GaussianKernel(h=2.0))
+
+    def test_classifier_refit_kernel_bitwise_serial(self, data):
+        X, y = data
+        warm = KernelRidgeClassifier(h=1.0, lam=1.0, solver="hss", seed=0)
+        warm.fit(X, y)
+        warm.refit_kernel(2.3, lam=0.5)
+        cold = KernelRidgeClassifier(h=2.3, lam=0.5, solver="hss", seed=0)
+        cold.fit(X, y)
+        np.testing.assert_array_equal(warm.weights_, cold.weights_)
+        assert warm.h == 2.3 and warm.lam == 0.5
+        assert warm.solver_.compression_count == 2
+
+    def test_refit_kernel_after_artifact_reload(self, tmp_path, data):
+        X, y = data
+        # shards=1 pins the single-process artifact format: a sharded
+        # artifact reloads as the restored-only ShardedULVSolver, which
+        # has no data pipeline to rebuild a new kernel from.
+        clf = KernelRidgeClassifier(h=1.0, lam=1.0, solver="hss", seed=0,
+                                    shards=1)
+        clf.fit(X, y)
+        clf.save(str(tmp_path / "model.npz"))
+        loaded = KernelRidgeClassifier.load(str(tmp_path / "model.npz"))
+        # artifacts do not persist the CompressionStructure: this rides
+        # the cold-compress fallback, still bitwise equal to a cold fit
+        loaded.refit_kernel(2.3, lam=0.5)
+        cold = KernelRidgeClassifier(h=2.3, lam=0.5, solver="hss", seed=0,
+                                     shards=1)
+        cold.fit(X, y)
+        np.testing.assert_array_equal(loaded.weights_, cold.weights_)
+
+    def test_distributed_recompress_bitwise_shards2(self, data):
+        from repro.distributed import WorkerGrid
+
+        X, y = data
+        grid = WorkerGrid.from_data(X, shards=2, clustering="two_means",
+                                    leaf_size=16, seed=0)
+        try:
+            warm = KernelRidgeClassifier(h=1.0, lam=1.0, solver="hss",
+                                         shards=2,
+                                         solver_options={"grid": grid})
+            warm.fit(X, y)
+            warm.refit_kernel(2.3, lam=0.5)
+            info = warm.solver_.coordinator_.fit_info
+            assert info.get("structure_reuses") == 2
+            cold = KernelRidgeClassifier(h=2.3, lam=0.5, solver="hss",
+                                         shards=2,
+                                         solver_options={"grid": grid})
+            cold.fit(X, y)
+            np.testing.assert_array_equal(warm.weights_, cold.weights_)
+        finally:
+            grid.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# factor_many: bitwise identical per shift to sequential factor
+# ---------------------------------------------------------------------------
+
+class TestFactorManyBitwise:
+    LAMS = (0.25, 1.0, 4.0)
+
+    def test_factor_many_equals_sequential(self, compressed_pair):
+        clustering, compressed = compressed_pair
+        batched = ULVFactorization.factor_many(compressed, self.LAMS)
+        rng = np.random.default_rng(11)
+        b = rng.normal(size=(clustering.X.shape[0], 2))
+        for lam, fac in zip(self.LAMS, batched):
+            ref = ULVFactorization.factor(compressed, lam=lam)
+            for node_id, ref_factors in enumerate(ref._factors):
+                if ref_factors is None:
+                    assert fac._factors[node_id] is None
+                    continue
+                _assert_same_arrays(fac._factors[node_id], ref_factors,
+                                    _FACTOR_ARRAYS)
+            np.testing.assert_array_equal(fac.solve(b), ref.solve(b))
+
+    def test_prefactor_feeds_refits_bitwise(self, data):
+        X, y = data
+        # prefactor/factor_many live on the in-process HSSSolver; shards=1
+        # keeps the classifier off the process-sharded path under
+        # REPRO_SHARDS overrides.
+        warm = KernelRidgeClassifier(h=1.0, lam=self.LAMS[0], solver="hss",
+                                     seed=0, shards=1)
+        warm.fit(X, y)
+        warm.solver_.prefactor(self.LAMS[1:])
+        assert set(warm.solver_._prefactored) == set(self.LAMS[1:])
+        for lam in self.LAMS[1:]:
+            warm.refit(lam)
+            # adoption, not re-factorization
+            assert warm.solver_.report.timings["factorization"] == 0.0
+            np.testing.assert_array_equal(
+                warm.weights_, _cold_weights(X, y, h=1.0, lam=lam))
+        assert warm.solver_.compression_count == 1
+
+
+def _cold_weights(X, y, h, lam):
+    clf = KernelRidgeClassifier(h=h, lam=lam, solver="hss", seed=0, shards=1)
+    clf.fit(X, y)
+    return clf.weights_
+
+
+# ---------------------------------------------------------------------------
+# k-fold CV as fold-removal multi-RHS solves
+# ---------------------------------------------------------------------------
+
+class TestCrossValidation:
+    CV = 4
+
+    def _reference_accuracy(self, X, y, h, lam, solver):
+        """Pooled accuracy of per-fold cold fits (the semantic baseline)."""
+        idx = np.arange(X.shape[0])
+        preds = np.empty(X.shape[0])
+        for fold in range(self.CV):
+            mask = (idx % self.CV) == fold
+            clf = KernelRidgeClassifier(h=h, lam=lam, solver=solver, seed=0)
+            clf.fit(X[~mask], y[~mask])
+            preds[mask] = clf.predict(X[mask])
+        return float(np.mean(preds == y))
+
+    def test_dense_cv_equals_per_fold_cold_fits(self, data):
+        X, y = data
+        objective = KRRObjective(X, y, X[:8], y[:8], solver="dense",
+                                 cv=self.CV)
+        acc = objective({"h": 1.0, "lam": 0.5})
+        ref = self._reference_accuracy(X, y, 1.0, 0.5, "dense")
+        assert acc == pytest.approx(ref, abs=1e-12)
+
+    def test_hss_cv_close_to_per_fold_cold_fits(self, data):
+        X, y = data
+        with KRRObjective(X, y, X[:8], y[:8], solver="hss", leaf_size=16,
+                          seed=0, cv=self.CV) as objective:
+            acc = objective({"h": 1.0, "lam": 0.5})
+            # λ-move on the shared factorization scores the same folds
+            acc2 = objective({"h": 1.0, "lam": 2.0})
+        ref = self._reference_accuracy(X, y, 1.0, 0.5, "dense")
+        ref2 = self._reference_accuracy(X, y, 1.0, 2.0, "dense")
+        assert acc == pytest.approx(ref, abs=0.05)
+        assert acc2 == pytest.approx(ref2, abs=0.05)
+
+    def test_cv_validation(self, data):
+        X, y = data
+        with pytest.raises(ValueError, match="cv"):
+            KRRObjective(X, y, X[:8], y[:8], cv=0)
+        with pytest.raises(ValueError, match="cv"):
+            KRRObjective(X, y, X[:8], y[:8], cv=X.shape[0] + 1)
+
+
+# ---------------------------------------------------------------------------
+# move accounting: cheap paths never change the objective values
+# ---------------------------------------------------------------------------
+
+class TestMoveAccounting:
+    def test_grid_moves_and_bitwise_values(self, data):
+        X, y = data
+        X_val, y_val = gaussian_mixture(n=60, d=3, n_components=4,
+                                        separation=3.0, noise=0.7, seed=1)
+        space = ParameterSpace.krr_default(h_bounds=(0.5, 3.0),
+                                           lam_bounds=(0.1, 2.0))
+        with KRRObjective(X, y, X_val, y_val, solver="hss", leaf_size=16,
+                          seed=0) as fabric:
+            res = GridSearch(space, points_per_dim=3).optimize(fabric)
+            constructions = fabric.kernel_constructions
+        # 3x3 grid, λ fastest: one cold build, two h-moves, six λ-moves
+        assert res.moves == {"cold": 1, "h_move": 2, "lam_move": 6}
+        assert constructions == 3  # one per distinct h (h-moves included)
+        with KRRObjective(X, y, X_val, y_val, solver="hss", leaf_size=16,
+                          seed=0, cache_kernels=False) as all_cold:
+            ref = GridSearch(space, points_per_dim=3).optimize(all_cold)
+        assert [e["objective"] for e in res.history] == \
+            [e["objective"] for e in ref.history]
+        assert res.best_config == ref.best_config
+        assert ref.moves == {"cold": 9}
+
+    def test_random_search_predrawn_groups_preserve_rng(self):
+        space = ParameterSpace.krr_default()
+        seen = []
+
+        class Spy:
+            def __call__(self, config):
+                seen.append((config["h"], config["lam"]))
+                return 0.0
+
+        RandomSearch(space, budget=10, seed=3, lam_sweep=4).optimize(Spy())
+        # same draws as the historical interleaved sampling order
+        rng = np.random.default_rng(3)
+        expected = []
+        lam_param = next(p for p in space.parameters if p.name == "lam")
+        drawn = 0
+        while drawn < 10:
+            config = space.sample(rng)
+            expected.append((config["h"], config["lam"]))
+            drawn += 1
+            for _ in range(min(3, 10 - drawn)):
+                expected.append((config["h"], lam_param.sample(rng)))
+                drawn += 1
+        assert seen == expected
+
+    def test_move_counters_exported(self, data):
+        from repro.obs import global_registry
+
+        X, y = data
+        objective = KRRObjective(X, y, X[:8], y[:8], solver="dense")
+        objective({"h": 1.0, "lam": 0.5})
+        objective({"h": 1.0, "lam": 1.5})
+        reg = global_registry()
+        moves = reg.counter("repro_tune_moves_total",
+                            labelnames=("move",))
+        assert moves.labels(move="cold").value >= 1
+        assert moves.labels(move="lam_move").value >= 1
+        assert reg.counter("repro_tune_cache_hits_total").value >= 1
+        assert reg.counter("repro_tune_cache_misses_total").value >= 1
+        assert objective.move_counts == {"cold": 1, "lam_move": 1}
